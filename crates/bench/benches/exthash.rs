@@ -1,0 +1,87 @@
+//! Microbenchmarks for the extendible hash index (the structure backing
+//! the TRT and ERT, as in the paper's Brahma).
+
+use brahma::exthash::ExtHash;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exthash/insert");
+    for n in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("exthash", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = ExtHash::new();
+                for i in 0..n as u64 {
+                    t.insert(i, i);
+                }
+                black_box(t.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("std_hashmap", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = HashMap::new();
+                for i in 0..n as u64 {
+                    t.insert(i, i);
+                }
+                black_box(t.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exthash/lookup");
+    let n = 10_000u64;
+    let mut ext = ExtHash::new();
+    let mut std = HashMap::new();
+    for i in 0..n {
+        ext.insert(i, i);
+        std.insert(i, i);
+    }
+    group.bench_function("exthash", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for i in 0..n {
+                sum += *ext.get(&i).unwrap();
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("std_hashmap", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for i in 0..n {
+                sum += *std.get(&i).unwrap();
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    // The TRT pattern: notes inserted, then purged (Section 4.5), so the
+    // table grows and shrinks constantly.
+    c.bench_function("exthash/churn_1000", |b| {
+        b.iter(|| {
+            let mut t = ExtHash::with_bucket_cap(8);
+            for round in 0..10u64 {
+                for i in 0..1_000 {
+                    t.insert(round * 1_000 + i, i);
+                }
+                for i in 0..1_000 {
+                    t.remove(&(round * 1_000 + i));
+                }
+            }
+            black_box(t.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_insert, bench_lookup, bench_churn
+}
+criterion_main!(benches);

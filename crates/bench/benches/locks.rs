@@ -1,0 +1,63 @@
+//! Microbenchmarks for the lock manager: uncontended acquisition, shared
+//! sharing, and the ever-held tracking overhead of the Section 4.1
+//! extension.
+
+use brahma::{LockManager, LockMode, PartitionId, PhysAddr, TxnId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn addr(i: u64) -> PhysAddr {
+    PhysAddr::new(PartitionId((i % 8) as u16), (i / 8) as u32, 0)
+}
+
+fn bench_uncontended(c: &mut Criterion) {
+    let m = LockManager::new(64, Duration::from_secs(1));
+    c.bench_function("locks/uncontended_x_lock_unlock", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let a = addr(i % 1024);
+            m.lock(TxnId(1), a, LockMode::Exclusive).unwrap();
+            m.unlock(TxnId(1), a);
+            i += 1;
+            black_box(i)
+        })
+    });
+}
+
+fn bench_shared(c: &mut Criterion) {
+    let m = LockManager::new(64, Duration::from_secs(1));
+    let a = addr(0);
+    c.bench_function("locks/shared_reentry_10_txns", |b| {
+        b.iter(|| {
+            for t in 0..10 {
+                m.lock(TxnId(t), a, LockMode::Shared).unwrap();
+            }
+            for t in 0..10 {
+                m.unlock(TxnId(t), a);
+            }
+        })
+    });
+}
+
+fn bench_history_tracking(c: &mut Criterion) {
+    let m = LockManager::new(64, Duration::from_secs(1));
+    m.set_history_tracking(true);
+    c.bench_function("locks/x_lock_with_history_tracking", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let a = addr(i % 1024);
+            m.lock(TxnId(1), a, LockMode::Exclusive).unwrap();
+            m.unlock(TxnId(1), a);
+            m.drop_history(TxnId(1), &[a]);
+            i += 1;
+            black_box(i)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_uncontended, bench_shared, bench_history_tracking
+}
+criterion_main!(benches);

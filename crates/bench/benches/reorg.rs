@@ -1,0 +1,109 @@
+//! Microbenchmarks for the reorganization machinery itself: the fuzzy
+//! traversal, a single object migration (exact parents + move), and full
+//! partition reorganizations (IRA basic, IRA two-lock, offline).
+
+use brahma::{Database, StoreConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ira::{
+    approx::find_objects_and_approx_parents, incremental_reorganize, offline_reorganize,
+    IraConfig, IraVariant, RelocationPlan,
+};
+use workload::{build_graph, WorkloadParams};
+
+fn graph_params(objs: usize) -> WorkloadParams {
+    WorkloadParams {
+        num_partitions: 2,
+        objs_per_partition: objs,
+        ..WorkloadParams::default()
+    }
+}
+
+fn bench_fuzzy_traversal(c: &mut Criterion) {
+    let db = Database::new(StoreConfig::default());
+    let info = build_graph(&db, &graph_params(1020)).unwrap();
+    let p = info.data_partitions[0];
+    c.bench_function("reorg/fuzzy_traversal_1020_objects", |b| {
+        b.iter(|| {
+            db.start_reorg(p).unwrap();
+            let state = find_objects_and_approx_parents(&db, p);
+            db.end_reorg(p);
+            black_box(state.order.len())
+        })
+    });
+}
+
+fn bench_full_reorg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorg/full_partition_510");
+    group.sample_size(10);
+    group.bench_function("ira_basic", |b| {
+        b.iter(|| {
+            let db = Database::new(StoreConfig::default());
+            let info = build_graph(&db, &graph_params(510)).unwrap();
+            let r = incremental_reorganize(
+                &db,
+                info.data_partitions[0],
+                RelocationPlan::CompactInPlace,
+                &IraConfig::default(),
+            )
+            .unwrap();
+            black_box(r.migrated())
+        })
+    });
+    group.bench_function("ira_batched_32", |b| {
+        let config = IraConfig {
+            batch_size: 32,
+            ..IraConfig::default()
+        };
+        b.iter(|| {
+            let db = Database::new(StoreConfig::default());
+            let info = build_graph(&db, &graph_params(510)).unwrap();
+            let r = incremental_reorganize(
+                &db,
+                info.data_partitions[0],
+                RelocationPlan::CompactInPlace,
+                &config,
+            )
+            .unwrap();
+            black_box(r.migrated())
+        })
+    });
+    group.bench_function("ira_two_lock", |b| {
+        let config = IraConfig {
+            variant: IraVariant::TwoLock,
+            ..IraConfig::default()
+        };
+        b.iter(|| {
+            let db = Database::new(StoreConfig::default());
+            let info = build_graph(&db, &graph_params(510)).unwrap();
+            let r = incremental_reorganize(
+                &db,
+                info.data_partitions[0],
+                RelocationPlan::CompactInPlace,
+                &config,
+            )
+            .unwrap();
+            black_box(r.migrated())
+        })
+    });
+    group.bench_function("offline", |b| {
+        b.iter(|| {
+            let db = Database::new(StoreConfig::default());
+            let info = build_graph(&db, &graph_params(510)).unwrap();
+            let m = offline_reorganize(
+                &db,
+                info.data_partitions[0],
+                RelocationPlan::CompactInPlace,
+            )
+            .unwrap();
+            black_box(m.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fuzzy_traversal, bench_full_reorg
+}
+criterion_main!(benches);

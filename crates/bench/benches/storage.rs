@@ -1,0 +1,114 @@
+//! Microbenchmarks for the storage substrate: object create/read/update
+//! through the transactional path, fuzzy (latch-only) reads, and WAL
+//! appends.
+
+use brahma::{Database, LockMode, NewObject, StoreConfig, TxnId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn db_with_objects(n: usize) -> (Database, Vec<brahma::PhysAddr>) {
+    let db = Database::new(StoreConfig::default());
+    let p = db.create_partition();
+    let mut txn = db.begin();
+    let addrs = (0..n)
+        .map(|_| {
+            txn.create_object(
+                p,
+                NewObject {
+                    tag: 1,
+                    refs: vec![],
+                    ref_cap: 4,
+                    payload: vec![0xAB; 64],
+                    payload_cap: 64,
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    txn.commit().unwrap();
+    (db, addrs)
+}
+
+fn bench_create_commit(c: &mut Criterion) {
+    c.bench_function("storage/create_100_objects_one_txn", |b| {
+        b.iter(|| {
+            let db = Database::new(StoreConfig::default());
+            let p = db.create_partition();
+            let mut txn = db.begin();
+            for _ in 0..100 {
+                txn.create_object(p, NewObject::exact(1, vec![], vec![0u8; 64]))
+                    .unwrap();
+            }
+            txn.commit().unwrap();
+            black_box(db.partition(p).unwrap().object_count())
+        })
+    });
+}
+
+fn bench_locked_read(c: &mut Criterion) {
+    let (db, addrs) = db_with_objects(1024);
+    c.bench_function("storage/locked_read", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = addrs[i % addrs.len()];
+            let mut txn = db.begin();
+            txn.lock(a, LockMode::Shared).unwrap();
+            let v = txn.read(a).unwrap();
+            txn.commit().unwrap();
+            i += 1;
+            black_box(v.payload.len())
+        })
+    });
+}
+
+fn bench_fuzzy_read(c: &mut Criterion) {
+    let (db, addrs) = db_with_objects(1024);
+    c.bench_function("storage/fuzzy_read_refs", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = addrs[i % addrs.len()];
+            i += 1;
+            black_box(db.fuzzy_read_refs(a).unwrap().len())
+        })
+    });
+}
+
+fn bench_payload_update(c: &mut Criterion) {
+    let (db, addrs) = db_with_objects(1024);
+    let payload = vec![0xCDu8; 64];
+    c.bench_function("storage/payload_update_txn", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = addrs[i % addrs.len()];
+            let mut txn = db.begin();
+            txn.lock(a, LockMode::Exclusive).unwrap();
+            txn.set_payload(a, &payload).unwrap();
+            txn.commit().unwrap();
+            i += 1;
+        })
+    });
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let wal = brahma::Wal::new(false, std::time::Duration::ZERO);
+    c.bench_function("storage/wal_append", |b| {
+        b.iter(|| {
+            let lsn = wal.append(
+                TxnId(1),
+                brahma::LogPayload::SetPayload {
+                    addr: brahma::PhysAddr::from_raw(42),
+                    old: vec![0u8; 64],
+                    new: vec![1u8; 64],
+                },
+            );
+            black_box(lsn)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_create_commit, bench_locked_read, bench_fuzzy_read,
+              bench_payload_update, bench_wal_append
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! CLI harness regenerating the paper's tables and figures.
+//!
+//! Usage: `paper_figures <experiment>... [--quick] [--out DIR]`
+//! where experiment is one of: all, mpl, table2, partsize, updprob, glue,
+//! ops, nparts, eqdur, ablation.
+
+use bench::experiments::{self, HarnessOptions};
+use std::path::PathBuf;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    args.retain(|a| !a.starts_with("--"));
+    args.retain(|a| {
+        // drop the value of --out
+        a != out_dir.to_str().unwrap_or("")
+    });
+    if args.is_empty() {
+        eprintln!(
+            "usage: paper_figures <all|mpl|table2|partsize|updprob|glue|ops|nparts|eqdur|ablation>... [--quick] [--out DIR]"
+        );
+        std::process::exit(2);
+    }
+    let opts = HarnessOptions { quick };
+    println!(
+        "# Paper-figure harness ({} mode); Table 1 defaults unless swept.",
+        if quick { "quick" } else { "full" }
+    );
+
+    let run_one = |name: &str| {
+        let (slug, exp) = match name {
+            "mpl" => ("mpl", experiments::exp_mpl(&opts)),
+            "table2" => ("table2", experiments::exp_table2(&opts)),
+            "partsize" => ("partsize", experiments::exp_partition_size(&opts)),
+            "updprob" => ("updprob", experiments::exp_update_prob(&opts)),
+            "glue" => ("glue", experiments::exp_glue(&opts)),
+            "ops" => ("ops", experiments::exp_ops_per_trans(&opts)),
+            "nparts" => ("nparts", experiments::exp_num_partitions(&opts)),
+            "eqdur" => ("eqdur", experiments::exp_equal_duration(&opts)),
+            "ablation" => ("ablation", experiments::exp_ablation(&opts)),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        };
+        if slug == "table2" {
+            println!("{}", exp.render_table2());
+        } else {
+            println!("{}", exp.render());
+        }
+        if let Err(e) = exp.write_csv(&out_dir, slug) {
+            eprintln!("warning: could not write CSV for {slug}: {e}");
+        }
+    };
+
+    for name in &args {
+        if name == "all" {
+            for n in [
+                "mpl", "table2", "partsize", "updprob", "glue", "ops", "nparts", "eqdur",
+                "ablation",
+            ] {
+                run_one(n);
+            }
+        } else {
+            run_one(name);
+        }
+    }
+}

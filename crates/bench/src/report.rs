@@ -1,0 +1,189 @@
+//! Table/CSV rendering for the paper-figure harness.
+
+use crate::runner::CellResult;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// One row of an experiment: a swept x-value plus the three systems'
+/// results.
+pub struct Row {
+    pub x_label: String,
+    pub cells: Vec<CellResult>,
+}
+
+/// A completed experiment, printable as the paper's figure series.
+pub struct Experiment {
+    /// e.g. "Figure 6/7: MPL scaleup".
+    pub title: String,
+    /// Name of the swept parameter, e.g. "MPL".
+    pub x_name: String,
+    pub rows: Vec<Row>,
+}
+
+impl Experiment {
+    /// Render the throughput and average-response-time series (the two
+    /// metrics the paper's figures plot), plus reorg durations.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let algos: Vec<&str> = self
+            .rows
+            .first()
+            .map(|r| r.cells.iter().map(|c| c.algo.name()).collect())
+            .unwrap_or_default();
+        let _ = write!(out, "{:>10}", self.x_name);
+        for a in &algos {
+            let _ = write!(out, " {:>9}", format!("{a}.tps"));
+        }
+        for a in &algos {
+            let _ = write!(out, " {:>10}", format!("{a}.art_ms"));
+        }
+        for a in &algos {
+            let _ = write!(out, " {:>10}", format!("{a}.reorg_s"));
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{:>10}", row.x_label);
+            for c in &row.cells {
+                let _ = write!(out, " {:>9.1}", c.summary.throughput_tps);
+            }
+            for c in &row.cells {
+                let _ = write!(out, " {:>10.1}", c.summary.avg_ms);
+            }
+            for c in &row.cells {
+                match c.reorg_secs {
+                    Some(s) => {
+                        let _ = write!(out, " {:>10.2}", s);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>10}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render the Table 2 style analysis (throughput, avg/max/stddev of
+    /// response times) for a single-row experiment.
+    pub fn render_table2(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>12} {:>12} {:>14} {:>9}",
+            "Algo", "Throughput", "AvgResp(ms)", "MaxResp(ms)", "StdDevResp(ms)", "Aborts"
+        );
+        for row in &self.rows {
+            for c in &row.cells {
+                let _ = writeln!(
+                    out,
+                    "{:>6} {:>10.1} {:>12.1} {:>12.1} {:>14.1} {:>9}",
+                    c.algo.name(),
+                    c.summary.throughput_tps,
+                    c.summary.avg_ms,
+                    c.summary.max_ms,
+                    c.summary.stddev_ms,
+                    c.summary.aborted_attempts,
+                );
+            }
+        }
+        out
+    }
+
+    /// Write the experiment as CSV (one line per cell).
+    pub fn write_csv(&self, dir: &Path, slug: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut out = String::from(
+            "x,algo,throughput_tps,avg_ms,max_ms,stddev_ms,p95_ms,p99_ms,\
+             committed,aborted_attempts,window_s,reorg_s,migrated,lock_timeouts\n",
+        );
+        for row in &self.rows {
+            for c in &row.cells {
+                let _ = writeln!(
+                    out,
+                    "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{:.3},{},{},{}",
+                    row.x_label,
+                    c.algo.name(),
+                    c.summary.throughput_tps,
+                    c.summary.avg_ms,
+                    c.summary.max_ms,
+                    c.summary.stddev_ms,
+                    c.summary.p95_ms,
+                    c.summary.p99_ms,
+                    c.summary.committed,
+                    c.summary.aborted_attempts,
+                    c.summary.window_s,
+                    c.reorg_secs.map(|s| format!("{s:.3}")).unwrap_or_default(),
+                    c.migrated,
+                    c.lock_timeouts,
+                );
+            }
+        }
+        fs::write(dir.join(format!("{slug}.csv")), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Algo;
+    use workload::Summary;
+
+    fn cell(algo: Algo, tps: f64) -> CellResult {
+        CellResult {
+            algo,
+            summary: Summary {
+                committed: 100,
+                aborted_attempts: 2,
+                throughput_tps: tps,
+                avg_ms: 10.0,
+                max_ms: 50.0,
+                stddev_ms: 5.0,
+                p95_ms: 20.0,
+                p99_ms: 40.0,
+                window_s: 1.0,
+            },
+            reorg_secs: Some(1.5),
+            migrated: 42,
+            lock_timeouts: 3,
+        }
+    }
+
+    fn experiment() -> Experiment {
+        Experiment {
+            title: "Test".into(),
+            x_name: "MPL".into(),
+            rows: vec![Row {
+                x_label: "30".into(),
+                cells: vec![cell(Algo::Nr, 35.0), cell(Algo::Ira, 33.7)],
+            }],
+        }
+    }
+
+    #[test]
+    fn render_contains_series() {
+        let s = experiment().render();
+        assert!(s.contains("NR.tps"));
+        assert!(s.contains("IRA.art_ms"));
+        assert!(s.contains("35.0"));
+    }
+
+    #[test]
+    fn table2_contains_stddev() {
+        let s = experiment().render_table2();
+        assert!(s.contains("StdDevResp"));
+        assert!(s.contains("5.0"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("odb-bench-test");
+        experiment().write_csv(&dir, "test").unwrap();
+        let text = std::fs::read_to_string(dir.join("test.csv")).unwrap();
+        assert!(text.lines().count() == 3);
+        assert!(text.contains("NR"));
+    }
+}

@@ -1,0 +1,509 @@
+//! Extendible hashing.
+//!
+//! The paper's storage manager "supports extendible hash indices which were
+//! used to implement the TRT and the ERT" (Section 5). This module is a
+//! from-scratch extendible hash table: a directory of `2^global_depth`
+//! pointers into buckets, each bucket holding up to `bucket_cap` entries with
+//! its own `local_depth`. A full bucket splits; when a bucket at the global
+//! depth splits, the directory doubles. Empty buckets merge with their buddy
+//! and the directory halves when possible, so the structure also shrinks —
+//! which matters for the TRT, whose tuples are purged aggressively
+//! (Section 4.5).
+//!
+//! Keys are hashed with a Fibonacci-style multiplicative hasher: TRT/ERT keys
+//! are 8-byte physical addresses, for which SipHash's HashDoS protection buys
+//! nothing and costs measurably (see the workspace's Rust performance notes).
+
+use std::hash::{Hash, Hasher};
+
+/// Default entries per bucket before a split.
+pub const DEFAULT_BUCKET_CAP: usize = 8;
+/// Directory growth stops at this depth; beyond it buckets overflow in place
+/// (guarantees termination under adversarial hash collisions).
+const MAX_DEPTH: u8 = 24;
+
+/// Cheap multiplicative hasher for small fixed-size keys.
+#[derive(Default)]
+pub struct FibHasher(u64);
+
+impl Hasher for FibHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, b: u8) {
+        self.write_u64(b as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // Fibonacci hashing: multiply by 2^64 / phi, fold in previous state.
+        self.0 = (self.0.rotate_left(29) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+fn hash_of<K: Hash>(key: &K) -> u64 {
+    let mut h = FibHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+#[derive(Debug, Clone)]
+struct Bucket<K, V> {
+    local_depth: u8,
+    entries: Vec<(K, V)>,
+}
+
+/// An extendible hash map with unique keys.
+///
+/// Multimap behaviour (the TRT keys many tuples by one referenced object) is
+/// layered on top by storing a `Vec` value.
+#[derive(Debug, Clone)]
+pub struct ExtHash<K, V> {
+    global_depth: u8,
+    /// `2^global_depth` bucket indices.
+    dir: Vec<u32>,
+    buckets: Vec<Bucket<K, V>>,
+    bucket_cap: usize,
+    len: usize,
+}
+
+impl<K: Hash + Eq, V> Default for ExtHash<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq, V> ExtHash<K, V> {
+    /// Create an empty table with the default bucket capacity.
+    pub fn new() -> Self {
+        Self::with_bucket_cap(DEFAULT_BUCKET_CAP)
+    }
+
+    /// Create an empty table with `bucket_cap` entries per bucket.
+    pub fn with_bucket_cap(bucket_cap: usize) -> Self {
+        assert!(bucket_cap >= 1, "bucket capacity must be positive");
+        ExtHash {
+            global_depth: 0,
+            dir: vec![0],
+            buckets: vec![Bucket {
+                local_depth: 0,
+                entries: Vec::new(),
+            }],
+            bucket_cap,
+            len: 0,
+        }
+    }
+
+    /// Number of key-value pairs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current directory depth (for tests and stats).
+    pub fn global_depth(&self) -> u8 {
+        self.global_depth
+    }
+
+    /// Number of distinct buckets (for tests and stats).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn dir_slot(&self, hash: u64) -> usize {
+        // Low-order bits select the directory slot.
+        (hash & ((1u64 << self.global_depth) - 1)) as usize
+    }
+
+    #[inline]
+    fn bucket_for(&self, hash: u64) -> u32 {
+        self.dir[self.dir_slot(hash)]
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let b = &self.buckets[self.bucket_for(hash_of(key)) as usize];
+        b.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Look up a key, returning a mutable reference to its value.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let bi = self.bucket_for(hash_of(key)) as usize;
+        self.buckets[bi]
+            .entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert a key-value pair, returning the previous value for the key.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let hash = hash_of(&key);
+        let bi = self.bucket_for(hash) as usize;
+        if let Some((_, v)) = self.buckets[bi].entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(v, value));
+        }
+        self.insert_new(hash, key, value);
+        None
+    }
+
+    /// Return a mutable reference to the value for `key`, inserting
+    /// `default()` first if absent.
+    pub fn entry_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V
+    where
+        K: Clone,
+    {
+        if !self.contains_key(&key) {
+            let hash = hash_of(&key);
+            self.insert_new(hash, key.clone(), default());
+        }
+        self.get_mut(&key).expect("just ensured present")
+    }
+
+    fn insert_new(&mut self, hash: u64, key: K, value: V) {
+        loop {
+            let bi = self.bucket_for(hash) as usize;
+            if self.buckets[bi].entries.len() < self.bucket_cap
+                || self.buckets[bi].local_depth >= MAX_DEPTH
+            {
+                self.buckets[bi].entries.push((key, value));
+                self.len += 1;
+                return;
+            }
+            self.split(bi);
+        }
+    }
+
+    /// Split bucket `bi`, doubling the directory first if needed.
+    fn split(&mut self, bi: usize) {
+        let local = self.buckets[bi].local_depth;
+        if local == self.global_depth {
+            // Double the directory: slot i and i + 2^g alias the same bucket.
+            let old_len = self.dir.len();
+            self.dir.extend_from_within(0..old_len);
+            self.global_depth += 1;
+        }
+        let new_depth = local + 1;
+        let split_bit = 1u64 << local;
+        let new_bi = self.buckets.len() as u32;
+        let entries = std::mem::take(&mut self.buckets[bi].entries);
+        let (stay, go): (Vec<_>, Vec<_>) = entries
+            .into_iter()
+            .partition(|(k, _)| hash_of(k) & split_bit == 0);
+        self.buckets[bi].local_depth = new_depth;
+        self.buckets[bi].entries = stay;
+        self.buckets.push(Bucket {
+            local_depth: new_depth,
+            entries: go,
+        });
+        // Redirect directory slots whose split bit is set.
+        for slot in 0..self.dir.len() {
+            if self.dir[slot] == bi as u32 && (slot as u64) & split_bit != 0 {
+                self.dir[slot] = new_bi;
+            }
+        }
+    }
+
+    /// Remove a key, returning its value. Empty buckets merge with their
+    /// buddy and the directory halves when possible.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let hash = hash_of(key);
+        let bi = self.bucket_for(hash) as usize;
+        let pos = self.buckets[bi].entries.iter().position(|(k, _)| k == key)?;
+        let (_, v) = self.buckets[bi].entries.swap_remove(pos);
+        self.len -= 1;
+        self.try_merge(bi);
+        self.try_shrink_dir();
+        Some(v)
+    }
+
+    /// Merge `bi` with its buddy when one of them is empty and both share the
+    /// same local depth.
+    fn try_merge(&mut self, mut bi: usize) {
+        loop {
+            let local = self.buckets[bi].local_depth;
+            if local == 0 {
+                return;
+            }
+            let buddy_bit = 1u64 << (local - 1);
+            // Find the buddy bucket through the directory: take any slot that
+            // maps to `bi` and flip the buddy bit.
+            let Some(slot) = self.dir.iter().position(|&b| b as usize == bi) else {
+                return;
+            };
+            let buddy_slot = (slot as u64 ^ buddy_bit) as usize;
+            let buddy = self.dir[buddy_slot] as usize;
+            if buddy == bi || self.buckets[buddy].local_depth != local {
+                return;
+            }
+            if !self.buckets[bi].entries.is_empty() && !self.buckets[buddy].entries.is_empty() {
+                return;
+            }
+            // Merge buddy's entries into bi and retire buddy.
+            let moved = std::mem::take(&mut self.buckets[buddy].entries);
+            self.buckets[bi].entries.extend(moved);
+            self.buckets[bi].local_depth = local - 1;
+            for b in self.dir.iter_mut() {
+                if *b as usize == buddy {
+                    *b = bi as u32;
+                }
+            }
+            let last = self.buckets.len() - 1;
+            self.retire_bucket(buddy);
+            // retire_bucket swap-removes: if the merged bucket was the last
+            // one, it now lives at the retired bucket's index.
+            if bi == last {
+                bi = buddy;
+            }
+        }
+    }
+
+    /// Remove a now-unreferenced bucket from storage, fixing directory
+    /// indices of the swapped-in bucket.
+    fn retire_bucket(&mut self, idx: usize) {
+        let last = self.buckets.len() - 1;
+        self.buckets.swap_remove(idx);
+        if idx != last {
+            for b in self.dir.iter_mut() {
+                if *b as usize == last {
+                    *b = idx as u32;
+                }
+            }
+        }
+    }
+
+    /// Halve the directory while every buddy pair points at the same bucket.
+    fn try_shrink_dir(&mut self) {
+        while self.global_depth > 0 {
+            let half = self.dir.len() / 2;
+            if self.dir[..half] != self.dir[half..] {
+                return;
+            }
+            if self.buckets.iter().any(|b| b.local_depth >= self.global_depth) {
+                return;
+            }
+            self.dir.truncate(half);
+            self.global_depth -= 1;
+        }
+    }
+
+    /// Iterate over all entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.entries.iter().map(|(k, v)| (k, v)))
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        *self = ExtHash::with_bucket_cap(self.bucket_cap);
+    }
+
+    /// Structural invariants, asserted by tests:
+    /// directory size is `2^global_depth`; every slot names a live bucket;
+    /// each bucket with local depth `l` is referenced by exactly
+    /// `2^(global-l)` slots agreeing on the low `l` bits; every entry hashes
+    /// into the bucket that owns it.
+    pub fn check_invariants(&self) {
+        assert_eq!(self.dir.len(), 1usize << self.global_depth);
+        let mut refcount = vec![0usize; self.buckets.len()];
+        for (slot, &b) in self.dir.iter().enumerate() {
+            let b = b as usize;
+            assert!(b < self.buckets.len(), "dangling directory slot");
+            refcount[b] += 1;
+            let l = self.buckets[b].local_depth;
+            assert!(l <= self.global_depth);
+            // All slots mapping to b must agree on the low l bits.
+            let canonical = self
+                .dir
+                .iter()
+                .position(|&x| x as usize == b)
+                .expect("bucket referenced");
+            let mask = (1usize << l) - 1;
+            assert_eq!(slot & mask, canonical & mask, "inconsistent slot aliasing");
+        }
+        let mut total = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            assert_eq!(
+                refcount[i],
+                1usize << (self.global_depth - b.local_depth),
+                "bucket {i} has wrong reference count"
+            );
+            let mask = (1u64 << b.local_depth) - 1;
+            let canonical = self.dir.iter().position(|&x| x as usize == i).unwrap();
+            for (k, _) in &b.entries {
+                assert_eq!(
+                    hash_of(k) & mask,
+                    (canonical as u64) & mask,
+                    "entry in wrong bucket"
+                );
+            }
+            total += b.entries.len();
+        }
+        assert_eq!(total, self.len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn empty_table() {
+        let t: ExtHash<u64, u64> = ExtHash::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = ExtHash::new();
+        assert_eq!(t.insert(1u64, "a"), None);
+        assert_eq!(t.insert(2, "b"), None);
+        assert_eq!(t.insert(1, "c"), Some("a"));
+        assert_eq!(t.get(&1), Some(&"c"));
+        assert_eq!(t.remove(&1), Some("c"));
+        assert_eq!(t.remove(&1), None);
+        assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn splits_grow_directory() {
+        let mut t = ExtHash::with_bucket_cap(2);
+        for i in 0..100u64 {
+            t.insert(i, i * 10);
+            t.check_invariants();
+        }
+        assert!(t.global_depth() >= 4);
+        for i in 0..100u64 {
+            assert_eq!(t.get(&i), Some(&(i * 10)));
+        }
+    }
+
+    #[test]
+    fn removals_shrink() {
+        let mut t = ExtHash::with_bucket_cap(2);
+        for i in 0..64u64 {
+            t.insert(i, ());
+        }
+        let grown_depth = t.global_depth();
+        for i in 0..64u64 {
+            t.remove(&i);
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+        assert!(t.global_depth() < grown_depth, "directory should shrink");
+    }
+
+    #[test]
+    fn entry_or_insert_with() {
+        let mut t: ExtHash<u64, Vec<u64>> = ExtHash::with_bucket_cap(2);
+        for i in 0..20 {
+            t.entry_or_insert_with(i % 5, Vec::new).push(i);
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.get(&3).unwrap(), &vec![3, 8, 13, 18]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn iter_sees_everything() {
+        let mut t = ExtHash::with_bucket_cap(3);
+        for i in 0..37u64 {
+            t.insert(i, i);
+        }
+        let mut seen: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = ExtHash::with_bucket_cap(2);
+        for i in 0..50u64 {
+            t.insert(i, i);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.global_depth(), 0);
+        t.check_invariants();
+    }
+
+    proptest! {
+        /// The table behaves exactly like a `HashMap` under arbitrary
+        /// interleavings of inserts and removes, and its structural
+        /// invariants hold after every operation.
+        #[test]
+        fn matches_hashmap(ops in proptest::collection::vec(
+            (0u8..3, 0u64..200, 0u64..1000), 1..400))
+        {
+            let mut t = ExtHash::with_bucket_cap(2);
+            let mut m = HashMap::new();
+            for (op, k, v) in ops {
+                match op {
+                    0 => prop_assert_eq!(t.insert(k, v), m.insert(k, v)),
+                    1 => prop_assert_eq!(t.remove(&k), m.remove(&k)),
+                    _ => prop_assert_eq!(t.get(&k), m.get(&k)),
+                }
+                t.check_invariants();
+                prop_assert_eq!(t.len(), m.len());
+            }
+            for (k, v) in &m {
+                prop_assert_eq!(t.get(k), Some(v));
+            }
+        }
+
+        /// Dense sequential keys (the common TRT/ERT pattern: addresses in
+        /// one partition) never lose entries across growth.
+        #[test]
+        fn dense_keys(n in 1usize..600) {
+            let mut t = ExtHash::with_bucket_cap(4);
+            for i in 0..n as u64 {
+                t.insert(i, i ^ 0xDEAD);
+            }
+            t.check_invariants();
+            for i in 0..n as u64 {
+                prop_assert_eq!(t.get(&i).copied(), Some(i ^ 0xDEAD));
+            }
+        }
+    }
+}

@@ -1,0 +1,879 @@
+//! Transaction handles.
+//!
+//! A [`Txn`] is the paper's Section 2 transaction: it can lock an object and
+//! then (i) copy any reference out of it, (ii) delete a reference out of it,
+//! and (iii) insert a reference into it from local memory — without holding
+//! a lock on the referenced object. All updates follow WAL (undo logged
+//! before the update, redo before lock release) and keep the TRT/ERT
+//! maintained through [`Database`]'s hooks.
+//!
+//! Lock discipline: reads require any lock, updates require an exclusive
+//! lock. Under strict 2PL every lock is held to completion. With
+//! `strict_2pl = false`, [`Txn::early_unlock`] releases *read* locks before
+//! completion (Section 4.1); exclusive locks on updated objects are always
+//! held to completion so rollback stays safe — the standard recoverable
+//! relaxation, and the one the reorganizer's ever-held wait is designed for.
+
+use crate::addr::{PartitionId, PhysAddr};
+use crate::db::Database;
+use crate::error::{Error, Result};
+use crate::lock::LockMode;
+use crate::object::{self, ObjectView};
+use crate::txn::TxnId;
+use crate::wal::{LogPayload, Lsn};
+use std::sync::atomic::Ordering;
+
+/// Parameters for creating an object.
+#[derive(Debug, Clone)]
+pub struct NewObject {
+    pub tag: u8,
+    pub refs: Vec<PhysAddr>,
+    /// Reference slots to reserve (>= `refs.len()`); 0 means exactly
+    /// `refs.len()`.
+    pub ref_cap: u16,
+    pub payload: Vec<u8>,
+    /// Payload bytes to reserve (>= `payload.len()`); 0 means exactly
+    /// `payload.len()`.
+    pub payload_cap: u16,
+}
+
+impl NewObject {
+    /// An object with the given refs and payload and no growth slack.
+    pub fn exact(tag: u8, refs: Vec<PhysAddr>, payload: Vec<u8>) -> Self {
+        NewObject {
+            tag,
+            refs,
+            ref_cap: 0,
+            payload,
+            payload_cap: 0,
+        }
+    }
+
+    fn into_view(self, addr: PhysAddr) -> Result<ObjectView> {
+        let ref_cap = if self.ref_cap == 0 {
+            self.refs.len() as u16
+        } else {
+            self.ref_cap
+        };
+        let payload_cap = if self.payload_cap == 0 {
+            self.payload.len() as u16
+        } else {
+            self.payload_cap
+        };
+        if self.refs.len() > ref_cap as usize {
+            return Err(Error::RefCapacityExceeded(addr));
+        }
+        if self.payload.len() > payload_cap as usize {
+            return Err(Error::PayloadCapacityExceeded(addr));
+        }
+        Ok(ObjectView {
+            tag: self.tag,
+            refs: self.refs,
+            ref_cap,
+            payload: self.payload,
+            payload_cap,
+        })
+    }
+}
+
+/// An active transaction. Dropping an uncommitted transaction aborts it.
+pub struct Txn<'db> {
+    db: &'db Database,
+    id: TxnId,
+    reorg_for: Option<PartitionId>,
+    done: bool,
+    held: Vec<PhysAddr>,
+    ever_locked: Vec<PhysAddr>,
+    undo: Vec<LogPayload>,
+    deleted_pairs: Vec<(PhysAddr, PhysAddr)>,
+    last_lsn: Lsn,
+}
+
+impl Database {
+    /// Begin an ordinary (workload) transaction.
+    pub fn begin(&self) -> Txn<'_> {
+        self.begin_internal(None)
+    }
+
+    /// Begin a transaction on behalf of the utility reorganizing
+    /// `partition`. Its pointer rewrites *concerning that partition* are
+    /// excluded from the partition's TRT (the reorganizer knows its own
+    /// writes), it may create objects there, and objects it frees there are
+    /// deferred from reuse until the reorganization ends. Rewrites touching
+    /// other partitions are ordinary pointer updates — which is what makes
+    /// concurrent reorganizations of different partitions sound.
+    pub fn begin_reorg(&self, partition: PartitionId) -> Txn<'_> {
+        self.begin_internal(Some(partition))
+    }
+
+    fn begin_internal(&self, reorg: Option<PartitionId>) -> Txn<'_> {
+        let id = self.txns.begin();
+        let last_lsn = self.wal.append(id, LogPayload::Begin { reorg });
+        Txn {
+            db: self,
+            id,
+            reorg_for: reorg,
+            done: false,
+            held: Vec::new(),
+            ever_locked: Vec::new(),
+            undo: Vec::new(),
+            deleted_pairs: Vec::new(),
+            last_lsn,
+        }
+    }
+}
+
+impl<'db> Txn<'db> {
+    /// This transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The partition this transaction reorganizes, if it belongs to a
+    /// reorganization utility.
+    pub fn reorg_for(&self) -> Option<PartitionId> {
+        self.reorg_for
+    }
+
+    // ------------------------------------------------------------------
+    // Locking
+    // ------------------------------------------------------------------
+
+    /// Acquire `mode` on `addr`, waiting up to the configured timeout.
+    pub fn lock(&mut self, addr: PhysAddr, mode: LockMode) -> Result<()> {
+        self.db.locks.lock(self.id, addr, mode)?;
+        self.record_lock(addr);
+        Ok(())
+    }
+
+    /// Acquire without waiting; returns whether the lock was granted.
+    pub fn try_lock(&mut self, addr: PhysAddr, mode: LockMode) -> bool {
+        if self.db.locks.try_lock(self.id, addr, mode) {
+            self.record_lock(addr);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn record_lock(&mut self, addr: PhysAddr) {
+        if !self.held.contains(&addr) {
+            self.held.push(addr);
+        }
+        if self.db.locks.history_tracking() && !self.ever_locked.contains(&addr) {
+            self.ever_locked.push(addr);
+        }
+    }
+
+    /// Release a lock before completion.
+    ///
+    /// Only safe for objects this transaction has not updated; the handle
+    /// refuses to release a lock on an object named by any of its undo
+    /// records, preserving rollback safety (see module docs).
+    pub fn early_unlock(&mut self, addr: PhysAddr) -> Result<()> {
+        if self.wrote(addr) {
+            return Err(Error::LockNotHeld { addr, by: self.id });
+        }
+        self.held.retain(|a| *a != addr);
+        self.db.locks.unlock(self.id, addr);
+        Ok(())
+    }
+
+    /// Release a lock the reorganizer took speculatively (it locks
+    /// approximate parents exclusively and releases those that turn out not
+    /// to be parents). Identical to [`Txn::early_unlock`] but named for its
+    /// role in `Find_Exact_Parents`.
+    pub fn unlock_nonparent(&mut self, addr: PhysAddr) -> Result<()> {
+        self.early_unlock(addr)
+    }
+
+    fn wrote(&self, addr: PhysAddr) -> bool {
+        self.undo.iter().any(|u| match u {
+            LogPayload::Create { addr: a, .. } | LogPayload::Free { addr: a, .. } => *a == addr,
+            LogPayload::SetPayload { addr: a, .. } => *a == addr,
+            LogPayload::InsertRef { parent, .. }
+            | LogPayload::DeleteRef { parent, .. }
+            | LogPayload::SetRef { parent, .. } => *parent == addr,
+            _ => false,
+        })
+    }
+
+    /// The mode this transaction holds on `addr`, if any.
+    pub fn lock_mode(&self, addr: PhysAddr) -> Option<LockMode> {
+        self.db.locks.holds(self.id, addr)
+    }
+
+    /// Addresses currently locked by this transaction.
+    pub fn held_locks(&self) -> &[PhysAddr] {
+        &self.held
+    }
+
+    fn require(&self, addr: PhysAddr, mode: LockMode) -> Result<()> {
+        match (self.db.locks.holds(self.id, addr), mode) {
+            (Some(LockMode::Exclusive), _) => Ok(()),
+            (Some(LockMode::Shared), LockMode::Shared) => Ok(()),
+            _ => Err(Error::LockNotHeld { addr, by: self.id }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Read the whole object (requires any lock on it).
+    pub fn read(&self, addr: PhysAddr) -> Result<ObjectView> {
+        self.require(addr, LockMode::Shared)?;
+        self.db.charge_access();
+        self.db
+            .with_page_read(addr, |buf| object::read_view(buf, addr))?
+    }
+
+    /// Read the object's outgoing references (requires any lock).
+    pub fn read_refs(&self, addr: PhysAddr) -> Result<Vec<PhysAddr>> {
+        self.require(addr, LockMode::Shared)?;
+        self.db.charge_access();
+        self.db
+            .with_page_read(addr, |buf| object::read_refs(buf, addr))?
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Create an object in `partition`. The new object is created
+    /// exclusively locked by this transaction.
+    ///
+    /// Creation in a partition under reorganization is rejected for workload
+    /// transactions (the paper's Section 2 assumption); reorganizer
+    /// transactions are exempt (they create the migrated copies).
+    pub fn create_object(&mut self, partition: PartitionId, spec: NewObject) -> Result<PhysAddr> {
+        if self.reorg_for != Some(partition) && self.db.reorg_active(partition) {
+            return Err(Error::PartitionUnderReorg(partition.0));
+        }
+        self.db.charge_access();
+        let part = self.db.partition(partition)?;
+        // Capacity validation needs an address for error reporting; compute
+        // the view first against a placeholder, then allocate for real.
+        let probe = PhysAddr::new(partition, 0, 0);
+        let view = spec.into_view(probe)?;
+        let addr = part.allocate(view.size())?;
+        self.last_lsn = self.db.wal.append(
+            self.id,
+            LogPayload::Create {
+                addr,
+                image: view.clone(),
+            },
+        );
+        self.db
+            .with_page_write(addr, |buf| object::init_object(buf, addr, &view))?;
+        self.db.locks.lock(self.id, addr, LockMode::Exclusive)?;
+        self.record_lock(addr);
+        for &child in &view.refs {
+            self.db.note_ref_insert(self.id, self.reorg_for, addr, child);
+        }
+        self.undo.push(LogPayload::Create { addr, image: view });
+        self.db.stats.creates.fetch_add(1, Ordering::Relaxed);
+        Ok(addr)
+    }
+
+    /// Delete an object (requires an exclusive lock). Its outgoing
+    /// references are reference deletions for TRT/ERT purposes. Returns the
+    /// final image.
+    pub fn delete_object(&mut self, addr: PhysAddr) -> Result<ObjectView> {
+        self.require(addr, LockMode::Exclusive)?;
+        self.db.charge_access();
+        let image = self
+            .db
+            .with_page_read(addr, |buf| object::read_view(buf, addr))??;
+        self.last_lsn = self.db.wal.append(
+            self.id,
+            LogPayload::Free {
+                addr,
+                image: image.clone(),
+            },
+        );
+        // Pointer deletes are noted before the physical update.
+        for &child in &image.refs {
+            self.db.note_ref_delete(self.id, self.reorg_for, addr, child);
+            self.deleted_pairs.push((child, addr));
+        }
+        self.db
+            .with_page_write(addr, |buf| object::mark_free(buf, addr))??;
+        let part = self.db.partition(addr.partition())?;
+        if self.reorg_for == Some(addr.partition()) {
+            part.free_deferred(addr)?;
+        } else {
+            part.free(addr)?;
+        }
+        self.undo.push(LogPayload::Free {
+            addr,
+            image: image.clone(),
+        });
+        self.db.stats.frees.fetch_add(1, Ordering::Relaxed);
+        Ok(image)
+    }
+
+    /// Append a reference `parent -> child` (requires X on `parent`),
+    /// returning its index.
+    pub fn insert_ref(&mut self, parent: PhysAddr, child: PhysAddr) -> Result<usize> {
+        self.require(parent, LockMode::Exclusive)?;
+        self.db.charge_access();
+        // Validate capacity before logging: a record must never describe an
+        // operation that did not happen.
+        let header = self
+            .db
+            .with_page_read(parent, |buf| object::header(buf, parent))??;
+        if header.nrefs >= header.ref_cap {
+            return Err(Error::RefCapacityExceeded(parent));
+        }
+        let index = header.nrefs as usize;
+        self.last_lsn = self.db.wal.append(
+            self.id,
+            LogPayload::InsertRef {
+                parent,
+                child,
+                index,
+            },
+        );
+        let got = self
+            .db
+            .with_page_write(parent, |buf| object::insert_ref(buf, parent, child))??;
+        debug_assert_eq!(got, index, "X lock guarantees a stable index");
+        self.db.note_ref_insert(self.id, self.reorg_for, parent, child);
+        self.undo.push(LogPayload::InsertRef {
+            parent,
+            child,
+            index,
+        });
+        Ok(index)
+    }
+
+    /// Delete the first reference `parent -> child` (requires X on
+    /// `parent`), returning its former index.
+    pub fn delete_ref(&mut self, parent: PhysAddr, child: PhysAddr) -> Result<usize> {
+        self.require(parent, LockMode::Exclusive)?;
+        let index = self
+            .db
+            .with_page_read(parent, |buf| object::find_ref(buf, parent, child))??
+            .ok_or(Error::NoSuchRef { parent, child })?;
+        self.delete_ref_at_inner(parent, index, child)?;
+        Ok(index)
+    }
+
+    /// Delete the reference at `index` of `parent`, returning the child it
+    /// pointed to.
+    pub fn delete_ref_at(&mut self, parent: PhysAddr, index: usize) -> Result<PhysAddr> {
+        self.require(parent, LockMode::Exclusive)?;
+        let refs = self
+            .db
+            .with_page_read(parent, |buf| object::read_refs(buf, parent))??;
+        let child = *refs
+            .get(index)
+            .ok_or(Error::RefIndexOutOfBounds { addr: parent, index })?;
+        self.delete_ref_at_inner(parent, index, child)?;
+        Ok(child)
+    }
+
+    fn delete_ref_at_inner(
+        &mut self,
+        parent: PhysAddr,
+        index: usize,
+        child: PhysAddr,
+    ) -> Result<()> {
+        self.db.charge_access();
+        self.last_lsn = self.db.wal.append(
+            self.id,
+            LogPayload::DeleteRef {
+                parent,
+                child,
+                index,
+            },
+        );
+        // Note the delete in the TRT before removing the pointer.
+        self.db.note_ref_delete(self.id, self.reorg_for, parent, child);
+        self.deleted_pairs.push((child, parent));
+        self.db
+            .with_page_write(parent, |buf| object::remove_ref_at(buf, parent, index))??;
+        self.undo.push(LogPayload::DeleteRef {
+            parent,
+            child,
+            index,
+        });
+        Ok(())
+    }
+
+    /// Overwrite the reference at `index` of `parent` (requires X),
+    /// returning the old child. Semantically a delete of the old reference
+    /// plus an insert of the new one.
+    pub fn set_ref(
+        &mut self,
+        parent: PhysAddr,
+        index: usize,
+        new_child: PhysAddr,
+    ) -> Result<PhysAddr> {
+        self.require(parent, LockMode::Exclusive)?;
+        self.db.charge_access();
+        let refs = self
+            .db
+            .with_page_read(parent, |buf| object::read_refs(buf, parent))??;
+        let old_child = *refs
+            .get(index)
+            .ok_or(Error::RefIndexOutOfBounds { addr: parent, index })?;
+        self.last_lsn = self.db.wal.append(
+            self.id,
+            LogPayload::SetRef {
+                parent,
+                index,
+                old_child,
+                new_child,
+            },
+        );
+        self.db
+            .note_ref_delete(self.id, self.reorg_for, parent, old_child);
+        self.deleted_pairs.push((old_child, parent));
+        self.db
+            .with_page_write(parent, |buf| object::set_ref(buf, parent, index, new_child))??;
+        self.db
+            .note_ref_insert(self.id, self.reorg_for, parent, new_child);
+        self.undo.push(LogPayload::SetRef {
+            parent,
+            index,
+            old_child,
+            new_child,
+        });
+        Ok(old_child)
+    }
+
+    /// Replace the payload of `addr` (requires X).
+    pub fn set_payload(&mut self, addr: PhysAddr, payload: &[u8]) -> Result<()> {
+        self.require(addr, LockMode::Exclusive)?;
+        self.db.charge_access();
+        // Validate capacity before logging (see insert_ref).
+        let old = self
+            .db
+            .with_page_read(addr, |buf| {
+                object::header(buf, addr).map(|h| {
+                    if payload.len() > h.payload_cap as usize {
+                        return Err(Error::PayloadCapacityExceeded(addr));
+                    }
+                    let base =
+                        addr.offset() as usize + object::HEADER_LEN + 8 * h.ref_cap as usize;
+                    Ok(buf[base..base + h.payload_len as usize].to_vec())
+                })
+            })???;
+        self.last_lsn = self.db.wal.append(
+            self.id,
+            LogPayload::SetPayload {
+                addr,
+                old: old.clone(),
+                new: payload.to_vec(),
+            },
+        );
+        self.db
+            .with_page_write(addr, |buf| object::set_payload(buf, addr, payload))??;
+        self.undo.push(LogPayload::SetPayload {
+            addr,
+            old,
+            new: payload.to_vec(),
+        });
+        self.db.stats.payload_writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Completion
+    // ------------------------------------------------------------------
+
+    /// Commit: force the log, apply the Section 4.5 TRT purges, release all
+    /// locks.
+    pub fn commit(mut self) -> Result<()> {
+        let lsn = self.db.wal.append(self.id, LogPayload::Commit);
+        self.db.wal.flush(lsn);
+        self.db
+            .purge_trt_for_txn(self.id, true, &self.deleted_pairs);
+        self.finish();
+        self.db.stats.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Abort: roll back through the undo chain (logging compensation
+    /// records), then release all locks.
+    pub fn abort(mut self) {
+        self.rollback();
+    }
+
+    fn rollback(&mut self) {
+        if self.done {
+            return;
+        }
+        let undo = std::mem::take(&mut self.undo);
+        for op in undo.into_iter().rev() {
+            // Rollback of operations on objects we hold X locks on cannot
+            // fail; failures here indicate storage corruption.
+            self.apply_undo(op).expect("rollback must succeed");
+        }
+        self.db.wal.append(self.id, LogPayload::Abort);
+        self.db
+            .purge_trt_for_txn(self.id, false, &self.deleted_pairs);
+        self.finish();
+        self.db.stats.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn apply_undo(&mut self, op: LogPayload) -> Result<()> {
+        let db = self.db;
+        match op {
+            LogPayload::Create { addr, image } => {
+                // Compensate a create with a free.
+                db.wal.append(
+                    self.id,
+                    LogPayload::Free {
+                        addr,
+                        image: image.clone(),
+                    },
+                );
+                for &child in &image.refs {
+                    db.note_ref_delete(self.id, self.reorg_for, addr, child);
+                }
+                db.with_page_write(addr, |buf| object::mark_free(buf, addr))??;
+                let part = db.partition(addr.partition())?;
+                if self.reorg_for == Some(addr.partition()) {
+                    part.free_deferred(addr)?;
+                } else {
+                    part.free(addr)?;
+                }
+            }
+            LogPayload::Free { addr, image } => {
+                db.wal.append(
+                    self.id,
+                    LogPayload::Create {
+                        addr,
+                        image: image.clone(),
+                    },
+                );
+                let part = db.partition(addr.partition())?;
+                part.alloc_at(addr, image.size())?;
+                db.with_page_write(addr, |buf| object::init_object(buf, addr, &image))?;
+                for &child in &image.refs {
+                    db.note_ref_insert(self.id, self.reorg_for, addr, child);
+                }
+            }
+            LogPayload::SetPayload { addr, old, new } => {
+                db.wal.append(
+                    self.id,
+                    LogPayload::SetPayload {
+                        addr,
+                        old: new,
+                        new: old.clone(),
+                    },
+                );
+                db.with_page_write(addr, |buf| object::set_payload(buf, addr, &old))??;
+            }
+            LogPayload::InsertRef {
+                parent,
+                child,
+                index,
+            } => {
+                db.wal.append(
+                    self.id,
+                    LogPayload::DeleteRef {
+                        parent,
+                        child,
+                        index,
+                    },
+                );
+                db.note_ref_delete(self.id, self.reorg_for, parent, child);
+                db.with_page_write(parent, |buf| object::remove_ref_at(buf, parent, index))??;
+            }
+            LogPayload::DeleteRef {
+                parent,
+                child,
+                index,
+            } => {
+                db.wal.append(
+                    self.id,
+                    LogPayload::InsertRef {
+                        parent,
+                        child,
+                        index,
+                    },
+                );
+                db.with_page_write(parent, |buf| {
+                    object::insert_ref_at(buf, parent, index, child)
+                })??;
+                // Section 4.5: a reintroduced reference is treated as an
+                // insertion in the TRT.
+                db.note_ref_insert(self.id, self.reorg_for, parent, child);
+            }
+            LogPayload::SetRef {
+                parent,
+                index,
+                old_child,
+                new_child,
+            } => {
+                db.wal.append(
+                    self.id,
+                    LogPayload::SetRef {
+                        parent,
+                        index,
+                        old_child: new_child,
+                        new_child: old_child,
+                    },
+                );
+                db.note_ref_delete(self.id, self.reorg_for, parent, new_child);
+                db.with_page_write(parent, |buf| {
+                    object::set_ref(buf, parent, index, old_child)
+                })??;
+                db.note_ref_insert(self.id, self.reorg_for, parent, old_child);
+            }
+            _ => unreachable!("non-update payload in undo chain"),
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        for &addr in &self.held {
+            self.db.locks.unlock(self.id, addr);
+        }
+        self.held.clear();
+        if !self.ever_locked.is_empty() {
+            self.db.locks.drop_history(self.id, &self.ever_locked);
+        }
+        self.db.txns.finish(self.id);
+        self.done = true;
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.rollback();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StoreConfig;
+    use crate::trt::RefAction;
+
+    fn db() -> Database {
+        let db = Database::new(StoreConfig::default());
+        db.create_partition();
+        db.create_partition();
+        db
+    }
+
+    fn mk(db: &Database, p: u16, refs: Vec<PhysAddr>) -> PhysAddr {
+        let mut t = db.begin();
+        let addr = t
+            .create_object(
+                PartitionId(p),
+                NewObject {
+                    tag: 1,
+                    refs,
+                    ref_cap: 8,
+                    payload: vec![0xAB; 32],
+                    payload_cap: 64,
+                },
+            )
+            .unwrap();
+        t.commit().unwrap();
+        addr
+    }
+
+    #[test]
+    fn create_read_commit() {
+        let db = db();
+        let a = mk(&db, 0, vec![]);
+        let mut t = db.begin();
+        t.lock(a, LockMode::Shared).unwrap();
+        let v = t.read(a).unwrap();
+        assert_eq!(v.payload, vec![0xAB; 32]);
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn reads_require_locks() {
+        let db = db();
+        let a = mk(&db, 0, vec![]);
+        let t = db.begin();
+        assert!(matches!(t.read(a), Err(Error::LockNotHeld { .. })));
+    }
+
+    #[test]
+    fn updates_require_exclusive() {
+        let db = db();
+        let a = mk(&db, 0, vec![]);
+        let mut t = db.begin();
+        t.lock(a, LockMode::Shared).unwrap();
+        assert!(matches!(
+            t.set_payload(a, b"xx"),
+            Err(Error::LockNotHeld { .. })
+        ));
+        t.lock(a, LockMode::Exclusive).unwrap();
+        t.set_payload(a, b"xx").unwrap();
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_payload() {
+        let db = db();
+        let a = mk(&db, 0, vec![]);
+        let mut t = db.begin();
+        t.lock(a, LockMode::Exclusive).unwrap();
+        t.set_payload(a, b"dirty").unwrap();
+        t.abort();
+        assert_eq!(db.raw_read(a).unwrap().payload, vec![0xAB; 32]);
+    }
+
+    #[test]
+    fn drop_aborts() {
+        let db = db();
+        let a = mk(&db, 0, vec![]);
+        {
+            let mut t = db.begin();
+            t.lock(a, LockMode::Exclusive).unwrap();
+            t.set_payload(a, b"dirty").unwrap();
+            // dropped without commit
+        }
+        assert_eq!(db.raw_read(a).unwrap().payload, vec![0xAB; 32]);
+        assert_eq!(db.stats.aborts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn abort_restores_deleted_object_at_same_address() {
+        let db = db();
+        let a = mk(&db, 0, vec![]);
+        let mut t = db.begin();
+        t.lock(a, LockMode::Exclusive).unwrap();
+        t.delete_object(a).unwrap();
+        assert!(db.raw_read(a).is_err());
+        t.abort();
+        let v = db.raw_read(a).unwrap();
+        assert_eq!(v.payload, vec![0xAB; 32]);
+        assert!(db.partition(PartitionId(0)).unwrap().contains_object(a));
+    }
+
+    #[test]
+    fn ref_insert_delete_roundtrip_with_ert() {
+        let db = db();
+        let child = mk(&db, 1, vec![]);
+        let parent = mk(&db, 0, vec![]);
+        let ert = &db.partition(PartitionId(1)).unwrap().ert;
+        let mut t = db.begin();
+        t.lock(parent, LockMode::Exclusive).unwrap();
+        t.insert_ref(parent, child).unwrap();
+        assert!(ert.contains(child, parent), "cross-partition edge in ERT");
+        t.commit().unwrap();
+
+        let mut t = db.begin();
+        t.lock(parent, LockMode::Exclusive).unwrap();
+        t.delete_ref(parent, child).unwrap();
+        assert!(!ert.contains(child, parent));
+        t.abort();
+        // Abort reinstates the reference and the ERT edge.
+        assert!(ert.contains(child, parent));
+        assert_eq!(db.raw_read(parent).unwrap().refs, vec![child]);
+    }
+
+    #[test]
+    fn create_with_refs_populates_ert() {
+        let db = db();
+        let child = mk(&db, 1, vec![]);
+        let parent = mk(&db, 0, vec![child]);
+        assert!(db
+            .partition(PartitionId(1))
+            .unwrap()
+            .ert
+            .contains(child, parent));
+        // Same-partition references do not go to the ERT.
+        let sibling = mk(&db, 1, vec![child]);
+        assert!(!db
+            .partition(PartitionId(1))
+            .unwrap()
+            .ert
+            .contains(child, sibling));
+    }
+
+    #[test]
+    fn trt_records_deletes_before_and_inserts_after() {
+        let db = db();
+        let child = mk(&db, 1, vec![]);
+        let parent = mk(&db, 0, vec![child]);
+        let trt = db.start_reorg(PartitionId(1)).unwrap();
+        let mut t = db.begin();
+        t.lock(parent, LockMode::Exclusive).unwrap();
+        t.delete_ref(parent, child).unwrap();
+        assert_eq!(trt.tuples_for(child).len(), 1);
+        assert_eq!(trt.tuples_for(child)[0].action, RefAction::Delete);
+        t.insert_ref(parent, child).unwrap();
+        assert_eq!(trt.tuples_for(child).len(), 2);
+        // Commit purges the delete tuple and pair-purges the insert.
+        t.commit().unwrap();
+        assert!(trt.is_empty(), "Section 4.5 purges leave nothing behind");
+        db.end_reorg(PartitionId(1));
+    }
+
+    #[test]
+    fn creation_in_reorg_partition_is_rejected() {
+        let db = db();
+        db.start_reorg(PartitionId(1)).unwrap();
+        let mut t = db.begin();
+        assert!(matches!(
+            t.create_object(PartitionId(1), NewObject::exact(0, vec![], vec![])),
+            Err(Error::PartitionUnderReorg(1))
+        ));
+        // Reorg transactions are exempt.
+        let mut rt = db.begin_reorg(PartitionId(1));
+        rt.create_object(PartitionId(1), NewObject::exact(0, vec![], vec![]))
+            .unwrap();
+        rt.commit().unwrap();
+        db.end_reorg(PartitionId(1));
+    }
+
+    #[test]
+    fn early_unlock_refuses_written_objects() {
+        let db = db();
+        let a = mk(&db, 0, vec![]);
+        let b = mk(&db, 0, vec![]);
+        let mut t = db.begin();
+        t.lock(a, LockMode::Shared).unwrap();
+        t.lock(b, LockMode::Exclusive).unwrap();
+        t.set_payload(b, b"z").unwrap();
+        t.early_unlock(a).unwrap();
+        assert!(t.early_unlock(b).is_err());
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn set_ref_swaps_and_rolls_back() {
+        let db = db();
+        let c1 = mk(&db, 1, vec![]);
+        let c2 = mk(&db, 1, vec![]);
+        let parent = mk(&db, 0, vec![c1]);
+        let ert = &db.partition(PartitionId(1)).unwrap().ert;
+        let mut t = db.begin();
+        t.lock(parent, LockMode::Exclusive).unwrap();
+        assert_eq!(t.set_ref(parent, 0, c2).unwrap(), c1);
+        assert!(ert.contains(c2, parent) && !ert.contains(c1, parent));
+        t.abort();
+        assert!(ert.contains(c1, parent) && !ert.contains(c2, parent));
+        assert_eq!(db.raw_read(parent).unwrap().refs, vec![c1]);
+    }
+
+    #[test]
+    fn reorg_txn_updates_skip_trt() {
+        let db = db();
+        let child = mk(&db, 1, vec![]);
+        let parent = mk(&db, 0, vec![child]);
+        let trt = db.start_reorg(PartitionId(1)).unwrap();
+        let mut rt = db.begin_reorg(PartitionId(1));
+        rt.lock(parent, LockMode::Exclusive).unwrap();
+        rt.delete_ref(parent, child).unwrap();
+        rt.insert_ref(parent, child).unwrap();
+        rt.commit().unwrap();
+        assert!(trt.is_empty());
+        db.end_reorg(PartitionId(1));
+    }
+}

@@ -1,0 +1,438 @@
+//! The lock manager.
+//!
+//! Transactions lock objects in shared or exclusive mode. Under strict 2PL
+//! (the paper's base assumption, Section 2) all locks are held to transaction
+//! end; the store also supports early release for the Section 4.1 extension.
+//! Deadlocks are broken with a lock timeout — the paper's experiments used a
+//! one-second timeout — after which the requester receives
+//! [`Error::LockTimeout`] and aborts or retries.
+//!
+//! For the relaxed-2PL extension the lock manager can additionally *track
+//! history*: while tracking is enabled it records, per object, every active
+//! transaction that has ever been granted a lock on it. The reorganizer,
+//! after locking an object, waits for all such transactions to complete —
+//! "transactions behave as though they were following strict 2PL with
+//! respect to the reorganization process" (Section 4.1).
+
+use crate::addr::PhysAddr;
+use crate::error::{Error, Result};
+use crate::txn::TxnId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Lock modes. Multiple transactions may share `Shared`; `Exclusive` is
+/// incompatible with everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Current holders. Invariant: either any number of `Shared` holders or
+    /// exactly one `Exclusive` holder.
+    holders: Vec<(TxnId, LockMode)>,
+    /// Active transactions that have ever been granted a lock here; only
+    /// maintained while history tracking is on.
+    ever_held: Vec<TxnId>,
+    /// Number of exclusive requests currently waiting. New shared requests
+    /// from non-holders yield to them (write-preferring grant), so the
+    /// reorganizer's exclusive parent locks cannot be starved by a stream of
+    /// short shared lockers.
+    x_waiters: usize,
+}
+
+impl LockState {
+    fn holder_mode(&self, tid: TxnId) -> Option<LockMode> {
+        self.holders.iter().find(|(t, _)| *t == tid).map(|(_, m)| *m)
+    }
+
+    /// Whether `tid` may be granted `mode` right now.
+    fn grantable(&self, tid: TxnId, mode: LockMode) -> bool {
+        match self.holder_mode(tid) {
+            Some(LockMode::Exclusive) => true,
+            Some(LockMode::Shared) => match mode {
+                LockMode::Shared => true,
+                // Upgrade: only when sole holder.
+                LockMode::Exclusive => self.holders.len() == 1,
+            },
+            None => match mode {
+                LockMode::Shared => {
+                    self.x_waiters == 0
+                        && !self
+                            .holders
+                            .iter()
+                            .any(|(_, m)| *m == LockMode::Exclusive)
+                }
+                LockMode::Exclusive => self.holders.is_empty(),
+            },
+        }
+    }
+
+    fn grant(&mut self, tid: TxnId, mode: LockMode) {
+        match self.holders.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, m)) => {
+                if mode == LockMode::Exclusive {
+                    *m = LockMode::Exclusive;
+                }
+            }
+            None => self.holders.push((tid, mode)),
+        }
+    }
+}
+
+/// Counters exposed for the performance study.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    pub acquisitions: AtomicU64,
+    pub waits: AtomicU64,
+    pub timeouts: AtomicU64,
+}
+
+struct Shard {
+    table: Mutex<HashMap<u64, LockState>>,
+    cv: Condvar,
+}
+
+/// The lock manager: a sharded lock table with condition-variable waiting.
+pub struct LockManager {
+    shards: Box<[Shard]>,
+    default_timeout: Duration,
+    track_history: AtomicBool,
+    pub stats: LockStats,
+}
+
+impl LockManager {
+    /// Create a lock manager with `shards` shards and the given default
+    /// wait timeout.
+    pub fn new(shards: usize, default_timeout: Duration) -> Self {
+        LockManager {
+            shards: (0..shards.max(1))
+                .map(|_| Shard {
+                    table: Mutex::new(HashMap::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            default_timeout,
+            track_history: AtomicBool::new(false),
+            stats: LockStats::default(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, addr: PhysAddr) -> &Shard {
+        // Multiplicative hash over the raw address.
+        let h = addr.to_raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+
+    /// Enable or disable ever-held history tracking (Section 4.1). Turned on
+    /// for the duration of a reorganization when transactions do not follow
+    /// strict 2PL.
+    pub fn set_history_tracking(&self, on: bool) {
+        self.track_history.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether history tracking is currently enabled.
+    pub fn history_tracking(&self) -> bool {
+        self.track_history.load(Ordering::SeqCst)
+    }
+
+    /// Acquire `mode` on `addr` for `tid`, waiting up to the default timeout.
+    pub fn lock(&self, tid: TxnId, addr: PhysAddr, mode: LockMode) -> Result<()> {
+        self.lock_with_timeout(tid, addr, mode, self.default_timeout)
+    }
+
+    /// Acquire `mode` on `addr` for `tid`, waiting up to `timeout`.
+    pub fn lock_with_timeout(
+        &self,
+        tid: TxnId,
+        addr: PhysAddr,
+        mode: LockMode,
+        timeout: Duration,
+    ) -> Result<()> {
+        let shard = self.shard(addr);
+        let deadline = Instant::now() + timeout;
+        let mut table = shard.table.lock();
+        let mut registered_x_wait = false;
+        let result = loop {
+            let state = table.entry(addr.to_raw()).or_default();
+            if state.grantable(tid, mode) {
+                state.grant(tid, mode);
+                if self.track_history.load(Ordering::Relaxed)
+                    && !state.ever_held.contains(&tid)
+                {
+                    state.ever_held.push(tid);
+                }
+                self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+                break Ok(());
+            }
+            if mode == LockMode::Exclusive && !registered_x_wait {
+                state.x_waiters += 1;
+                registered_x_wait = true;
+            }
+            self.stats.waits.fetch_add(1, Ordering::Relaxed);
+            if shard.cv.wait_until(&mut table, deadline).timed_out() {
+                // Re-check once: the grant may have raced the timeout.
+                let state = table.entry(addr.to_raw()).or_default();
+                if state.grantable(tid, mode) {
+                    state.grant(tid, mode);
+                    if self.track_history.load(Ordering::Relaxed)
+                        && !state.ever_held.contains(&tid)
+                    {
+                        state.ever_held.push(tid);
+                    }
+                    self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+                    break Ok(());
+                }
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                break Err(Error::LockTimeout { addr, by: tid });
+            }
+        };
+        if registered_x_wait {
+            if let Some(state) = table.get_mut(&addr.to_raw()) {
+                state.x_waiters -= 1;
+            }
+            // Shared requests that yielded to this exclusive waiter may now
+            // be grantable.
+            shard.cv.notify_all();
+        }
+        result
+    }
+
+    /// Attempt to acquire without waiting.
+    pub fn try_lock(&self, tid: TxnId, addr: PhysAddr, mode: LockMode) -> bool {
+        let shard = self.shard(addr);
+        let mut table = shard.table.lock();
+        let state = table.entry(addr.to_raw()).or_default();
+        if state.grantable(tid, mode) {
+            state.grant(tid, mode);
+            if self.track_history.load(Ordering::Relaxed) && !state.ever_held.contains(&tid) {
+                state.ever_held.push(tid);
+            }
+            self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release `tid`'s lock on `addr` (early release or end-of-transaction).
+    pub fn unlock(&self, tid: TxnId, addr: PhysAddr) {
+        let shard = self.shard(addr);
+        let mut table = shard.table.lock();
+        if let Some(state) = table.get_mut(&addr.to_raw()) {
+            state.holders.retain(|(t, _)| *t != tid);
+            if state.holders.is_empty() && state.ever_held.is_empty() && state.x_waiters == 0 {
+                table.remove(&addr.to_raw());
+            }
+        }
+        shard.cv.notify_all();
+    }
+
+    /// The mode `tid` currently holds on `addr`, if any.
+    pub fn holds(&self, tid: TxnId, addr: PhysAddr) -> Option<LockMode> {
+        let shard = self.shard(addr);
+        let table = shard.table.lock();
+        table.get(&addr.to_raw()).and_then(|s| s.holder_mode(tid))
+    }
+
+    /// Current holders of `addr` (diagnostics and assertions).
+    pub fn holders(&self, addr: PhysAddr) -> Vec<(TxnId, LockMode)> {
+        let shard = self.shard(addr);
+        let table = shard.table.lock();
+        table
+            .get(&addr.to_raw())
+            .map(|s| s.holders.clone())
+            .unwrap_or_default()
+    }
+
+    /// Every transaction that has ever held a lock on `addr` since history
+    /// tracking was enabled (including current holders).
+    pub fn ever_holders(&self, addr: PhysAddr) -> Vec<TxnId> {
+        let shard = self.shard(addr);
+        let table = shard.table.lock();
+        let Some(state) = table.get(&addr.to_raw()) else {
+            return Vec::new();
+        };
+        let mut out = state.ever_held.clone();
+        for (t, _) in &state.holders {
+            if !out.contains(t) {
+                out.push(*t);
+            }
+        }
+        out
+    }
+
+    /// Forget `tid`'s history entries on the given addresses. Called at
+    /// transaction completion with the transaction's ever-locked list, so
+    /// history entries do not accumulate forever.
+    pub fn drop_history(&self, tid: TxnId, addrs: &[PhysAddr]) {
+        for &addr in addrs {
+            let shard = self.shard(addr);
+            let mut table = shard.table.lock();
+            if let Some(state) = table.get_mut(&addr.to_raw()) {
+                state.ever_held.retain(|t| *t != tid);
+                if state.holders.is_empty() && state.ever_held.is_empty() && state.x_waiters == 0
+                {
+                    table.remove(&addr.to_raw());
+                }
+            }
+        }
+    }
+
+    /// Total number of addresses with lock state (diagnostics).
+    pub fn table_size(&self) -> usize {
+        self.shards.iter().map(|s| s.table.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PartitionId;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn addr(n: u16) -> PhysAddr {
+        PhysAddr::new(PartitionId(0), 0, n)
+    }
+
+    fn mgr() -> LockManager {
+        LockManager::new(4, Duration::from_millis(50))
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let m = mgr();
+        m.lock(TxnId(1), addr(1), LockMode::Shared).unwrap();
+        m.lock(TxnId(2), addr(1), LockMode::Shared).unwrap();
+        assert_eq!(m.holders(addr(1)).len(), 2);
+    }
+
+    #[test]
+    fn exclusive_excludes() {
+        let m = mgr();
+        m.lock(TxnId(1), addr(1), LockMode::Exclusive).unwrap();
+        assert!(matches!(
+            m.lock(TxnId(2), addr(1), LockMode::Shared),
+            Err(Error::LockTimeout { .. })
+        ));
+        assert!(!m.try_lock(TxnId(2), addr(1), LockMode::Exclusive));
+        m.unlock(TxnId(1), addr(1));
+        m.lock(TxnId(2), addr(1), LockMode::Shared).unwrap();
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let m = mgr();
+        m.lock(TxnId(1), addr(1), LockMode::Shared).unwrap();
+        m.lock(TxnId(1), addr(1), LockMode::Shared).unwrap();
+        m.lock(TxnId(1), addr(1), LockMode::Exclusive).unwrap();
+        assert_eq!(m.holds(TxnId(1), addr(1)), Some(LockMode::Exclusive));
+        // X holder can re-request S without losing X.
+        m.lock(TxnId(1), addr(1), LockMode::Shared).unwrap();
+        assert_eq!(m.holds(TxnId(1), addr(1)), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_sharer() {
+        let m = mgr();
+        m.lock(TxnId(1), addr(1), LockMode::Shared).unwrap();
+        m.lock(TxnId(2), addr(1), LockMode::Shared).unwrap();
+        assert!(matches!(
+            m.lock(TxnId(1), addr(1), LockMode::Exclusive),
+            Err(Error::LockTimeout { .. })
+        ));
+        m.unlock(TxnId(2), addr(1));
+        m.lock(TxnId(1), addr(1), LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn waiting_thread_is_woken() {
+        let m = Arc::new(LockManager::new(4, Duration::from_secs(5)));
+        m.lock(TxnId(1), addr(1), LockMode::Exclusive).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = thread::spawn(move || m2.lock(TxnId(2), addr(1), LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(20));
+        m.unlock(TxnId(1), addr(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(m.holds(TxnId(2), addr(1)), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn timeout_counts_in_stats() {
+        let m = mgr();
+        m.lock(TxnId(1), addr(1), LockMode::Exclusive).unwrap();
+        let _ = m.lock(TxnId(2), addr(1), LockMode::Exclusive);
+        assert_eq!(m.stats.timeouts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn history_tracking_records_past_holders() {
+        let m = mgr();
+        m.set_history_tracking(true);
+        m.lock(TxnId(1), addr(1), LockMode::Shared).unwrap();
+        m.unlock(TxnId(1), addr(1));
+        assert_eq!(m.ever_holders(addr(1)), vec![TxnId(1)]);
+        m.drop_history(TxnId(1), &[addr(1)]);
+        assert!(m.ever_holders(addr(1)).is_empty());
+        assert_eq!(m.table_size(), 0);
+    }
+
+    #[test]
+    fn no_history_when_tracking_off() {
+        let m = mgr();
+        m.lock(TxnId(1), addr(1), LockMode::Shared).unwrap();
+        m.unlock(TxnId(1), addr(1));
+        assert!(m.ever_holders(addr(1)).is_empty());
+        assert_eq!(m.table_size(), 0, "entries are reclaimed on unlock");
+    }
+
+    #[test]
+    fn new_shared_requests_yield_to_waiting_exclusive() {
+        // Write-preference: while an X request waits, a *new* shared
+        // request from a non-holder queues behind it instead of starving it.
+        let m = Arc::new(LockManager::new(4, Duration::from_secs(5)));
+        m.lock(TxnId(1), addr(9), LockMode::Shared).unwrap();
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || m2.lock(TxnId(2), addr(9), LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(30));
+        // A brand-new shared request cannot barge while T2's X waits.
+        assert!(!m.try_lock(TxnId(3), addr(9), LockMode::Shared));
+        // But the existing holder may re-request.
+        m.lock(TxnId(1), addr(9), LockMode::Shared).unwrap();
+        m.unlock(TxnId(1), addr(9));
+        waiter.join().unwrap().unwrap();
+        assert_eq!(m.holds(TxnId(2), addr(9)), Some(LockMode::Exclusive));
+        m.unlock(TxnId(2), addr(9));
+        // With the X granted and released, shared requests flow again.
+        m.lock(TxnId(3), addr(9), LockMode::Shared).unwrap();
+    }
+
+    #[test]
+    fn contended_increments_reach_total() {
+        let m = Arc::new(LockManager::new(8, Duration::from_secs(10)));
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let m = Arc::clone(&m);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    let tid = TxnId(t * 1000 + i);
+                    m.lock(tid, addr(7), LockMode::Exclusive).unwrap();
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    m.unlock(tid, addr(7));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 800);
+    }
+}

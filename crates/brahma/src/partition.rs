@@ -1,0 +1,535 @@
+//! Partitions: pages plus a space allocator and the partition's ERT.
+//!
+//! The database is divided into partitions (Section 2) so reorganization can
+//! be done one partition at a time, traversing only that partition's objects.
+//! Each partition owns:
+//!
+//! * its pages (see [`crate::page`]),
+//! * an allocator — bump allocation into fresh pages plus a first-fit free
+//!   list with coalescing, so continuous allocate/free churn produces the
+//!   fragmentation that motivates compaction (paper Section 1),
+//! * an *object directory* mapping each live object's `(page, offset)` to its
+//!   size — this is the "object allocation information" the paper mentions as
+//!   an alternative way to enumerate a partition's objects, and it is what
+//!   restart recovery sweeps to rebuild the free lists,
+//! * the partition's [`Ert`].
+
+use crate::addr::{PartitionId, PhysAddr};
+use crate::config::PAGE_SIZE;
+use crate::error::{Error, Result};
+use crate::ert::Ert;
+use crate::page::{new_page, PageRef};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Allocation bookkeeping for one partition.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+struct AllocState {
+    /// Live objects: (page, offset) -> on-page size.
+    objects: BTreeMap<(u32, u16), u32>,
+    /// Free extents inside already-opened pages: (page, offset) -> length.
+    free: BTreeMap<(u32, u16), u32>,
+    /// Next fresh page index to open.
+    next_page: u32,
+    /// Fill pointer inside the most recently opened page (equals `PAGE_SIZE`
+    /// when no page is open).
+    bump_page: u32,
+    bump_off: u32,
+    /// Space freed by the reorganizer, withheld from reuse until the
+    /// reorganization ends (see [`Partition::free_deferred`]).
+    deferred: Vec<(u32, u16, u32)>,
+}
+
+impl AllocState {
+    fn new() -> Self {
+        AllocState {
+            bump_off: PAGE_SIZE as u32,
+            ..Default::default()
+        }
+    }
+}
+
+/// Space statistics for a partition (drives the compaction example and the
+/// fragmentation accounting in benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceStats {
+    pub pages: u32,
+    pub live_objects: usize,
+    pub used_bytes: u64,
+    pub free_extent_bytes: u64,
+    pub free_extents: usize,
+}
+
+/// Snapshot of a partition for checkpointing.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct PartitionSnapshot {
+    pub id: PartitionId,
+    pub pages: Vec<Vec<u8>>,
+    alloc: AllocState,
+    pub ert: crate::ert::ErtSnapshot,
+}
+
+/// Insert a free extent, coalescing with adjacent extents on the same page.
+fn insert_free_coalescing(free: &mut BTreeMap<(u32, u16), u32>, page: u32, off: u16, size: u32) {
+    let (mut start, mut len) = (off as u32, size);
+    if let Some((&(p, poff), &plen)) = free.range(..(page, off)).next_back() {
+        if p == page && poff as u32 + plen == start {
+            free.remove(&(p, poff));
+            start = poff as u32;
+            len += plen;
+        }
+    }
+    if let Some((&(p, soff), &slen)) = free.range((page, off)..).next() {
+        if p == page && soff as u32 == start + len {
+            free.remove(&(p, soff));
+            len += slen;
+        }
+    }
+    free.insert((page, start as u16), len);
+}
+
+/// One database partition.
+pub struct Partition {
+    id: PartitionId,
+    pages: RwLock<Vec<PageRef>>,
+    alloc: Mutex<AllocState>,
+    /// The partition's External Reference Table.
+    pub ert: Ert,
+}
+
+impl Partition {
+    /// Create an empty partition.
+    pub fn new(id: PartitionId) -> Self {
+        Partition {
+            id,
+            pages: RwLock::new(Vec::new()),
+            alloc: Mutex::new(AllocState::new()),
+            ert: Ert::new(id),
+        }
+    }
+
+    /// This partition's id.
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// Number of pages currently owned.
+    pub fn page_count(&self) -> u32 {
+        self.pages.read().len() as u32
+    }
+
+    /// Fetch a latch-protected page handle.
+    pub fn page(&self, index: u32) -> Result<PageRef> {
+        self.pages
+            .read()
+            .get(index as usize)
+            .cloned()
+            .ok_or(Error::NoSuchObject(PhysAddr::new(self.id, index, 0)))
+    }
+
+    /// Reserve `size` bytes, registering the object in the directory.
+    ///
+    /// The returned address points at zeroed bytes; the caller initializes
+    /// the object image under the page's write latch. A fuzzy reader that
+    /// races the initialization sees a cleared valid byte and skips.
+    pub fn allocate(&self, size: usize) -> Result<PhysAddr> {
+        if size > PAGE_SIZE {
+            return Err(Error::ObjectTooLarge { bytes: size });
+        }
+        let size32 = size as u32;
+        let mut guard = self.alloc.lock();
+        let st = &mut *guard;
+        // First fit over the free extents.
+        let found = st
+            .free
+            .iter()
+            .find(|(_, &len)| len >= size32)
+            .map(|(&k, &len)| (k, len));
+        if let Some(((page, off), len)) = found {
+            st.free.remove(&(page, off));
+            if len > size32 {
+                st.free.insert((page, off + size as u16), len - size32);
+            }
+            st.objects.insert((page, off), size32);
+            return Ok(PhysAddr::new(self.id, page, off));
+        }
+        // Bump into the open page, or open a new one.
+        if st.bump_off + size32 > PAGE_SIZE as u32 {
+            // Return the tail of the open page to the free list.
+            let tail = PAGE_SIZE as u32 - st.bump_off;
+            if tail > 0 && st.bump_off < PAGE_SIZE as u32 {
+                st.free.insert((st.bump_page, st.bump_off as u16), tail);
+            }
+            st.bump_page = st.next_page;
+            st.bump_off = 0;
+            st.next_page += 1;
+            // Publish the page before any address into it can exist. The
+            // alloc mutex is held across the push, so no other allocation
+            // can hand out an address into a not-yet-pushed page.
+            self.pages.write().push(new_page());
+        }
+        let page = st.bump_page;
+        let off = st.bump_off as u16;
+        st.bump_off += size32;
+        st.objects.insert((page, off), size32);
+        Ok(PhysAddr::new(self.id, page, off))
+    }
+
+    /// Reserve `size` bytes at exactly `addr` (restart-recovery redo of a
+    /// `Create`, and undo of a `Free`, must restore objects at their
+    /// original addresses because stored references point there).
+    pub fn alloc_at(&self, addr: PhysAddr, size: usize) -> Result<()> {
+        debug_assert_eq!(addr.partition(), self.id);
+        if size > PAGE_SIZE || addr.offset() as usize + size > PAGE_SIZE {
+            return Err(Error::ObjectTooLarge { bytes: size });
+        }
+        let mut guard = self.alloc.lock();
+        let st = &mut *guard;
+        // A reorganizer rollback may restore an object whose space sits in
+        // the deferred-free list rather than the free map: reclaim it
+        // directly.
+        if let Some(pos) = st
+            .deferred
+            .iter()
+            .position(|&(p, o, _)| p == addr.page() && o == addr.offset())
+        {
+            let (page, off, sz) = st.deferred.remove(pos);
+            if sz as usize != size {
+                return Err(Error::NoSuchObject(addr));
+            }
+            st.objects.insert((page, off), sz);
+            return Ok(());
+        }
+        // Close the bump region into the free map so all unallocated space
+        // on opened pages is describable as free extents.
+        if st.bump_off < PAGE_SIZE as u32 {
+            let tail = PAGE_SIZE as u32 - st.bump_off;
+            st.free.insert((st.bump_page, st.bump_off as u16), tail);
+            st.bump_off = PAGE_SIZE as u32;
+        }
+        // Open pages up to and including the target page.
+        while st.next_page <= addr.page() {
+            st.free.insert((st.next_page, 0), PAGE_SIZE as u32);
+            st.next_page += 1;
+            self.pages.write().push(new_page());
+        }
+        // Carve [offset, offset+size) from the containing free extent.
+        let page = addr.page();
+        let off = addr.offset() as u32;
+        let size32 = size as u32;
+        let containing = st
+            .free
+            .range(..=(page, addr.offset()))
+            .next_back()
+            .map(|(&k, &len)| (k, len))
+            .filter(|&((p, o), len)| {
+                p == page && (o as u32) <= off && o as u32 + len >= off + size32
+            });
+        let Some(((_, ext_off), ext_len)) = containing else {
+            return Err(Error::NoSuchObject(addr));
+        };
+        st.free.remove(&(page, ext_off));
+        if (ext_off as u32) < off {
+            st.free.insert((page, ext_off), off - ext_off as u32);
+        }
+        let tail = ext_off as u32 + ext_len - (off + size32);
+        if tail > 0 {
+            st.free.insert((page, (off + size32) as u16), tail);
+        }
+        st.objects.insert((page, addr.offset()), size32);
+        Ok(())
+    }
+
+    /// Queue the object's space for release at the end of the current
+    /// reorganization. The reorganizer frees migrated objects through this
+    /// path so their addresses cannot be recycled while concurrent
+    /// transactions may still hold them in local memory (two-lock variant).
+    pub fn free_deferred(&self, addr: PhysAddr) -> Result<u32> {
+        debug_assert_eq!(addr.partition(), self.id);
+        let mut st = self.alloc.lock();
+        let key = (addr.page(), addr.offset());
+        let size = st.objects.remove(&key).ok_or(Error::NoSuchObject(addr))?;
+        st.deferred.push((key.0, key.1, size));
+        Ok(size)
+    }
+
+    /// Withhold every currently free extent from reuse until
+    /// [`Partition::flush_deferred_frees`]. Used when *resuming* a
+    /// reorganization after a crash: the deferral of pre-crash frees was
+    /// volatile, and re-deferring all free space restores the invariant
+    /// that no address freed by the reorganization is recycled while it
+    /// runs.
+    pub fn defer_all_free_space(&self) {
+        let mut guard = self.alloc.lock();
+        let st = &mut *guard;
+        let extents: Vec<(u32, u16, u32)> = st
+            .free
+            .iter()
+            .map(|(&(p, o), &l)| (p, o, l))
+            .collect();
+        st.free.clear();
+        st.deferred.extend(extents);
+    }
+
+    /// Release all space queued by [`Partition::free_deferred`].
+    pub fn flush_deferred_frees(&self) {
+        let mut st = self.alloc.lock();
+        let deferred = std::mem::take(&mut st.deferred);
+        for (page, off, size) in deferred {
+            insert_free_coalescing(&mut st.free, page, off, size);
+        }
+    }
+
+    /// Release the object's space back to the allocator, coalescing with
+    /// adjacent free extents on the same page. The caller must already have
+    /// scrubbed the object bytes under the page latch.
+    pub fn free(&self, addr: PhysAddr) -> Result<u32> {
+        debug_assert_eq!(addr.partition(), self.id);
+        let mut st = self.alloc.lock();
+        let key = (addr.page(), addr.offset());
+        let size = st.objects.remove(&key).ok_or(Error::NoSuchObject(addr))?;
+        insert_free_coalescing(&mut st.free, key.0, key.1, size);
+        Ok(size)
+    }
+
+    /// On-page size of the live object at `addr`, if the directory knows it.
+    pub fn object_size(&self, addr: PhysAddr) -> Option<u32> {
+        self.alloc
+            .lock()
+            .objects
+            .get(&(addr.page(), addr.offset()))
+            .copied()
+    }
+
+    /// Whether the directory records a live object exactly at `addr`.
+    pub fn contains_object(&self, addr: PhysAddr) -> bool {
+        self.object_size(addr).is_some()
+    }
+
+    /// Enumerate all live objects via the allocation directory — the
+    /// alternative to ERT-rooted traversal the paper mentions in Section 3.4
+    /// (it cannot detect garbage, but finds every allocated object).
+    pub fn live_objects(&self) -> Vec<PhysAddr> {
+        self.alloc
+            .lock()
+            .objects
+            .keys()
+            .map(|&(page, off)| PhysAddr::new(self.id, page, off))
+            .collect()
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.alloc.lock().objects.len()
+    }
+
+    /// Space accounting.
+    pub fn space_stats(&self) -> SpaceStats {
+        let st = self.alloc.lock();
+        SpaceStats {
+            pages: self.pages.read().len() as u32,
+            live_objects: st.objects.len(),
+            used_bytes: st.objects.values().map(|&s| s as u64).sum(),
+            free_extent_bytes: st.free.values().map(|&s| s as u64).sum(),
+            free_extents: st.free.len(),
+        }
+    }
+
+    /// Deep snapshot for checkpointing (taken at a quiescent point).
+    pub fn snapshot(&self) -> PartitionSnapshot {
+        let pages = self.pages.read();
+        PartitionSnapshot {
+            id: self.id,
+            pages: pages.iter().map(|p| p.read().snapshot()).collect(),
+            alloc: self.alloc.lock().clone(),
+            ert: self.ert.snapshot(),
+        }
+    }
+
+    /// Rebuild a partition from a snapshot (restart recovery).
+    pub fn from_snapshot(snap: &PartitionSnapshot) -> Self {
+        let p = Partition::new(snap.id);
+        {
+            let mut pages = p.pages.write();
+            for bytes in &snap.pages {
+                let page = new_page();
+                page.write().restore(bytes);
+                pages.push(page);
+            }
+        }
+        *p.alloc.lock() = snap.alloc.clone();
+        p.ert.restore(&snap.ert);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part() -> Partition {
+        Partition::new(PartitionId(3))
+    }
+
+    #[test]
+    fn allocate_assigns_distinct_addresses() {
+        let p = part();
+        let a = p.allocate(100).unwrap();
+        let b = p.allocate(100).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.partition(), PartitionId(3));
+        assert_eq!(p.object_count(), 2);
+        assert_eq!(p.object_size(a), Some(100));
+    }
+
+    #[test]
+    fn rejects_oversized_objects() {
+        let p = part();
+        assert!(matches!(
+            p.allocate(PAGE_SIZE + 1),
+            Err(Error::ObjectTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn opens_new_pages_when_full() {
+        let p = part();
+        let per_page = PAGE_SIZE / 1000;
+        for _ in 0..per_page + 1 {
+            p.allocate(1000).unwrap();
+        }
+        assert!(p.page_count() >= 2);
+    }
+
+    #[test]
+    fn free_then_reuse_first_fit() {
+        let p = part();
+        let a = p.allocate(200).unwrap();
+        let _b = p.allocate(200).unwrap();
+        p.free(a).unwrap();
+        let c = p.allocate(150).unwrap();
+        assert_eq!(c.page(), a.page());
+        assert_eq!(c.offset(), a.offset(), "first fit reuses the freed hole");
+        // Remaining 50 bytes stay as a free extent.
+        assert_eq!(p.space_stats().free_extent_bytes, 50);
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let p = part();
+        let a = p.allocate(100).unwrap();
+        let b = p.allocate(100).unwrap();
+        let c = p.allocate(100).unwrap();
+        let _d = p.allocate(100).unwrap();
+        p.free(a).unwrap();
+        p.free(c).unwrap();
+        assert_eq!(p.space_stats().free_extents, 2);
+        p.free(b).unwrap();
+        let st = p.space_stats();
+        assert_eq!(st.free_extents, 1, "a+b+c should coalesce");
+        assert_eq!(st.free_extent_bytes, 300);
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let p = part();
+        let a = p.allocate(64).unwrap();
+        p.free(a).unwrap();
+        assert!(p.free(a).is_err());
+    }
+
+    #[test]
+    fn live_objects_enumerates_directory() {
+        let p = part();
+        let a = p.allocate(64).unwrap();
+        let b = p.allocate(64).unwrap();
+        p.free(a).unwrap();
+        assert_eq!(p.live_objects(), vec![b]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_allocator() {
+        let p = part();
+        let a = p.allocate(64).unwrap();
+        let _b = p.allocate(64).unwrap();
+        p.free(a).unwrap();
+        let snap = p.snapshot();
+        let q = Partition::from_snapshot(&snap);
+        assert_eq!(q.object_count(), 1);
+        assert_eq!(q.space_stats(), p.space_stats());
+        // Allocation continues correctly after restore.
+        let c = q.allocate(64).unwrap();
+        assert_eq!(c.offset(), a.offset(), "freed hole is still known");
+    }
+
+    #[test]
+    fn alloc_at_carves_exact_location() {
+        let p = part();
+        let target = PhysAddr::new(PartitionId(3), 2, 512);
+        p.alloc_at(target, 128).unwrap();
+        assert_eq!(p.object_size(target), Some(128));
+        assert_eq!(p.page_count(), 3, "pages 0..=2 must be opened");
+        // The carved hole splits the page's free space into two extents.
+        let before = p.space_stats().free_extent_bytes;
+        assert_eq!(before, 3 * PAGE_SIZE as u64 - 128);
+        // Overlapping reservation fails.
+        assert!(p.alloc_at(target, 64).is_err());
+        assert!(p
+            .alloc_at(PhysAddr::new(PartitionId(3), 2, 500), 64)
+            .is_err());
+        // Adjacent reservation succeeds.
+        p.alloc_at(PhysAddr::new(PartitionId(3), 2, 512 + 128), 64)
+            .unwrap();
+    }
+
+    #[test]
+    fn alloc_at_interacts_with_bump_region() {
+        let p = part();
+        let a = p.allocate(100).unwrap();
+        // Reserve immediately after the bump pointer on the same page.
+        let target = PhysAddr::new(PartitionId(3), a.page(), 1000);
+        p.alloc_at(target, 50).unwrap();
+        assert_eq!(p.object_size(target), Some(50));
+        // Ordinary allocation still works afterwards (from free extents).
+        let b = p.allocate(100).unwrap();
+        assert_ne!(b, target);
+        assert!(p.object_size(b).is_some());
+    }
+
+    #[test]
+    fn deferred_frees_withhold_reuse() {
+        let p = part();
+        let a = p.allocate(100).unwrap();
+        let _pad = p.allocate(100).unwrap();
+        p.free_deferred(a).unwrap();
+        assert!(!p.contains_object(a));
+        // The hole is not reusable yet: a new allocation must not land on it.
+        let b = p.allocate(100).unwrap();
+        assert_ne!((b.page(), b.offset()), (a.page(), a.offset()));
+        p.flush_deferred_frees();
+        let c = p.allocate(100).unwrap();
+        assert_eq!((c.page(), c.offset()), (a.page(), a.offset()));
+    }
+
+    #[test]
+    fn fragmentation_accumulates_without_compaction() {
+        let p = part();
+        let mut addrs = Vec::new();
+        for _ in 0..50 {
+            addrs.push(p.allocate(120).unwrap());
+        }
+        // Free every other object: holes of 120 bytes that a 200-byte
+        // allocation cannot reuse.
+        for a in addrs.iter().step_by(2) {
+            p.free(*a).unwrap();
+        }
+        let st = p.space_stats();
+        assert!(st.free_extents >= 20);
+        let before_pages = p.page_count();
+        p.allocate(200).unwrap();
+        // The 200-byte object cannot fit any 120-byte hole.
+        assert!(p.space_stats().free_extents >= 20);
+        let _ = before_pages;
+    }
+}

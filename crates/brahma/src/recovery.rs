@@ -1,0 +1,505 @@
+//! Checkpointing, crash simulation, and restart recovery.
+//!
+//! The paper's Section 4.4 discusses how failures interact with the ERT and
+//! the two steps of IRA. The substrate side of that story lives here:
+//!
+//! * [`Database::checkpoint`] captures a transaction-consistent snapshot of
+//!   every partition (pages, allocator directory, ERT) plus the roots.
+//! * [`Database::crash`] models a failure of the memory-resident database:
+//!   what survives is the checkpoint and the *flushed* prefix of the log
+//!   (commit forces the log, so every committed transaction's records
+//!   survive; an in-flight transaction's tail may be lost).
+//! * [`recover`] performs ARIES-style restart recovery: analysis over the
+//!   surviving log, redo of *all* surviving updates from the checkpoint
+//!   ("repeating history"), then undo of loser transactions with
+//!   compensation records. ERT maintenance replays along with the updates,
+//!   so the recovered ERTs are exact; a reorganization that was in progress
+//!   is reported as interrupted so the caller can restart IRA (whose
+//!   migrations are transactional — completed migrations survive, the
+//!   in-flight one rolls back).
+
+use crate::addr::{PartitionId, PhysAddr};
+use crate::config::StoreConfig;
+use crate::db::Database;
+use crate::error::{Error, Result};
+use crate::object::{self};
+use crate::partition::{Partition, PartitionSnapshot};
+use crate::txn::TxnId;
+use crate::wal::{LogPayload, LogRecord, Lsn};
+use std::collections::{HashMap, HashSet};
+
+/// A transaction-consistent snapshot of the whole database.
+pub struct Checkpoint {
+    pub id: u64,
+    /// Replay starts at this LSN.
+    pub lsn: Lsn,
+    pub partitions: Vec<PartitionSnapshot>,
+    pub roots: Vec<PhysAddr>,
+}
+
+/// What survives a crash: the last checkpoint and the durable log prefix.
+pub struct CrashImage {
+    pub checkpoint: Checkpoint,
+    pub log: Vec<LogRecord>,
+}
+
+/// The result of restart recovery.
+pub struct RecoveryOutcome {
+    pub db: Database,
+    /// Transactions that were rolled back as losers.
+    pub losers: Vec<TxnId>,
+    /// Partitions whose reorganization was interrupted by the crash; the
+    /// reorganizer must be restarted on them (Section 4.4).
+    pub interrupted_reorgs: Vec<PartitionId>,
+}
+
+impl Database {
+    /// Take a checkpoint. Must be called at a quiescent point (no active
+    /// transactions); the paper's checkpoints of reorganization state are
+    /// likewise taken between migrations.
+    pub fn checkpoint(&self, id: u64) -> Checkpoint {
+        debug_assert_eq!(
+            self.txns.active_count(),
+            0,
+            "checkpoints are taken at quiescent points"
+        );
+        let lsn = self.wal.append(TxnId(0), LogPayload::Checkpoint { id });
+        let partitions = self
+            .partition_ids()
+            .into_iter()
+            .map(|p| self.partition(p).expect("listed partition").snapshot())
+            .collect();
+        Checkpoint {
+            id,
+            lsn,
+            partitions,
+            roots: self.roots(),
+        }
+    }
+
+    /// Model a crash: volatile state is discarded; the checkpoint and the
+    /// flushed log prefix survive. (Pass `force_tail = true` to model a
+    /// device that had flushed everything — useful for deterministic
+    /// crash-injection tests.)
+    pub fn crash(&self, checkpoint: Checkpoint, force_tail: bool) -> CrashImage {
+        let horizon = if force_tail {
+            u64::MAX
+        } else {
+            self.wal.flushed_lsn()
+        };
+        let log = self
+            .wal
+            .records_from(checkpoint.lsn)
+            .into_iter()
+            .filter(|r| r.lsn <= horizon)
+            .collect();
+        CrashImage { checkpoint, log }
+    }
+}
+
+/// Restart recovery from a crash image.
+pub fn recover(image: CrashImage, config: StoreConfig) -> Result<RecoveryOutcome> {
+    let db = Database::new(config);
+    // Rebuild partitions and roots from the checkpoint.
+    for snap in &image.checkpoint.partitions {
+        db.install_partition(Partition::from_snapshot(snap));
+    }
+    for root in &image.checkpoint.roots {
+        db.add_root(*root);
+    }
+
+    // ---- Analysis ----
+    let mut active: HashMap<TxnId, Option<PartitionId>> = HashMap::new(); // tid -> reorg partition
+    let mut txn_updates: HashMap<TxnId, Vec<LogRecord>> = HashMap::new();
+    let mut reorgs: HashSet<PartitionId> = HashSet::new();
+    for rec in &image.log {
+        match &rec.payload {
+            LogPayload::Begin { reorg } => {
+                active.insert(rec.tid, *reorg);
+                txn_updates.insert(rec.tid, Vec::new());
+            }
+            LogPayload::Commit | LogPayload::Abort => {
+                active.remove(&rec.tid);
+                txn_updates.remove(&rec.tid);
+            }
+            LogPayload::ReorgStart { partition } => {
+                reorgs.insert(*partition);
+            }
+            LogPayload::ReorgEnd { partition } => {
+                reorgs.remove(partition);
+            }
+            LogPayload::Create { .. }
+            | LogPayload::Free { .. }
+            | LogPayload::SetPayload { .. }
+            | LogPayload::InsertRef { .. }
+            | LogPayload::DeleteRef { .. }
+            | LogPayload::SetRef { .. } => {
+                txn_updates.entry(rec.tid).or_default().push(rec.clone());
+            }
+            LogPayload::Migrate { .. }
+            | LogPayload::Checkpoint { .. }
+            | LogPayload::CreatePartition { .. } => {}
+        }
+    }
+
+    // ---- Redo: repeat history ----
+    for rec in &image.log {
+        redo_record(&db, rec)?;
+    }
+
+    // ---- Undo losers ----
+    let mut losers: Vec<TxnId> = active.keys().copied().collect();
+    losers.sort_unstable();
+    for &tid in &losers {
+        let updates = txn_updates.remove(&tid).unwrap_or_default();
+        for rec in updates.iter().rev() {
+            undo_record(&db, rec)?;
+        }
+        db.wal.append(tid, LogPayload::Abort);
+    }
+
+    let mut interrupted: Vec<PartitionId> = reorgs.into_iter().collect();
+    interrupted.sort_unstable();
+    Ok(RecoveryOutcome {
+        db,
+        losers,
+        interrupted_reorgs: interrupted,
+    })
+}
+
+/// Re-apply one logged update against the recovering database, including
+/// ERT maintenance.
+fn redo_record(db: &Database, rec: &LogRecord) -> Result<()> {
+    match &rec.payload {
+        LogPayload::CreatePartition { id } => {
+            if (id.0 as usize) >= db.partition_count() {
+                let created = db.create_partition();
+                if created != *id {
+                    return Err(Error::RecoveryCorrupt(format!(
+                        "partition id mismatch during redo: {created} vs {id}"
+                    )));
+                }
+            }
+        }
+        LogPayload::Create { addr, image } => {
+            let part = db.partition(addr.partition())?;
+            part.alloc_at(*addr, image.size())?;
+            db.with_page_write(*addr, |buf| object::init_object(buf, *addr, image))?;
+            for &child in &image.refs {
+                ert_insert(db, *addr, child)?;
+            }
+        }
+        LogPayload::Free { addr, image } => {
+            db.with_page_write(*addr, |buf| object::mark_free(buf, *addr))??;
+            db.partition(addr.partition())?.free(*addr)?;
+            for &child in &image.refs {
+                ert_remove(db, *addr, child)?;
+            }
+        }
+        LogPayload::SetPayload { addr, new, .. } => {
+            db.with_page_write(*addr, |buf| object::set_payload(buf, *addr, new))??;
+        }
+        LogPayload::InsertRef {
+            parent,
+            child,
+            index,
+        } => {
+            db.with_page_write(*parent, |buf| {
+                object::insert_ref_at(buf, *parent, *index, *child)
+            })??;
+            ert_insert(db, *parent, *child)?;
+        }
+        LogPayload::DeleteRef {
+            parent,
+            child,
+            index,
+        } => {
+            let removed = db
+                .with_page_write(*parent, |buf| object::remove_ref_at(buf, *parent, *index))??;
+            if removed != *child {
+                return Err(Error::RecoveryCorrupt(format!(
+                    "redo of DeleteRef at {parent}[{index}] removed {removed}, expected {child}"
+                )));
+            }
+            ert_remove(db, *parent, *child)?;
+        }
+        LogPayload::SetRef {
+            parent,
+            index,
+            old_child,
+            new_child,
+        } => {
+            let old = db
+                .with_page_write(*parent, |buf| {
+                    object::set_ref(buf, *parent, *index, *new_child)
+                })??;
+            if old != *old_child {
+                return Err(Error::RecoveryCorrupt(format!(
+                    "redo of SetRef at {parent}[{index}] replaced {old}, expected {old_child}"
+                )));
+            }
+            ert_remove(db, *parent, *old_child)?;
+            ert_insert(db, *parent, *new_child)?;
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Apply the inverse of one logged update (loser rollback), logging a
+/// compensation record.
+fn undo_record(db: &Database, rec: &LogRecord) -> Result<()> {
+    match &rec.payload {
+        LogPayload::Create { addr, image } => {
+            db.wal.append(
+                rec.tid,
+                LogPayload::Free {
+                    addr: *addr,
+                    image: image.clone(),
+                },
+            );
+            db.with_page_write(*addr, |buf| object::mark_free(buf, *addr))??;
+            db.partition(addr.partition())?.free(*addr)?;
+            for &child in &image.refs {
+                ert_remove(db, *addr, child)?;
+            }
+        }
+        LogPayload::Free { addr, image } => {
+            db.wal.append(
+                rec.tid,
+                LogPayload::Create {
+                    addr: *addr,
+                    image: image.clone(),
+                },
+            );
+            db.partition(addr.partition())?.alloc_at(*addr, image.size())?;
+            db.with_page_write(*addr, |buf| object::init_object(buf, *addr, image))?;
+            for &child in &image.refs {
+                ert_insert(db, *addr, child)?;
+            }
+        }
+        LogPayload::SetPayload { addr, old, new } => {
+            db.wal.append(
+                rec.tid,
+                LogPayload::SetPayload {
+                    addr: *addr,
+                    old: new.clone(),
+                    new: old.clone(),
+                },
+            );
+            db.with_page_write(*addr, |buf| object::set_payload(buf, *addr, old))??;
+        }
+        LogPayload::InsertRef {
+            parent,
+            child,
+            index,
+        } => {
+            db.wal.append(
+                rec.tid,
+                LogPayload::DeleteRef {
+                    parent: *parent,
+                    child: *child,
+                    index: *index,
+                },
+            );
+            db.with_page_write(*parent, |buf| object::remove_ref_at(buf, *parent, *index))??;
+            ert_remove(db, *parent, *child)?;
+        }
+        LogPayload::DeleteRef {
+            parent,
+            child,
+            index,
+        } => {
+            db.wal.append(
+                rec.tid,
+                LogPayload::InsertRef {
+                    parent: *parent,
+                    child: *child,
+                    index: *index,
+                },
+            );
+            db.with_page_write(*parent, |buf| {
+                object::insert_ref_at(buf, *parent, *index, *child)
+            })??;
+            ert_insert(db, *parent, *child)?;
+        }
+        LogPayload::SetRef {
+            parent,
+            index,
+            old_child,
+            new_child,
+        } => {
+            db.wal.append(
+                rec.tid,
+                LogPayload::SetRef {
+                    parent: *parent,
+                    index: *index,
+                    old_child: *new_child,
+                    new_child: *old_child,
+                },
+            );
+            db.with_page_write(*parent, |buf| {
+                object::set_ref(buf, *parent, *index, *old_child)
+            })??;
+            ert_remove(db, *parent, *new_child)?;
+            ert_insert(db, *parent, *old_child)?;
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn ert_insert(db: &Database, parent: PhysAddr, child: PhysAddr) -> Result<()> {
+    if parent.partition() != child.partition() {
+        db.partition(child.partition())?.ert.insert(child, parent);
+    }
+    Ok(())
+}
+
+fn ert_remove(db: &Database, parent: PhysAddr, child: PhysAddr) -> Result<()> {
+    if parent.partition() != child.partition() {
+        db.partition(child.partition())?.ert.remove(child, parent);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::NewObject;
+    use crate::lock::LockMode;
+
+    fn fresh_db() -> Database {
+        let db = Database::new(StoreConfig::default());
+        db.create_partition();
+        db.create_partition();
+        db
+    }
+
+    fn mk(db: &Database, p: u16, refs: Vec<PhysAddr>, payload: &[u8]) -> PhysAddr {
+        let mut t = db.begin();
+        let a = t
+            .create_object(
+                PartitionId(p),
+                NewObject {
+                    tag: 1,
+                    refs,
+                    ref_cap: 4,
+                    payload: payload.to_vec(),
+                    payload_cap: 32,
+                },
+            )
+            .unwrap();
+        t.commit().unwrap();
+        a
+    }
+
+    #[test]
+    fn committed_work_survives_a_crash() {
+        let db = fresh_db();
+        let a = mk(&db, 0, vec![], b"before-ckpt");
+        let ckpt = db.checkpoint(1);
+        let b = mk(&db, 1, vec![], b"after-ckpt");
+        let mut t = db.begin();
+        t.lock(a, LockMode::Exclusive).unwrap();
+        t.insert_ref(a, b).unwrap();
+        t.commit().unwrap();
+
+        let image = db.crash(ckpt, false);
+        let out = recover(image, StoreConfig::default()).unwrap();
+        assert!(out.losers.is_empty());
+        assert_eq!(out.db.raw_read(a).unwrap().refs, vec![b]);
+        assert_eq!(out.db.raw_read(b).unwrap().payload, b"after-ckpt".to_vec());
+        // Cross-partition edge restored in the ERT.
+        assert!(out.db.partition(PartitionId(1)).unwrap().ert.contains(b, a));
+    }
+
+    #[test]
+    fn uncommitted_work_is_rolled_back() {
+        let db = fresh_db();
+        let a = mk(&db, 0, vec![], b"stable");
+        let ckpt = db.checkpoint(1);
+        // A transaction that never commits before the crash.
+        let mut t = db.begin();
+        t.lock(a, LockMode::Exclusive).unwrap();
+        t.set_payload(a, b"dirty").unwrap();
+        // Crash with the tail durable: the loser's records survive and must
+        // be undone.
+        let image = db.crash(ckpt, true);
+        std::mem::forget(t); // the crash preempts the transaction
+        let out = recover(image, StoreConfig::default()).unwrap();
+        assert_eq!(out.losers.len(), 1);
+        assert_eq!(out.db.raw_read(a).unwrap().payload, b"stable".to_vec());
+    }
+
+    #[test]
+    fn unflushed_tail_is_simply_lost() {
+        let db = fresh_db();
+        let a = mk(&db, 0, vec![], b"stable");
+        let ckpt = db.checkpoint(1);
+        let mut t = db.begin();
+        t.lock(a, LockMode::Exclusive).unwrap();
+        t.set_payload(a, b"dirty").unwrap();
+        // No commit, no flush: nothing of the transaction survives.
+        let image = db.crash(ckpt, false);
+        std::mem::forget(t);
+        let out = recover(image, StoreConfig::default()).unwrap();
+        assert_eq!(out.db.raw_read(a).unwrap().payload, b"stable".to_vec());
+    }
+
+    #[test]
+    fn loser_object_creation_is_undone() {
+        let db = fresh_db();
+        let ckpt = db.checkpoint(1);
+        let mut t = db.begin();
+        let a = t
+            .create_object(PartitionId(0), NewObject::exact(1, vec![], b"tmp".to_vec()))
+            .unwrap();
+        let image = db.crash(ckpt, true);
+        std::mem::forget(t);
+        let out = recover(image, StoreConfig::default()).unwrap();
+        assert!(out.db.raw_read(a).is_err());
+        assert_eq!(
+            out.db.partition(PartitionId(0)).unwrap().object_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn interrupted_reorg_is_reported() {
+        let db = fresh_db();
+        let ckpt = db.checkpoint(1);
+        db.start_reorg(PartitionId(1)).unwrap();
+        let image = db.crash(ckpt, true);
+        let out = recover(image, StoreConfig::default()).unwrap();
+        assert_eq!(out.interrupted_reorgs, vec![PartitionId(1)]);
+        // A completed reorg is not reported.
+        let db = fresh_db();
+        let ckpt = db.checkpoint(1);
+        db.start_reorg(PartitionId(1)).unwrap();
+        db.end_reorg(PartitionId(1));
+        let image = db.crash(ckpt, true);
+        let out = recover(image, StoreConfig::default()).unwrap();
+        assert!(out.interrupted_reorgs.is_empty());
+    }
+
+    #[test]
+    fn redo_detects_log_corruption() {
+        let db = fresh_db();
+        let a = mk(&db, 0, vec![], b"x");
+        let b = mk(&db, 0, vec![], b"y");
+        let ckpt = db.checkpoint(1);
+        let mut image = db.crash(ckpt, true);
+        // Forge a DeleteRef that does not match the page state.
+        image.log.push(LogRecord {
+            lsn: 999,
+            tid: TxnId(42),
+            payload: LogPayload::DeleteRef {
+                parent: a,
+                child: b,
+                index: 0,
+            },
+        });
+        assert!(recover(image, StoreConfig::default()).is_err());
+    }
+}

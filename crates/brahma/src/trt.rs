@@ -1,0 +1,303 @@
+//! Temporary Reference Table (TRT).
+//!
+//! While a reorganization of partition `P` is in progress, every deletion and
+//! addition of a reference to an object `O` in `P` is logged in `P`'s TRT as
+//! a tuple `(O, R, tid, action)` (Section 3.3). A pointer *delete* must be
+//! noted **before** the pointer is removed; pointer *inserts* may be noted
+//! after the update but before the updating transaction's lock on `R` is
+//! released. The reorganizer consults the table in
+//! `Find_Objects_And_Approx_Parents` (to re-traverse from objects whose only
+//! reference was cut mid-traversal) and in `Find_Exact_Parents` (to discover
+//! parents created or destroyed after the fuzzy traversal).
+//!
+//! The table is transient: it exists only while a reorganization runs, and
+//! Section 4.5's space optimizations purge tuples aggressively under strict
+//! 2PL. It can be reconstructed from the WAL by the log analyzer
+//! ([`crate::wal::analyzer`]) after a failure.
+
+use crate::addr::{PartitionId, PhysAddr};
+use crate::exthash::ExtHash;
+use crate::txn::TxnId;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Whether a TRT tuple records an insertion or a deletion of a reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RefAction {
+    Insert,
+    Delete,
+}
+
+/// One TRT tuple: a reference to `child` from `parent` was inserted/deleted
+/// by transaction `tid`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrtTuple {
+    pub child: PhysAddr,
+    pub parent: PhysAddr,
+    pub tid: TxnId,
+    pub action: RefAction,
+}
+
+/// The Temporary Reference Table of one partition under reorganization.
+#[derive(Debug)]
+pub struct Trt {
+    partition: PartitionId,
+    /// referenced object -> tuples about it.
+    inner: Mutex<ExtHash<PhysAddr, Vec<(PhysAddr, TxnId, RefAction)>>>,
+}
+
+impl Trt {
+    /// Create the (empty) TRT for a reorganization of `partition`.
+    pub fn new(partition: PartitionId) -> Self {
+        Trt {
+            partition,
+            inner: Mutex::new(ExtHash::new()),
+        }
+    }
+
+    /// The partition this table covers.
+    pub fn partition(&self) -> PartitionId {
+        self.partition
+    }
+
+    /// Note a pointer insert/delete concerning `child`.
+    pub fn note(&self, child: PhysAddr, parent: PhysAddr, tid: TxnId, action: RefAction) {
+        debug_assert_eq!(child.partition(), self.partition);
+        let mut t = self.inner.lock();
+        t.entry_or_insert_with(child, Vec::new)
+            .push((parent, tid, action));
+    }
+
+    /// Return (without removing) some tuple whose referenced object is
+    /// `child`, if any. `Find_Exact_Parents` peeks a tuple, locks its parent
+    /// (a blocking operation that must not hold the table latch), and only
+    /// then removes the tuple.
+    pub fn peek_for(&self, child: PhysAddr) -> Option<TrtTuple> {
+        let t = self.inner.lock();
+        t.get(&child).and_then(|v| {
+            v.first().map(|&(parent, tid, action)| TrtTuple {
+                child,
+                parent,
+                tid,
+                action,
+            })
+        })
+    }
+
+    /// Remove one occurrence of exactly this tuple. Returns whether it was
+    /// present.
+    pub fn remove_tuple(&self, tuple: &TrtTuple) -> bool {
+        let mut t = self.inner.lock();
+        let Some(v) = t.get_mut(&tuple.child) else {
+            return false;
+        };
+        let Some(pos) = v
+            .iter()
+            .position(|&(p, tid, a)| p == tuple.parent && tid == tuple.tid && a == tuple.action)
+        else {
+            return false;
+        };
+        v.remove(pos);
+        if v.is_empty() {
+            t.remove(&tuple.child);
+        }
+        true
+    }
+
+    /// Whether any tuple names `child` as its referenced object.
+    pub fn has_tuples_for(&self, child: PhysAddr) -> bool {
+        self.inner.lock().contains_key(&child)
+    }
+
+    /// All tuples naming `child` (testing and diagnostics).
+    pub fn tuples_for(&self, child: PhysAddr) -> Vec<TrtTuple> {
+        let t = self.inner.lock();
+        t.get(&child)
+            .map(|v| {
+                v.iter()
+                    .map(|&(parent, tid, action)| TrtTuple {
+                        child,
+                        parent,
+                        tid,
+                        action,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The *referenced objects* of the TRT: every object some tuple is
+    /// about. Drives the re-traversal loop (line L2) of
+    /// `Find_Objects_And_Approx_Parents`.
+    pub fn referenced_objects(&self) -> Vec<PhysAddr> {
+        self.inner.lock().iter().map(|(c, _)| *c).collect()
+    }
+
+    /// Section 4.5 optimization, applicable under strict 2PL only: when the
+    /// transaction that logged pointer deletes completes, its delete tuples
+    /// can be purged (re-insertions by the same transaction were logged as
+    /// separate insert tuples, and references cannot be cached across
+    /// transaction boundaries).
+    ///
+    /// Returns the number of tuples purged.
+    pub fn purge_txn_deletes(&self, tid: TxnId) -> usize {
+        let mut t = self.inner.lock();
+        let children: Vec<PhysAddr> = t.iter().map(|(c, _)| *c).collect();
+        let mut purged = 0;
+        for c in children {
+            if let Some(v) = t.get_mut(&c) {
+                let before = v.len();
+                v.retain(|&(_, id, a)| !(id == tid && a == RefAction::Delete));
+                purged += before - v.len();
+                if v.is_empty() {
+                    t.remove(&c);
+                }
+            }
+        }
+        purged
+    }
+
+    /// Section 4.5 companion optimization: when a transaction that deleted
+    /// the reference `parent -> child` commits, any tuple recording the
+    /// *insertion* of that same reference can also be purged.
+    ///
+    /// Removes at most one insert tuple; returns whether one was removed.
+    pub fn purge_insert_pair(&self, child: PhysAddr, parent: PhysAddr) -> bool {
+        let mut t = self.inner.lock();
+        let Some(v) = t.get_mut(&child) else {
+            return false;
+        };
+        let Some(pos) = v
+            .iter()
+            .position(|&(p, _, a)| p == parent && a == RefAction::Insert)
+        else {
+            return false;
+        };
+        v.remove(pos);
+        if v.is_empty() {
+            t.remove(&child);
+        }
+        true
+    }
+
+    /// Total number of tuples.
+    pub fn len(&self) -> usize {
+        self.inner.lock().iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// All tuples, sorted (testing: compared against the log analyzer's
+    /// reconstruction).
+    pub fn dump(&self) -> Vec<TrtTuple> {
+        let t = self.inner.lock();
+        let mut out: Vec<TrtTuple> = t
+            .iter()
+            .flat_map(|(c, v)| {
+                v.iter().map(move |&(parent, tid, action)| TrtTuple {
+                    child: *c,
+                    parent,
+                    tid,
+                    action,
+                })
+            })
+            .collect();
+        out.sort_unstable_by_key(|t| (t.child, t.parent, t.tid.0, t.action as u8));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(p: u16, off: u16) -> PhysAddr {
+        PhysAddr::new(PartitionId(p), 0, off)
+    }
+
+    #[test]
+    fn note_peek_remove() {
+        let trt = Trt::new(PartitionId(1));
+        let child = a(1, 0);
+        let parent = a(2, 8);
+        trt.note(child, parent, TxnId(1), RefAction::Delete);
+        let t = trt.peek_for(child).unwrap();
+        assert_eq!(t.parent, parent);
+        assert_eq!(t.action, RefAction::Delete);
+        assert!(trt.remove_tuple(&t));
+        assert!(!trt.remove_tuple(&t));
+        assert!(trt.is_empty());
+    }
+
+    #[test]
+    fn duplicate_tuples_accumulate() {
+        let trt = Trt::new(PartitionId(1));
+        let child = a(1, 0);
+        let parent = a(1, 64);
+        trt.note(child, parent, TxnId(1), RefAction::Insert);
+        trt.note(child, parent, TxnId(1), RefAction::Insert);
+        assert_eq!(trt.len(), 2);
+        assert!(trt.remove_tuple(&TrtTuple {
+            child,
+            parent,
+            tid: TxnId(1),
+            action: RefAction::Insert
+        }));
+        assert_eq!(trt.len(), 1);
+    }
+
+    #[test]
+    fn purge_txn_deletes_only_deletes() {
+        let trt = Trt::new(PartitionId(1));
+        let c = a(1, 0);
+        trt.note(c, a(2, 0), TxnId(5), RefAction::Delete);
+        trt.note(c, a(2, 8), TxnId(5), RefAction::Insert);
+        trt.note(c, a(2, 16), TxnId(6), RefAction::Delete);
+        assert_eq!(trt.purge_txn_deletes(TxnId(5)), 1);
+        assert_eq!(trt.len(), 2);
+        let remaining = trt.tuples_for(c);
+        assert!(remaining
+            .iter()
+            .any(|t| t.tid == TxnId(5) && t.action == RefAction::Insert));
+        assert!(remaining
+            .iter()
+            .any(|t| t.tid == TxnId(6) && t.action == RefAction::Delete));
+    }
+
+    #[test]
+    fn purge_insert_pair_removes_one() {
+        let trt = Trt::new(PartitionId(1));
+        let c = a(1, 0);
+        let p = a(2, 0);
+        trt.note(c, p, TxnId(1), RefAction::Insert);
+        trt.note(c, p, TxnId(2), RefAction::Insert);
+        assert!(trt.purge_insert_pair(c, p));
+        assert_eq!(trt.len(), 1);
+        assert!(trt.purge_insert_pair(c, p));
+        assert!(!trt.purge_insert_pair(c, p));
+        assert!(trt.is_empty());
+    }
+
+    #[test]
+    fn referenced_objects_lists_children() {
+        let trt = Trt::new(PartitionId(1));
+        trt.note(a(1, 0), a(2, 0), TxnId(1), RefAction::Delete);
+        trt.note(a(1, 64), a(2, 0), TxnId(1), RefAction::Insert);
+        let mut objs = trt.referenced_objects();
+        objs.sort_unstable();
+        assert_eq!(objs, vec![a(1, 0), a(1, 64)]);
+    }
+
+    #[test]
+    fn dump_is_sorted_and_complete() {
+        let trt = Trt::new(PartitionId(1));
+        trt.note(a(1, 64), a(2, 0), TxnId(2), RefAction::Insert);
+        trt.note(a(1, 0), a(2, 0), TxnId(1), RefAction::Delete);
+        let d = trt.dump();
+        assert_eq!(d.len(), 2);
+        assert!(d[0].child <= d[1].child);
+    }
+}

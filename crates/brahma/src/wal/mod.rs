@@ -1,0 +1,318 @@
+//! Write-ahead logging.
+//!
+//! Transactions follow the WAL protocol of Section 2: the undo value is
+//! logged before an update is performed, and the redo value is logged before
+//! the lock on the updated object is released. Every log record carries both,
+//! so restart recovery replays committed work forward from a checkpoint and
+//! rolls losers back (see [`crate::recovery`]).
+//!
+//! The log is in-memory (the paper's experiments run a memory-resident
+//! database); forcing the tail at commit is simulated with a configurable
+//! latency so the CPU/I-O overlap the paper observes at commit time exists
+//! here too.
+//!
+//! Undo of an aborting transaction logs compensation records through the
+//! same record types, so a *linear* scan of the log reproduces every state
+//! transition — which is what lets the log analyzer rebuild the TRT and ERT
+//! (Section 3.3) without special cases.
+
+pub mod analyzer;
+
+use crate::addr::{PartitionId, PhysAddr};
+use crate::object::ObjectView;
+use crate::txn::TxnId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Log sequence number. Strictly increasing, never reused.
+pub type Lsn = u64;
+
+/// The operation a log record describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogPayload {
+    /// Transaction start. `reorg` names the partition a reorganization
+    /// utility transaction works for: its pointer rewrites concerning *that
+    /// partition* are not workload updates and are excluded from the
+    /// partition's TRT — but its rewrites touching other partitions under
+    /// reorganization are ordinary pointer updates for *their* TRTs
+    /// (concurrent reorganizations of different partitions are supported).
+    Begin { reorg: Option<PartitionId> },
+    /// Transaction commit (forces the log).
+    Commit,
+    /// Transaction abort (logged after its undo compensation records).
+    Abort,
+    /// Object created at `addr` with the given image.
+    Create { addr: PhysAddr, image: ObjectView },
+    /// Object at `addr` freed; `image` is the undo value.
+    Free { addr: PhysAddr, image: ObjectView },
+    /// Payload overwritten.
+    SetPayload {
+        addr: PhysAddr,
+        old: Vec<u8>,
+        new: Vec<u8>,
+    },
+    /// Reference to `child` appended to `parent` at `index`.
+    InsertRef {
+        parent: PhysAddr,
+        child: PhysAddr,
+        index: usize,
+    },
+    /// Reference to `child` removed from `parent` at `index`.
+    DeleteRef {
+        parent: PhysAddr,
+        child: PhysAddr,
+        index: usize,
+    },
+    /// Reference slot `index` of `parent` overwritten (used by the
+    /// reorganizer when repointing parents at a migrated object).
+    SetRef {
+        parent: PhysAddr,
+        index: usize,
+        old_child: PhysAddr,
+        new_child: PhysAddr,
+    },
+    /// A reorganization of `partition` started; the log analyzer begins
+    /// maintaining a TRT for it from this point.
+    ReorgStart { partition: PartitionId },
+    /// The reorganization of `partition` finished.
+    ReorgEnd { partition: PartitionId },
+    /// Informational marker: the object at `old` now lives at `new`.
+    Migrate { old: PhysAddr, new: PhysAddr },
+    /// A checkpoint with the given id was taken at this LSN.
+    Checkpoint { id: u64 },
+    /// A new (empty) partition was created. Logged so restart recovery can
+    /// re-create partitions added after the last checkpoint (the copying
+    /// collector evacuates into fresh partitions mid-run).
+    CreatePartition { id: PartitionId },
+}
+
+/// One log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    pub lsn: Lsn,
+    pub tid: TxnId,
+    pub payload: LogPayload,
+}
+
+#[derive(Debug, Default)]
+struct WalInner {
+    /// Records with LSN >= base_lsn, in LSN order.
+    records: Vec<LogRecord>,
+    base_lsn: Lsn,
+    next_lsn: Lsn,
+}
+
+/// The write-ahead log.
+pub struct Wal {
+    inner: Mutex<WalInner>,
+    retain: bool,
+    flush_latency: Duration,
+    flushed_lsn: AtomicU64,
+    /// Named truncation pins: records at or above the *minimum* pinned LSN
+    /// may not be discarded. Multiple consumers (the log analyzer's cursor,
+    /// each active reorganization's TRT window) pin independently.
+    pins: Mutex<std::collections::HashMap<u64, Lsn>>,
+    next_pin: AtomicU64,
+    /// Effective minimum over `pins` (u64::MAX when none), kept as an
+    /// atomic so the append path never takes the pins mutex.
+    pinned_lsn: AtomicU64,
+    /// Truncation threshold when retention is off.
+    truncate_watermark: usize,
+}
+
+/// Handle to a truncation pin; see [`Wal::pin_at`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PinId(u64);
+
+impl Wal {
+    /// Create a log. With `retain == false` the log self-truncates once it
+    /// exceeds an internal watermark (long benchmark runs).
+    pub fn new(retain: bool, flush_latency: Duration) -> Self {
+        Wal {
+            inner: Mutex::new(WalInner::default()),
+            retain,
+            flush_latency,
+            flushed_lsn: AtomicU64::new(0),
+            pins: Mutex::new(std::collections::HashMap::new()),
+            next_pin: AtomicU64::new(1),
+            pinned_lsn: AtomicU64::new(u64::MAX),
+            truncate_watermark: 1 << 16,
+        }
+    }
+
+    /// Append a record, returning its LSN.
+    pub fn append(&self, tid: TxnId, payload: LogPayload) -> Lsn {
+        let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        inner.records.push(LogRecord { lsn, tid, payload });
+        if !self.retain && inner.records.len() > self.truncate_watermark {
+            let pinned = self.pinned_lsn.load(Ordering::Acquire);
+            let keep_from = pinned.min(inner.next_lsn);
+            if keep_from > inner.base_lsn {
+                let drop_count = ((keep_from - inner.base_lsn) as usize).min(inner.records.len());
+                inner.records.drain(..drop_count);
+                inner.base_lsn = keep_from;
+            }
+        }
+        lsn
+    }
+
+    /// Force the log up to `lsn`, simulating the device latency.
+    pub fn flush(&self, lsn: Lsn) {
+        if self.flushed_lsn.load(Ordering::Acquire) >= lsn {
+            return;
+        }
+        if !self.flush_latency.is_zero() {
+            // Model the device: the flush costs latency outside any latch.
+            std::thread::sleep(self.flush_latency);
+        }
+        self.flushed_lsn.fetch_max(lsn, Ordering::AcqRel);
+    }
+
+    /// Highest LSN known durable.
+    pub fn flushed_lsn(&self) -> Lsn {
+        self.flushed_lsn.load(Ordering::Acquire)
+    }
+
+    /// Next LSN that will be assigned.
+    pub fn next_lsn(&self) -> Lsn {
+        self.inner.lock().next_lsn
+    }
+
+    /// Lowest LSN still retained.
+    pub fn base_lsn(&self) -> Lsn {
+        self.inner.lock().base_lsn
+    }
+
+    /// Copy of all retained records with `lsn >= from`.
+    pub fn records_from(&self, from: Lsn) -> Vec<LogRecord> {
+        let inner = self.inner.lock();
+        let start = from.saturating_sub(inner.base_lsn) as usize;
+        inner
+            .records
+            .get(start.min(inner.records.len())..)
+            .unwrap_or(&[])
+            .to_vec()
+    }
+
+    /// Create a named pin at `lsn`: records at or above the minimum of all
+    /// pins will not be truncated. Used by the log analyzer's cursor and by
+    /// each active reorganization (which may need to rebuild its TRT from
+    /// the log after a failure).
+    pub fn pin_at(&self, lsn: Lsn) -> PinId {
+        let id = PinId(self.next_pin.fetch_add(1, Ordering::Relaxed));
+        let mut pins = self.pins.lock();
+        pins.insert(id.0, lsn);
+        self.recompute_pin(&pins);
+        id
+    }
+
+    /// Move an existing pin forward (the analyzer's advancing cursor).
+    pub fn move_pin(&self, id: PinId, lsn: Lsn) {
+        let mut pins = self.pins.lock();
+        pins.insert(id.0, lsn);
+        self.recompute_pin(&pins);
+    }
+
+    /// Remove a pin.
+    pub fn unpin(&self, id: PinId) {
+        let mut pins = self.pins.lock();
+        pins.remove(&id.0);
+        self.recompute_pin(&pins);
+    }
+
+    fn recompute_pin(&self, pins: &std::collections::HashMap<u64, Lsn>) {
+        let min = pins.values().copied().min().unwrap_or(u64::MAX);
+        self.pinned_lsn.store(min, Ordering::Release);
+    }
+
+    /// Number of retained records (diagnostics).
+    pub fn retained_len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PartitionId;
+
+    fn rec() -> LogPayload {
+        LogPayload::Migrate {
+            old: PhysAddr::new(PartitionId(0), 0, 0),
+            new: PhysAddr::new(PartitionId(0), 0, 64),
+        }
+    }
+
+    #[test]
+    fn lsns_are_sequential() {
+        let wal = Wal::new(true, Duration::ZERO);
+        assert_eq!(wal.append(TxnId(1), LogPayload::Begin { reorg: None }), 0);
+        assert_eq!(wal.append(TxnId(1), rec()), 1);
+        assert_eq!(wal.append(TxnId(1), LogPayload::Commit), 2);
+        assert_eq!(wal.next_lsn(), 3);
+    }
+
+    #[test]
+    fn records_from_respects_offset() {
+        let wal = Wal::new(true, Duration::ZERO);
+        for _ in 0..5 {
+            wal.append(TxnId(1), rec());
+        }
+        assert_eq!(wal.records_from(3).len(), 2);
+        assert_eq!(wal.records_from(0).len(), 5);
+        assert_eq!(wal.records_from(99).len(), 0);
+    }
+
+    #[test]
+    fn flush_advances_watermark() {
+        let wal = Wal::new(true, Duration::ZERO);
+        let lsn = wal.append(TxnId(1), LogPayload::Commit);
+        assert_eq!(wal.flushed_lsn(), 0);
+        wal.flush(lsn);
+        assert_eq!(wal.flushed_lsn(), lsn);
+    }
+
+    #[test]
+    fn truncation_respects_pin() {
+        let wal = Wal {
+            inner: Mutex::new(WalInner::default()),
+            retain: false,
+            flush_latency: Duration::ZERO,
+            flushed_lsn: AtomicU64::new(0),
+            pins: Mutex::new(std::collections::HashMap::new()),
+            next_pin: AtomicU64::new(1),
+            pinned_lsn: AtomicU64::new(u64::MAX),
+            truncate_watermark: 10,
+        };
+        let early = wal.pin_at(5);
+        let late = wal.pin_at(12);
+        for _ in 0..30 {
+            wal.append(TxnId(1), rec());
+        }
+        assert_eq!(wal.base_lsn(), 5, "truncation stops at the earliest pin");
+        assert!(wal.records_from(5).len() >= 25);
+        wal.unpin(early);
+        for _ in 0..20 {
+            wal.append(TxnId(1), rec());
+        }
+        assert_eq!(wal.base_lsn(), 12, "the later pin takes over");
+        wal.unpin(late);
+        for _ in 0..20 {
+            wal.append(TxnId(1), rec());
+        }
+        assert!(wal.base_lsn() > 12);
+    }
+
+    #[test]
+    fn retained_log_never_truncates() {
+        let wal = Wal::new(true, Duration::ZERO);
+        for _ in 0..100 {
+            wal.append(TxnId(1), rec());
+        }
+        assert_eq!(wal.base_lsn(), 0);
+        assert_eq!(wal.retained_len(), 100);
+    }
+}

@@ -1,0 +1,239 @@
+//! Checkpointing and crash-restart of a reorganization (Section 4.4).
+//!
+//! The paper offers two options after a failure during IRA: restart from
+//! scratch, or checkpoint the step-one data structures (`Traversed_Objects`
+//! and `Parent_Lists`) and, after recovery, rebuild the TRT from the log and
+//! continue step two with the objects not yet migrated.
+//!
+//! [`IraCheckpoint`] is that checkpoint; [`resume_reorganization`] is the
+//! continue path. The TRT is reconstructed by the log analyzer from the
+//! surviving pre-crash log plus the records recovery itself generated
+//! (loser rollbacks log compensation records, whose reference effects
+//! belong in the TRT like any other).
+
+use crate::approx::{merge_ert_parents, trt_unvisited_loop};
+use crate::driver::{IraConfig, IraError, IraReport, ReorgRun};
+use crate::plan::RelocationPlan;
+use crate::traversal::TraversalState;
+use brahma::wal::analyzer::rebuild_trt_seeded;
+use brahma::{Database, LogRecord, Lsn, PartitionId, PhysAddr, TrtTuple};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A resumable snapshot of an in-flight reorganization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IraCheckpoint {
+    pub partition: PartitionId,
+    pub plan: RelocationPlan,
+    /// Step-one state: traversed objects and parent lists.
+    pub state: TraversalState,
+    /// Migrations already committed (old -> new).
+    pub mapping: Vec<(PhysAddr, PhysAddr)>,
+    /// Step-two work list and progress cursor.
+    pub queue: Vec<PhysAddr>,
+    pub pos: usize,
+    /// Fuzzy TRT checkpoint (Section 4.5's optional optimization): tuples at
+    /// checkpoint time plus the LSN reconstruction must replay from.
+    pub trt_snapshot: Vec<TrtTuple>,
+    pub trt_lsn: Lsn,
+}
+
+/// Resume an interrupted reorganization on a *recovered* database.
+///
+/// `pre_crash_log` is the surviving log of the crashed instance (from
+/// [`brahma::CrashImage::log`]); together with the recovered database's own
+/// log it reconstructs the TRT window since the reorganization started.
+pub fn resume_reorganization(
+    db: &Database,
+    ckpt: IraCheckpoint,
+    pre_crash_log: &[LogRecord],
+    config: &IraConfig,
+) -> Result<IraReport, IraError> {
+    let started = Instant::now();
+    let partition = ckpt.partition;
+
+    // Rebuild the TRT from its checkpoint plus the log since the checkpoint
+    // (Section 4.4), including recovery's compensation records.
+    let mut window: Vec<LogRecord> = pre_crash_log
+        .iter()
+        .filter(|r| r.lsn >= ckpt.trt_lsn)
+        .cloned()
+        .collect();
+    window.extend(db.wal.records_from(0));
+    let rebuilt = rebuild_trt_seeded(
+        &window,
+        partition,
+        db.trt_purge_enabled(),
+        &ckpt.trt_snapshot,
+    );
+
+    // Reopen the reorganization and seed its TRT with the reconstruction.
+    let trt = db.start_reorg(partition)?;
+    for tuple in rebuilt.dump() {
+        trt.note(tuple.child, tuple.parent, tuple.tid, tuple.action);
+    }
+
+    // Pre-crash frees were deferred from reuse, but that deferral was
+    // volatile: withhold all free space again so no address freed by this
+    // reorganization is recycled before it completes, and so the remaining
+    // copies keep packing into fresh space.
+    crate::driver::withhold_free_space(db, partition, ckpt.plan).map_err(IraError::Store)?;
+
+    let active = db.txns.active_snapshot();
+    db.txns.wait_for_all(&active, config.quiesce_wait);
+
+    // Extend step one: objects whose only reference was cut around the
+    // crash may still need traversal (L2 loop), and newly discovered
+    // objects need their ERT parents merged and a place in the queue.
+    let mut state = ckpt.state;
+    let before = state.order.len();
+    trt_unvisited_loop(db, partition, &mut state);
+    merge_ert_parents(db, partition, &mut state, before);
+    let mut queue = ckpt.queue;
+    queue.extend_from_slice(&state.order[before..]);
+
+    let run = ReorgRun {
+        db,
+        partition,
+        plan: ckpt.plan,
+        config,
+        state,
+        queue,
+        pos: ckpt.pos,
+        mapping: ckpt.mapping.into_iter().collect::<HashMap<_, _>>(),
+        retries: 0,
+        ext_locks: 0,
+        started,
+    };
+    run.execute()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::incremental_reorganize;
+    use brahma::{recover, NewObject, StoreConfig};
+
+    /// Full crash/recover/resume cycle: reorganize with fault injection,
+    /// crash the database, recover from the checkpoint+log, resume, and
+    /// verify the result is a complete, consistent reorganization.
+    #[test]
+    fn crash_mid_reorg_then_resume_completes() {
+        let db = Database::new(StoreConfig::default());
+        let p0 = db.create_partition();
+        let p1 = db.create_partition();
+        // Build a chain of 10 objects in p1 anchored from p0.
+        let mut prev: Option<PhysAddr> = None;
+        let mut chain = Vec::new();
+        for _ in 0..10 {
+            let mut t = db.begin();
+            let refs = prev.map(|p| vec![p]).unwrap_or_default();
+            let a = t
+                .create_object(
+                    p1,
+                    NewObject {
+                        tag: 1,
+                        refs,
+                        ref_cap: 4,
+                        payload: b"link".to_vec(),
+                        payload_cap: 8,
+                    },
+                )
+                .unwrap();
+            t.commit().unwrap();
+            chain.push(a);
+            prev = Some(a);
+        }
+        let mut t = db.begin();
+        let anchor = t
+            .create_object(p0, NewObject::exact(0, vec![prev.unwrap()], vec![]))
+            .unwrap();
+        t.commit().unwrap();
+
+        // Brahma-level checkpoint before the reorganization.
+        let store_ckpt = db.checkpoint(1);
+
+        // Run IRA with a fault after 4 migrations.
+        let config = IraConfig {
+            crash_after_migrations: Some(4),
+            ..IraConfig::default()
+        };
+        let err = incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config)
+            .unwrap_err();
+        let IraError::SimulatedCrash(ira_ckpt) = err else {
+            panic!("expected simulated crash")
+        };
+        assert_eq!(ira_ckpt.mapping.len(), 4);
+
+        // Crash the database and recover.
+        let image = db.crash(store_ckpt, true);
+        let pre_crash_log = image.log.clone();
+        drop(db);
+        let out = recover(image, StoreConfig::default()).unwrap();
+        assert_eq!(out.interrupted_reorgs, vec![p1]);
+        let db = out.db;
+
+        // Resume from the IRA checkpoint.
+        let report =
+            resume_reorganization(&db, *ira_ckpt, &pre_crash_log, &IraConfig::default())
+                .unwrap();
+        // The mapping accumulates the 4 pre-crash migrations plus the 6
+        // performed on resume; none of the survivors migrate twice.
+        assert_eq!(report.migrated(), 10);
+
+        // Every chain object moved, the anchor points at a live object, and
+        // the database is fully consistent.
+        for old in &chain {
+            assert!(db.raw_read(*old).is_err(), "old copy {old} must be gone");
+        }
+        assert_eq!(db.partition(p1).unwrap().object_count(), 10);
+        let _ = anchor;
+        brahma::sweep::assert_database_consistent(&db);
+    }
+
+    /// Restarting from scratch (the paper's simple option) also works: the
+    /// recovered database simply runs a fresh reorganization.
+    #[test]
+    fn restart_from_scratch_after_crash() {
+        let db = Database::new(StoreConfig::default());
+        let p0 = db.create_partition();
+        let p1 = db.create_partition();
+        let mut t = db.begin();
+        let o = t
+            .create_object(p1, NewObject::exact(1, vec![], b"x".to_vec()))
+            .unwrap();
+        t.commit().unwrap();
+        let mut t = db.begin();
+        let _anchor = t
+            .create_object(p0, NewObject::exact(0, vec![o], vec![]))
+            .unwrap();
+        t.commit().unwrap();
+
+        let store_ckpt = db.checkpoint(1);
+        let config = IraConfig {
+            crash_after_migrations: Some(1),
+            ..IraConfig::default()
+        };
+        // Crash after the single migration committed.
+        let _ = incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config)
+            .unwrap_err();
+        let image = db.crash(store_ckpt, true);
+        drop(db);
+        let out = recover(image, StoreConfig::default()).unwrap();
+        let db = out.db;
+
+        // Fresh run on the recovered database.
+        let report = incremental_reorganize(
+            &db,
+            p1,
+            RelocationPlan::CompactInPlace,
+            &IraConfig::default(),
+        )
+        .unwrap();
+        // The surviving (already migrated) object migrates again; that is
+        // allowed — migration is idempotent at the graph level.
+        assert_eq!(report.migrated(), 1);
+        brahma::sweep::assert_database_consistent(&db);
+    }
+}

@@ -1,0 +1,498 @@
+//! The IRA driver: Figure 1 of the paper, plus the engineering around it —
+//! migration batching (Section 4.3), deadlock retry (Section 4.4), garbage
+//! collection as a side effect (Section 4.6), checkpointing for crash
+//! restart, and fault injection for the failure-handling tests.
+
+use crate::approx::find_objects_and_approx_parents;
+use crate::checkpoint::IraCheckpoint;
+use crate::order::{order_queue, MigrationOrder};
+use crate::exact::find_exact_parents;
+use crate::migrate::{move_object_and_update_refs, BatchEffects};
+use crate::plan::RelocationPlan;
+use crate::traversal::TraversalState;
+use brahma::{Database, Error as StoreError, LockMode, PartitionId, PhysAddr};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Defer all free space of the source (and, for evacuation, target)
+/// partition until the reorganization completes.
+pub(crate) fn withhold_free_space(
+    db: &Database,
+    partition: PartitionId,
+    plan: RelocationPlan,
+) -> Result<(), StoreError> {
+    db.partition(partition)?.defer_all_free_space();
+    if let RelocationPlan::EvacuateTo(target) = plan {
+        if target != partition {
+            db.partition(target)?.defer_all_free_space();
+        }
+    }
+    Ok(())
+}
+
+/// Release the deferred space of the evacuation target (the source's is
+/// released by `Database::end_reorg`).
+pub(crate) fn release_target_space(db: &Database, partition: PartitionId, plan: RelocationPlan) {
+    if let RelocationPlan::EvacuateTo(target) = plan {
+        if target != partition {
+            if let Ok(part) = db.partition(target) {
+                part.flush_deferred_frees();
+            }
+        }
+    }
+}
+
+/// Which migration strategy the driver uses for step two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IraVariant {
+    /// Basic IRA (Section 3.5): all parents of an object locked
+    /// simultaneously while it migrates.
+    Basic,
+    /// The Section 4.2 extension: the object is locked (old and new
+    /// locations) and parents are locked **one at a time** — at most two
+    /// distinct objects are locked at any point.
+    TwoLock,
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct IraConfig {
+    /// Migrations grouped into one transaction (Section 4.3's logging/IO
+    /// trade-off; for the two-lock variant, parent updates per transaction).
+    pub batch_size: usize,
+    pub variant: IraVariant,
+    /// Attempts per batch before the reorganization gives up.
+    pub max_retries: usize,
+    /// Pause after a deadlock-timeout before retrying.
+    pub retry_backoff: Duration,
+    /// Delete unreachable objects discovered by the traversal (Section 4.6:
+    /// the reorganizer doubles as a garbage collector).
+    pub collect_garbage: bool,
+    /// Fault injection: simulate a crash (return
+    /// [`IraError::SimulatedCrash`] with a resumable checkpoint) once this
+    /// many objects have migrated.
+    pub crash_after_migrations: Option<usize>,
+    /// How long to wait for the transactions active when the reorganization
+    /// starts (they must complete before the fuzzy traversal, Section 4.5).
+    pub quiesce_wait: Duration,
+    /// The order in which objects migrate (Section 7 future work: grouping
+    /// by shared external parent minimizes external lock acquisitions when
+    /// combined with batching).
+    pub order: MigrationOrder,
+    /// Rewrite each object as it migrates — the schema-evolution use case
+    /// of the paper's introduction (grow a payload, reserve more reference
+    /// slots, change the tag). The transform must preserve the reference
+    /// list exactly; capacities and payload are free to change.
+    pub transform: Option<fn(brahma::ObjectView) -> brahma::ObjectView>,
+}
+
+impl Default for IraConfig {
+    fn default() -> Self {
+        IraConfig {
+            batch_size: 1,
+            variant: IraVariant::Basic,
+            max_retries: 10_000,
+            retry_backoff: Duration::from_millis(2),
+            collect_garbage: true,
+            crash_after_migrations: None,
+            quiesce_wait: Duration::from_secs(300),
+            order: MigrationOrder::Traversal,
+            transform: None,
+        }
+    }
+}
+
+/// Errors surfaced by the reorganizer.
+#[derive(Debug)]
+pub enum IraError {
+    /// A storage-manager error other than a retryable lock timeout.
+    Store(StoreError),
+    /// A batch kept deadlocking past `max_retries`.
+    RetriesExhausted { object: PhysAddr, attempts: usize },
+    /// Fault injection fired; the checkpoint resumes the run.
+    SimulatedCrash(Box<IraCheckpoint>),
+}
+
+impl fmt::Display for IraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IraError::Store(e) => write!(f, "storage error during reorganization: {e}"),
+            IraError::RetriesExhausted { object, attempts } => {
+                write!(f, "migration of {object} failed after {attempts} attempts")
+            }
+            IraError::SimulatedCrash(c) => {
+                write!(f, "simulated crash after {} migrations", c.mapping.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IraError {}
+
+impl From<StoreError> for IraError {
+    fn from(e: StoreError) -> Self {
+        IraError::Store(e)
+    }
+}
+
+/// Outcome of a completed reorganization.
+#[derive(Debug)]
+pub struct IraReport {
+    pub partition: PartitionId,
+    /// Old address -> new address for every migrated object.
+    pub mapping: HashMap<PhysAddr, PhysAddr>,
+    /// Unreachable objects found by the traversal (deleted when
+    /// `collect_garbage` is set).
+    pub garbage: Vec<PhysAddr>,
+    /// Deadlock-timeout retries across all batches.
+    pub retries: usize,
+    /// Total distinct out-of-partition parents locked, summed over
+    /// migration transactions — the cost the Section 7 ordering minimizes.
+    pub external_parent_locks: usize,
+    pub duration: Duration,
+}
+
+impl IraReport {
+    pub fn migrated(&self) -> usize {
+        self.mapping.len()
+    }
+}
+
+/// The Incremental Reorganization Algorithm: migrate every live object of
+/// `partition` to the location chosen by `plan`, on-line.
+pub fn incremental_reorganize(
+    db: &Database,
+    partition: PartitionId,
+    plan: RelocationPlan,
+    config: &IraConfig,
+) -> Result<IraReport, IraError> {
+    let start = Instant::now();
+    db.start_reorg(partition)?;
+    // Withhold all current free space in the partitions the plan touches:
+    // migrated copies then pack into fresh space in migration order (the
+    // point of compaction and clustering), and everything freed or withheld
+    // is released coalesced when the reorganization ends.
+    withhold_free_space(db, partition, plan)?;
+
+    // Wait for every transaction active at the start to complete, so all
+    // relevant pointer updates are in the TRT (Section 4.5).
+    let active_at_start = db.txns.active_snapshot();
+    db.txns.wait_for_all(&active_at_start, config.quiesce_wait);
+
+    // Step one.
+    let state = find_objects_and_approx_parents(db, partition);
+    let queue = order_queue(config.order, state.order.clone(), &state, partition);
+
+    let run = ReorgRun {
+        db,
+        partition,
+        plan,
+        config,
+        state,
+        queue,
+        pos: 0,
+        mapping: HashMap::new(),
+        retries: 0,
+        ext_locks: 0,
+        started: start,
+    };
+    run.execute()
+}
+
+/// In-flight reorganization state; also reconstructible from an
+/// [`IraCheckpoint`] (see [`crate::checkpoint::resume_reorganization`]).
+pub(crate) struct ReorgRun<'a> {
+    pub db: &'a Database,
+    pub partition: PartitionId,
+    pub plan: RelocationPlan,
+    pub config: &'a IraConfig,
+    pub state: TraversalState,
+    pub queue: Vec<PhysAddr>,
+    pub pos: usize,
+    pub mapping: HashMap<PhysAddr, PhysAddr>,
+    pub retries: usize,
+    pub ext_locks: usize,
+    pub started: Instant,
+}
+
+impl ReorgRun<'_> {
+    fn count_external(&self, keep: &HashSet<PhysAddr>) -> usize {
+        keep.iter()
+            .filter(|a| a.partition() != self.partition)
+            .count()
+    }
+}
+
+impl ReorgRun<'_> {
+    pub(crate) fn execute(mut self) -> Result<IraReport, IraError> {
+        // Step two: migrate, batch by batch.
+        while self.pos < self.queue.len() {
+            let end = (self.pos + self.config.batch_size.max(1)).min(self.queue.len());
+            let batch: Vec<PhysAddr> = self.queue[self.pos..end].to_vec();
+            let mut attempts = 0;
+            loop {
+                let result = match self.config.variant {
+                    IraVariant::Basic => self.try_batch_basic(&batch),
+                    IraVariant::TwoLock => self.try_batch_two_lock(&batch),
+                };
+                match result {
+                    Ok(()) => break,
+                    Err(StoreError::LockTimeout { .. }) => {
+                        attempts += 1;
+                        self.retries += 1;
+                        if attempts > self.config.max_retries {
+                            // Release the reorganization so the system keeps
+                            // running; the caller may retry later.
+                            self.db.end_reorg(self.partition);
+                            release_target_space(self.db, self.partition, self.plan);
+                            return Err(IraError::RetriesExhausted {
+                                object: batch[0],
+                                attempts,
+                            });
+                        }
+                        std::thread::sleep(self.config.retry_backoff);
+                    }
+                    Err(e) => {
+                        self.db.end_reorg(self.partition);
+                        release_target_space(self.db, self.partition, self.plan);
+                        return Err(IraError::Store(e));
+                    }
+                }
+            }
+            self.pos = end;
+            if let Some(n) = self.config.crash_after_migrations {
+                if self.mapping.len() >= n {
+                    // The "crash" leaves the reorganization open, exactly as
+                    // a real failure would; the checkpoint carries the
+                    // traversal state and progress (Section 4.4).
+                    return Err(IraError::SimulatedCrash(Box::new(self.checkpoint())));
+                }
+            }
+        }
+
+        // Garbage: allocated but never traversed (Section 4.6).
+        let survivors: HashSet<PhysAddr> = self.mapping.values().copied().collect();
+        let garbage: Vec<PhysAddr> = self
+            .db
+            .partition(self.partition)
+            .map_err(IraError::Store)?
+            .live_objects()
+            .into_iter()
+            .filter(|a| !survivors.contains(a))
+            .collect();
+        if self.config.collect_garbage && !garbage.is_empty() {
+            let mut txn = self.db.begin_reorg(self.partition);
+            for &g in &garbage {
+                txn.lock(g, LockMode::Exclusive).map_err(IraError::Store)?;
+                txn.delete_object(g).map_err(IraError::Store)?;
+            }
+            txn.commit().map_err(IraError::Store)?;
+        }
+
+        self.db.end_reorg(self.partition);
+        release_target_space(self.db, self.partition, self.plan);
+        // Bound the lifetime of any stale address still in a transaction's
+        // local memory before creation in the partition resumes.
+        let active_at_end = self.db.txns.active_snapshot();
+        self.db
+            .txns
+            .wait_for_all(&active_at_end, self.config.quiesce_wait);
+
+        Ok(IraReport {
+            partition: self.partition,
+            mapping: self.mapping,
+            garbage,
+            retries: self.retries,
+            external_parent_locks: self.ext_locks,
+            duration: self.started.elapsed(),
+        })
+    }
+
+    /// Snapshot the run for crash-restart (Section 4.4: "the data structures
+    /// Traversed Objects and Parent Lists can be checkpointed").
+    pub(crate) fn checkpoint(&self) -> IraCheckpoint {
+        // Fuzzy TRT checkpoint: capture the log position first, then the
+        // tuples — replaying from `trt_lsn` may duplicate tuples already in
+        // the snapshot, which is conservative (Section 4.4).
+        let trt_lsn = self.db.wal.next_lsn();
+        let trt_snapshot = self
+            .db
+            .trt(self.partition)
+            .map(|t| t.dump())
+            .unwrap_or_default();
+        IraCheckpoint {
+            partition: self.partition,
+            plan: self.plan,
+            state: self.state.clone(),
+            mapping: self.mapping.iter().map(|(k, v)| (*k, *v)).collect(),
+            queue: self.queue.clone(),
+            pos: self.pos,
+            trt_snapshot,
+            trt_lsn,
+        }
+    }
+
+    /// Migrate one batch inside one transaction (basic IRA).
+    fn try_batch_basic(&mut self, batch: &[PhysAddr]) -> Result<(), StoreError> {
+        let part = self.db.partition(self.partition)?;
+        let mut txn = self.db.begin_reorg(self.partition);
+        let mut keep: HashSet<PhysAddr> = HashSet::new();
+        let mut effects = BatchEffects::default();
+        let mut failure = None;
+        for &oold in batch {
+            if self.mapping.contains_key(&oold) || !part.contains_object(oold) {
+                continue;
+            }
+            let step = find_exact_parents(self.db, &mut txn, oold, &mut self.state, &keep)
+                .and_then(|parents| {
+                    let onew = move_object_and_update_refs(
+                        self.db,
+                        &mut txn,
+                        oold,
+                        &parents,
+                        self.plan,
+                        self.config.transform,
+                        &mut self.state,
+                        &mut self.mapping,
+                        &mut effects,
+                    )?;
+                    keep.extend(parents);
+                    keep.insert(onew);
+                    keep.insert(oold);
+                    Ok(())
+                });
+            if let Err(e) = step {
+                failure = Some(e);
+                break;
+            }
+        }
+        match failure {
+            None => {
+                self.ext_locks += self.count_external(&keep);
+                txn.commit()
+            }
+            Some(e) => {
+                txn.abort();
+                std::mem::take(&mut effects).revert(self.db, &mut self.state, &mut self.mapping);
+                Err(e)
+            }
+        }
+    }
+
+    /// Migrate one batch with the two-lock extension.
+    fn try_batch_two_lock(&mut self, batch: &[PhysAddr]) -> Result<(), StoreError> {
+        let part = self.db.partition(self.partition)?;
+        for &oold in batch {
+            if self.mapping.contains_key(&oold) || !part.contains_object(oold) {
+                continue;
+            }
+            crate::two_lock::migrate_two_lock(
+                self.db,
+                oold,
+                self.plan,
+                &mut self.state,
+                &mut self.mapping,
+                self.config,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::RelocationPlan;
+    use brahma::{Database, LockMode, NewObject, StoreConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = IraConfig::default();
+        assert_eq!(c.batch_size, 1);
+        assert_eq!(c.variant, IraVariant::Basic);
+        assert!(c.collect_garbage);
+        assert!(c.crash_after_migrations.is_none());
+        assert!(c.transform.is_none());
+    }
+
+    #[test]
+    fn empty_partition_reorganizes_trivially() {
+        let db = Database::new(StoreConfig::default());
+        let p = db.create_partition();
+        let report =
+            incremental_reorganize(&db, p, RelocationPlan::CompactInPlace, &IraConfig::default())
+                .unwrap();
+        assert_eq!(report.migrated(), 0);
+        assert!(report.garbage.is_empty());
+        assert!(!db.reorg_active(p));
+    }
+
+    #[test]
+    fn retries_exhausted_releases_the_reorganization() {
+        // A workload transaction parks on the only parent forever; with a
+        // tiny lock timeout and max_retries = 2 the driver gives up and
+        // releases the reorganization.
+        let mut store = StoreConfig::default();
+        store.lock_timeout = std::time::Duration::from_millis(20);
+        let db = Arc::new(Database::new(store));
+        let p0 = db.create_partition();
+        let p1 = db.create_partition();
+        let mut t = db.begin();
+        let o = t
+            .create_object(p1, NewObject::exact(1, vec![], vec![]))
+            .unwrap();
+        let parent = t
+            .create_object(p0, NewObject::exact(0, vec![o], vec![]))
+            .unwrap();
+        t.commit().unwrap();
+
+        // Blocker holds the parent and never finishes (until we drop it).
+        let mut blocker = db.begin();
+        blocker.lock(parent, LockMode::Exclusive).unwrap();
+
+        let config = IraConfig {
+            max_retries: 2,
+            retry_backoff: std::time::Duration::from_millis(1),
+            quiesce_wait: std::time::Duration::from_millis(50),
+            ..IraConfig::default()
+        };
+        let err = incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config)
+            .unwrap_err();
+        assert!(matches!(err, IraError::RetriesExhausted { .. }));
+        assert!(!db.reorg_active(p1), "reorganization must be released");
+        blocker.abort();
+        // A later run succeeds.
+        let report =
+            incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &IraConfig::default())
+                .unwrap();
+        assert_eq!(report.migrated(), 1);
+    }
+
+    #[test]
+    fn transform_applies_during_migration() {
+        fn bump_tag(mut v: brahma::ObjectView) -> brahma::ObjectView {
+            v.tag = 42;
+            v
+        }
+        let db = Database::new(StoreConfig::default());
+        let p0 = db.create_partition();
+        let p1 = db.create_partition();
+        let mut t = db.begin();
+        let o = t
+            .create_object(p1, NewObject::exact(1, vec![], b"x".to_vec()))
+            .unwrap();
+        let _anchor = t
+            .create_object(p0, NewObject::exact(0, vec![o], vec![]))
+            .unwrap();
+        t.commit().unwrap();
+        let config = IraConfig {
+            transform: Some(bump_tag),
+            ..IraConfig::default()
+        };
+        let report =
+            incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config).unwrap();
+        assert_eq!(db.raw_read(report.mapping[&o]).unwrap().tag, 42);
+    }
+}

@@ -1,0 +1,68 @@
+//! # IRA — the Incremental Reorganization Algorithm
+//!
+//! This crate implements the contribution of *On-line Reorganization in
+//! Object Databases* (Lakhamraju, Rastogi, Seshadri, Sudarshan; SIGMOD
+//! 2000) on the `brahma` storage substrate:
+//!
+//! * [`incremental_reorganize`] — the IRA of Section 3: a fuzzy,
+//!   latch-only traversal finds the partition's live objects and their
+//!   approximate parents; then, object by object, the parent set is made
+//!   exact (with the Temporary Reference Table catching concurrent pointer
+//!   inserts and deletes) and the object is migrated inside a transaction
+//!   holding locks only on its parents.
+//! * Extensions: relaxed strict-2PL (Section 4.1, [`relaxed`]), the
+//!   two-lock variant holding at most two locks at any time (Section 4.2,
+//!   [`two_lock`]), migration batching (Section 4.3, `IraConfig::batch_size`),
+//!   checkpoint/restart after failures (Section 4.4, [`checkpoint`]), and
+//!   copying garbage collection as a side effect (Section 4.6, [`gc`]).
+//! * Baselines: the quiescent reorganizer of Section 3.1 ([`offline`]) and
+//!   **PQR**, the Partition Quiesce Reorganization baseline of the paper's
+//!   performance study (Section 5.1, [`pqr`]).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use brahma::{Database, NewObject, StoreConfig};
+//! use ira::{incremental_reorganize, IraConfig, RelocationPlan};
+//!
+//! let db = Database::new(StoreConfig::default());
+//! let p0 = db.create_partition();
+//! let p1 = db.create_partition();
+//! let mut txn = db.begin();
+//! let child = txn.create_object(p1, NewObject::exact(0, vec![], b"c".to_vec())).unwrap();
+//! let parent = txn.create_object(p0, NewObject::exact(0, vec![child], vec![])).unwrap();
+//! txn.commit().unwrap();
+//!
+//! // Migrate every live object of p1, on-line.
+//! let report = incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace,
+//!                                     &IraConfig::default()).unwrap();
+//! assert_eq!(report.migrated(), 1);
+//! let new_child = report.mapping[&child];
+//! // The parent's physical reference was rewritten.
+//! assert_eq!(db.raw_read(parent).unwrap().refs, vec![new_child]);
+//! ira::verify::assert_reorganization_clean(&db, &report);
+//! ```
+
+pub mod approx;
+pub mod checkpoint;
+pub mod driver;
+pub mod exact;
+pub mod gc;
+pub mod migrate;
+pub mod offline;
+pub mod order;
+pub mod plan;
+pub mod pqr;
+pub mod relaxed;
+pub mod traversal;
+pub mod two_lock;
+pub mod verify;
+
+pub use checkpoint::{resume_reorganization, IraCheckpoint};
+pub use driver::{incremental_reorganize, IraConfig, IraError, IraReport, IraVariant};
+pub use gc::{copying_collect, find_garbage, GcReport};
+pub use offline::offline_reorganize;
+pub use order::MigrationOrder;
+pub use plan::RelocationPlan;
+pub use pqr::{partition_quiesce_reorganize, PqrReport};
+pub use traversal::TraversalState;

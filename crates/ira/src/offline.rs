@@ -1,0 +1,184 @@
+//! Reorganizing a quiescent partition (Section 3.1).
+//!
+//! When no transaction can touch the partition — either because the whole
+//! database is idle, or because PQR has quiesced the partition by locking
+//! every external parent — reorganization is straightforward: one sweep
+//! builds exact parent lists, then each object is copied, its parents'
+//! references rewritten, and the old copy freed.
+
+use crate::plan::RelocationPlan;
+use brahma::{Database, LockMode, LogPayload, NewObject, PartitionId, PhysAddr, Result, Txn};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+/// Migrate every allocated object of the (quiescent) `partition` according
+/// to `plan`, inside `txn`. The caller guarantees quiescence (see
+/// [`crate::pqr`]); `txn` must be a reorganizer transaction.
+///
+/// Returns the old-to-new address mapping.
+pub fn reorganize_quiescent(
+    db: &Database,
+    partition: PartitionId,
+    plan: RelocationPlan,
+    txn: &mut Txn<'_>,
+) -> Result<HashMap<PhysAddr, PhysAddr>> {
+    let part = db.partition(partition)?;
+    let objects = part.live_objects();
+
+    // One sweep builds the exact parent lists: intra-partition parents from
+    // the objects, external parents from the ERT.
+    let mut parents: HashMap<PhysAddr, Vec<PhysAddr>> = HashMap::new();
+    for &obj in &objects {
+        let view = db.raw_read(obj)?;
+        for child in view.refs {
+            if child.partition() == partition {
+                parents.entry(child).or_default().push(obj);
+            }
+        }
+    }
+    for &obj in &objects {
+        for ext in part.ert.parents_of(obj) {
+            parents.entry(obj).or_default().push(ext);
+        }
+    }
+
+    let mut mapping: HashMap<PhysAddr, PhysAddr> = HashMap::new();
+    for &oold in &objects {
+        txn.lock(oold, LockMode::Exclusive)?;
+        let image = txn.read(oold)?;
+        let onew = txn.create_object(
+            plan.target_partition(oold),
+            NewObject {
+                tag: image.tag,
+                refs: image.refs.clone(),
+                ref_cap: image.ref_cap,
+                payload: image.payload.clone(),
+                payload_cap: image.payload_cap,
+            },
+        )?;
+        for (i, r) in image.refs.iter().enumerate() {
+            if *r == oold {
+                txn.set_ref(onew, i, onew)?;
+            }
+        }
+        for parent in parents.get(&oold).cloned().unwrap_or_default() {
+            if parent == oold {
+                continue;
+            }
+            // A parent that already migrated lives at its new address now.
+            let parent = mapping.get(&parent).copied().unwrap_or(parent);
+            txn.lock(parent, LockMode::Exclusive)?;
+            let refs = txn.read_refs(parent)?;
+            for (i, r) in refs.iter().enumerate() {
+                if *r == oold {
+                    txn.set_ref(parent, i, onew)?;
+                }
+            }
+        }
+        if db.is_root(oold) {
+            db.replace_root(oold, onew);
+        }
+        db.wal
+            .append(txn.id(), LogPayload::Migrate { old: oold, new: onew });
+        txn.delete_object(oold)?;
+        mapping.insert(oold, onew);
+        db.stats.migrations.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(mapping)
+}
+
+/// Convenience wrapper: reorganize a partition of an otherwise idle
+/// database in a single transaction.
+pub fn offline_reorganize(
+    db: &Database,
+    partition: PartitionId,
+    plan: RelocationPlan,
+) -> Result<HashMap<PhysAddr, PhysAddr>> {
+    let mut txn = db.begin_reorg(partition);
+    let mapping = match reorganize_quiescent(db, partition, plan, &mut txn) {
+        Ok(m) => m,
+        Err(e) => {
+            txn.abort();
+            return Err(e);
+        }
+    };
+    txn.commit()?;
+    db.partition(partition)?.flush_deferred_frees();
+    if let RelocationPlan::EvacuateTo(target) = plan {
+        db.partition(target)?.flush_deferred_frees();
+    }
+    Ok(mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brahma::StoreConfig;
+
+    fn mk(db: &Database, p: PartitionId, refs: Vec<PhysAddr>) -> PhysAddr {
+        let mut t = db.begin();
+        let a = t
+            .create_object(
+                p,
+                NewObject {
+                    tag: 1,
+                    refs,
+                    ref_cap: 4,
+                    payload: b"off".to_vec(),
+                    payload_cap: 8,
+                },
+            )
+            .unwrap();
+        t.commit().unwrap();
+        a
+    }
+
+    #[test]
+    fn offline_compaction_preserves_graph() {
+        let db = Database::new(StoreConfig::default());
+        let p0 = db.create_partition();
+        let p1 = db.create_partition();
+        let leaf = mk(&db, p1, vec![]);
+        let mid = mk(&db, p1, vec![leaf]);
+        let ext = mk(&db, p0, vec![mid]);
+
+        let mapping = offline_reorganize(&db, p1, RelocationPlan::CompactInPlace).unwrap();
+        assert_eq!(mapping.len(), 2);
+        let mid_new = mapping[&mid];
+        let leaf_new = mapping[&leaf];
+        assert_eq!(db.raw_read(ext).unwrap().refs, vec![mid_new]);
+        assert_eq!(db.raw_read(mid_new).unwrap().refs, vec![leaf_new]);
+        brahma::sweep::assert_database_consistent(&db);
+    }
+
+    #[test]
+    fn offline_evacuation_empties_partition() {
+        let db = Database::new(StoreConfig::default());
+        let p0 = db.create_partition();
+        let p1 = db.create_partition();
+        let p2 = db.create_partition();
+        let a = mk(&db, p1, vec![]);
+        let b = mk(&db, p1, vec![a]);
+        let _ext = mk(&db, p0, vec![b]);
+
+        let mapping = offline_reorganize(&db, p1, RelocationPlan::EvacuateTo(p2)).unwrap();
+        assert_eq!(db.partition(p1).unwrap().object_count(), 0);
+        assert_eq!(db.partition(p2).unwrap().object_count(), 2);
+        assert!(mapping.values().all(|a| a.partition() == p2));
+        brahma::sweep::assert_database_consistent(&db);
+    }
+
+    #[test]
+    fn migrates_even_unreachable_objects() {
+        // The offline algorithm works from allocation information, so
+        // garbage is migrated rather than collected (compaction semantics).
+        let db = Database::new(StoreConfig::default());
+        let p0 = db.create_partition();
+        let _ = p0;
+        let p1 = db.create_partition();
+        let orphan = mk(&db, p1, vec![]);
+        let mapping = offline_reorganize(&db, p1, RelocationPlan::CompactInPlace).unwrap();
+        assert!(mapping.contains_key(&orphan));
+        assert_eq!(db.partition(p1).unwrap().object_count(), 1);
+    }
+}

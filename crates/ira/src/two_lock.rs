@@ -1,0 +1,258 @@
+//! The two-lock extension (Section 4.2).
+//!
+//! Rather than locking all parents of an object simultaneously, the
+//! reorganizer locks the object being migrated — in both its old and new
+//! locations — and then locks parents **one at a time**, releasing each
+//! parent's lock (by committing its update transaction) before taking the
+//! next. At most two distinct objects are therefore locked by the
+//! reorganizer at any point in time.
+//!
+//! The guard locks on `O_old`/`O_new` are held by a dedicated *guard
+//! transaction* across the per-parent update transactions, modelling the
+//! paper's process-level locks. Transactions can still copy references to
+//! either location into other objects while migration runs; new references
+//! to `O_new` are already correct, and new references to `O_old` surface as
+//! TRT tuples, which the parent loop keeps draining until none remain — at
+//! that point no live reference to `O_old` can exist (the strict-2PL /
+//! ever-held-wait argument of Lemma 3.2 applies per parent) and the old
+//! copy is freed.
+//!
+//! The paper notes two costs, which this implementation inherits: after a
+//! crash, both locations must be locked and the reorganization restarted
+//! (some parents may point at `O_old` and others at `O_new`); and reference
+//! *comparisons* by transactions must either lock the referenced objects or
+//! consult the migration mapping (see [`crate::driver::IraReport::mapping`]).
+
+use crate::driver::IraConfig;
+use crate::plan::RelocationPlan;
+use crate::relaxed::{lock_and_settle, settle};
+use crate::traversal::TraversalState;
+use brahma::{Database, LockMode, LogPayload, NewObject, PhysAddr, Result};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+
+/// Migrate one object with the two-lock discipline.
+pub fn migrate_two_lock(
+    db: &Database,
+    oold: PhysAddr,
+    plan: RelocationPlan,
+    state: &mut TraversalState,
+    mapping: &mut HashMap<PhysAddr, PhysAddr>,
+    config: &IraConfig,
+) -> Result<PhysAddr> {
+    let partition = oold.partition();
+
+    // Guard transaction: holds O_old (and soon O_new) for the whole
+    // migration.
+    let mut guard = db.begin_reorg(partition);
+    guard.lock(oold, LockMode::Exclusive)?;
+    settle(db, guard.id(), oold)?;
+    let image = guard.read(oold)?;
+    let image = match config.transform {
+        Some(f) => {
+            let transformed = f(image.clone());
+            debug_assert_eq!(
+                transformed.refs, image.refs,
+                "migration transforms must preserve the reference list"
+            );
+            transformed
+        }
+        None => image,
+    };
+
+    // Create the copy in its own transaction, then hand its lock to the
+    // guard. Nothing references O_new yet, so the hand-over window is
+    // unreachable by other transactions.
+    let mut creator = db.begin_reorg(partition);
+    let onew = creator.create_object(
+        plan.target_partition(oold),
+        NewObject {
+            tag: image.tag,
+            refs: image.refs.clone(),
+            ref_cap: image.ref_cap,
+            payload: image.payload.clone(),
+            payload_cap: image.payload_cap,
+        },
+    )?;
+    for (i, r) in image.refs.iter().enumerate() {
+        if *r == oold {
+            creator.set_ref(onew, i, onew)?;
+        }
+    }
+    creator.commit()?;
+    guard.lock(onew, LockMode::Exclusive)?;
+
+    // Repoint parents one at a time. The approximate list seeds the work;
+    // the TRT supplies parents that appear (or reappear) concurrently. A
+    // parent already processed can legitimately come back via the TRT if a
+    // transaction inserted a fresh reference to O_old into it.
+    let mut pending: Vec<PhysAddr> = state.parents_of(oold);
+    let mut processed: HashSet<PhysAddr> = HashSet::new();
+    loop {
+        while let Some(parent) = pending.pop() {
+            if parent == oold || parent == onew || processed.contains(&parent) {
+                continue;
+            }
+            repoint_parent(db, parent, oold, onew, config)?;
+            processed.insert(parent);
+        }
+        db.drain_analyzer();
+        let Some(trt) = db.trt(partition) else { break };
+        let Some(tuple) = trt.peek_for(oold) else { break };
+        // Per-parent transaction, exactly as above; the tuple is deleted
+        // after its parent is locked (Figure 4's ordering).
+        if tuple.parent != oold && tuple.parent != onew {
+            repoint_parent(db, tuple.parent, oold, onew, config)?;
+        }
+        trt.remove_tuple(&tuple);
+    }
+
+    // Bookkeeping identical to the basic variant.
+    for &child in &image.refs {
+        if child.partition() == partition && child != oold && !mapping.contains_key(&child) {
+            state.replace_parent(child, oold, onew);
+        }
+    }
+    if db.is_root(oold) {
+        db.replace_root(oold, onew);
+    }
+    db.wal
+        .append(guard.id(), LogPayload::Migrate { old: oold, new: onew });
+    guard.delete_object(oold)?;
+    guard.commit()?;
+
+    mapping.insert(oold, onew);
+    db.stats.migrations.fetch_add(1, Ordering::Relaxed);
+    Ok(onew)
+}
+
+/// Lock one parent in its own transaction, rewrite its references to
+/// `oold`, commit (releasing it). Lock timeouts retry locally so a deadlock
+/// against a walker (who may be waiting on the guarded `oold`) resolves
+/// without abandoning the migration.
+fn repoint_parent(
+    db: &Database,
+    parent: PhysAddr,
+    oold: PhysAddr,
+    onew: PhysAddr,
+    config: &IraConfig,
+) -> Result<()> {
+    let mut attempts = 0;
+    loop {
+        let mut txn = db.begin_reorg(oold.partition());
+        let outcome = lock_and_settle(db, &mut txn, parent).and_then(|()| {
+            if let Ok(refs) = txn.read_refs(parent) {
+                for (i, r) in refs.iter().enumerate() {
+                    if *r == oold {
+                        txn.set_ref(parent, i, onew)?;
+                    }
+                }
+            }
+            Ok(())
+        });
+        match outcome {
+            Ok(()) => {
+                txn.commit()?;
+                return Ok(());
+            }
+            Err(brahma::Error::LockTimeout { .. }) if attempts < config.max_retries => {
+                txn.abort();
+                attempts += 1;
+                std::thread::sleep(config.retry_backoff);
+            }
+            Err(e) => {
+                txn.abort();
+                return Err(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::find_objects_and_approx_parents;
+    use brahma::{PartitionId, StoreConfig};
+
+    fn mk(db: &Database, p: PartitionId, refs: Vec<PhysAddr>) -> PhysAddr {
+        let mut t = db.begin();
+        let a = t
+            .create_object(
+                p,
+                NewObject {
+                    tag: 3,
+                    refs,
+                    ref_cap: 8,
+                    payload: b"two-lock".to_vec(),
+                    payload_cap: 16,
+                },
+            )
+            .unwrap();
+        t.commit().unwrap();
+        a
+    }
+
+    #[test]
+    fn migrates_and_repoints_with_at_most_two_reorg_locks() {
+        let db = Database::new(StoreConfig::default());
+        let p0 = db.create_partition();
+        let p1 = db.create_partition();
+        let o = mk(&db, p1, vec![]);
+        let e1 = mk(&db, p0, vec![o]);
+        let e2 = mk(&db, p0, vec![o]);
+
+        db.start_reorg(p1).unwrap();
+        let mut state = find_objects_and_approx_parents(&db, p1);
+        let mut mapping = HashMap::new();
+        let onew = migrate_two_lock(
+            &db,
+            o,
+            RelocationPlan::CompactInPlace,
+            &mut state,
+            &mut mapping,
+            &IraConfig::default(),
+        )
+        .unwrap();
+        db.end_reorg(p1);
+
+        assert_eq!(db.raw_read(e1).unwrap().refs, vec![onew]);
+        assert_eq!(db.raw_read(e2).unwrap().refs, vec![onew]);
+        assert!(db.raw_read(o).is_err());
+        assert_eq!(mapping.get(&o), Some(&onew));
+        brahma::sweep::assert_database_consistent(&db);
+    }
+
+    #[test]
+    fn trt_tuples_created_mid_migration_are_drained() {
+        let db = Database::new(StoreConfig::default());
+        let p0 = db.create_partition();
+        let p1 = db.create_partition();
+        let o = mk(&db, p1, vec![]);
+        let e1 = mk(&db, p0, vec![o]);
+        let late = mk(&db, p0, vec![]);
+
+        db.start_reorg(p1).unwrap();
+        let mut state = find_objects_and_approx_parents(&db, p1);
+        // Simulate a transaction inserting a new reference to o after the
+        // traversal but before migration (it will be in the TRT).
+        let mut t = db.begin();
+        t.lock(late, brahma::LockMode::Exclusive).unwrap();
+        t.insert_ref(late, o).unwrap();
+        t.commit().unwrap();
+
+        let mut mapping = HashMap::new();
+        let onew = migrate_two_lock(
+            &db,
+            o,
+            RelocationPlan::CompactInPlace,
+            &mut state,
+            &mut mapping,
+            &IraConfig::default(),
+        )
+        .unwrap();
+        db.end_reorg(p1);
+        assert_eq!(db.raw_read(late).unwrap().refs, vec![onew]);
+        assert_eq!(db.raw_read(e1).unwrap().refs, vec![onew]);
+        brahma::sweep::assert_database_consistent(&db);
+    }
+}

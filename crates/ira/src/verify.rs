@@ -1,0 +1,38 @@
+//! Post-reorganization verification, used by tests, examples, and the
+//! benchmark harness's self-checks.
+
+use crate::driver::IraReport;
+use brahma::sweep;
+use brahma::Database;
+
+/// Check a completed reorganization against the database:
+/// every old address must be dead, every new address live, and the global
+/// invariants (referential integrity, exact ERTs) must hold.
+///
+/// Returns human-readable violations; empty means the reorganization is
+/// verifiably clean.
+pub fn verify_reorganization(db: &Database, report: &IraReport) -> Vec<String> {
+    let mut problems = Vec::new();
+    for (old, new) in &report.mapping {
+        if db.raw_read(*old).is_ok() {
+            problems.push(format!("old copy {old} still live after migration"));
+        }
+        if db.raw_read(*new).is_err() {
+            problems.push(format!("new copy {new} (of {old}) is not readable"));
+        }
+    }
+    problems.extend(sweep::check_ref_integrity(db));
+    problems.extend(sweep::check_ert_exact(db));
+    problems
+}
+
+/// Panic with a report when the reorganization left the database
+/// inconsistent.
+pub fn assert_reorganization_clean(db: &Database, report: &IraReport) {
+    let problems = verify_reorganization(db, report);
+    assert!(
+        problems.is_empty(),
+        "reorganization left inconsistencies:\n{}",
+        problems.join("\n")
+    );
+}

@@ -1,0 +1,153 @@
+//! The MPL driver (Section 5.2): `MPL` threads, each submitting the next
+//! transaction as soon as the previous one completes, threads uniformly
+//! assigned home partitions.
+
+use crate::graph::GraphInfo;
+use crate::metrics::Metrics;
+use crate::params::WorkloadParams;
+use crate::walker::{walk_once, WalkAttempt};
+use brahma::Database;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A running workload: MPL threads submitting walk transactions until
+/// stopped.
+pub struct WorkloadHandle {
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<Metrics>>,
+    started: Instant,
+}
+
+/// Start `params.mpl` workload threads against `db`.
+pub fn start_workload(
+    db: Arc<Database>,
+    info: Arc<GraphInfo>,
+    params: &WorkloadParams,
+) -> WorkloadHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let threads = (0..params.mpl)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let info = Arc::clone(&info);
+            let stop = Arc::clone(&stop);
+            let params = params.clone();
+            std::thread::Builder::new()
+                .name(format!("walker-{t}"))
+                .spawn(move || {
+                    // Threads are uniformly assigned to home partitions.
+                    let home = t % info.data_partitions.len();
+                    let mut rng = StdRng::seed_from_u64(params.seed ^ (t as u64) << 17);
+                    let mut metrics = Metrics::default();
+                    let run_start = Instant::now();
+                    while !stop.load(Ordering::Relaxed) {
+                        // One logical transaction: retry attempts until it
+                        // commits; response time spans all attempts.
+                        let txn_start = Instant::now();
+                        loop {
+                            match walk_once(&db, &info, home, &params, &mut rng) {
+                                Ok(WalkAttempt::Committed) => {
+                                    metrics.record_commit(txn_start.elapsed());
+                                    break;
+                                }
+                                Ok(WalkAttempt::TimedOut) => {
+                                    metrics.record_abort();
+                                    if stop.load(Ordering::Relaxed) {
+                                        break;
+                                    }
+                                }
+                                Err(e) => {
+                                    panic!("walker {t} hit a non-retryable error: {e}")
+                                }
+                            }
+                        }
+                    }
+                    metrics.window = run_start.elapsed();
+                    metrics
+                })
+                .expect("spawn walker thread")
+        })
+        .collect();
+    WorkloadHandle {
+        stop,
+        threads,
+        started,
+    }
+}
+
+impl WorkloadHandle {
+    /// Time since the workload started.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// Signal all threads to stop and collect their merged metrics.
+    pub fn stop_and_join(self) -> Metrics {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut merged = Metrics::default();
+        for t in self.threads {
+            merged.merge(t.join().expect("walker thread panicked"));
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build_graph;
+    use brahma::StoreConfig;
+    use std::time::Duration;
+
+    #[test]
+    fn workload_runs_and_stops() {
+        let db = Arc::new(Database::new(StoreConfig::default()));
+        let params = WorkloadParams {
+            num_partitions: 2,
+            objs_per_partition: 170,
+            mpl: 4,
+            ..WorkloadParams::default()
+        };
+        let info = Arc::new(build_graph(&db, &params).unwrap());
+        let handle = start_workload(Arc::clone(&db), info, &params);
+        std::thread::sleep(Duration::from_millis(200));
+        let metrics = handle.stop_and_join();
+        let summary = metrics.summarize();
+        assert!(summary.committed > 10, "got {summary:?}");
+        assert!(summary.throughput_tps > 0.0);
+        brahma::sweep::assert_database_consistent(&db);
+    }
+
+    #[test]
+    fn workload_with_concurrent_reorganization_is_consistent() {
+        let db = Arc::new(Database::new(StoreConfig::default()));
+        let params = WorkloadParams {
+            num_partitions: 3,
+            objs_per_partition: 170,
+            mpl: 6,
+            ref_update_prob: 0.2,
+            ..WorkloadParams::default()
+        };
+        let info = Arc::new(build_graph(&db, &params).unwrap());
+        let handle = start_workload(Arc::clone(&db), Arc::clone(&info), &params);
+
+        // Reorganize a data partition while the walkers hammer it.
+        let report = ira::incremental_reorganize(
+            &db,
+            info.data_partitions[0],
+            ira::RelocationPlan::CompactInPlace,
+            &ira::IraConfig::default(),
+        )
+        .expect("IRA completes under load");
+        assert_eq!(report.migrated(), 170);
+
+        let metrics = handle.stop_and_join();
+        assert!(metrics.summarize().committed > 0);
+        brahma::sweep::assert_database_consistent(&db);
+        ira::verify::assert_reorganization_clean(&db, &report);
+    }
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate for the SIGMOD 2000 "On-line Reorganization in Object
+//! Databases" reproduction. Re-exports the three library crates so the
+//! examples and integration tests have a single import root.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use brahma;
+pub use ira;
+pub use workload;
