@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 gate: release build, full test suite, clippy clean.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings

@@ -46,11 +46,14 @@ impl HarnessOptions {
 
 const ALGOS: [Algo; 3] = [Algo::Nr, Algo::Ira, Algo::Pqr];
 
+/// One swept configuration tweak.
+type Tweak = Box<dyn Fn(&mut CellConfig)>;
+
 fn sweep(
     opts: &HarnessOptions,
     title: &str,
     x_name: &str,
-    xs: Vec<(String, Box<dyn Fn(&mut CellConfig)>)>,
+    xs: Vec<(String, Tweak)>,
 ) -> Experiment {
     let mut rows = Vec::new();
     for (label, tweak) in xs {
@@ -161,11 +164,8 @@ pub fn exp_update_prob(opts: &HarnessOptions) -> Experiment {
 
 /// Section 5.3.4: GLUEFACTOR sweep (full version of the paper).
 pub fn exp_glue(opts: &HarnessOptions) -> Experiment {
-    let glues: Vec<f64> = if opts.quick {
-        vec![0.01, 0.05, 0.2]
-    } else {
-        vec![0.01, 0.05, 0.2]
-    };
+    // Three points cover the paper's spread; cheap enough for --quick too.
+    let glues: Vec<f64> = vec![0.01, 0.05, 0.2];
     sweep(
         opts,
         "Section 5.3.4: glue factor (inter-partition references)",
@@ -183,11 +183,8 @@ pub fn exp_glue(opts: &HarnessOptions) -> Experiment {
 
 /// Section 5.3.4: transaction path length (OPSPERTRANS) sweep.
 pub fn exp_ops_per_trans(opts: &HarnessOptions) -> Experiment {
-    let opss: Vec<usize> = if opts.quick {
-        vec![2, 8, 32]
-    } else {
-        vec![2, 8, 32]
-    };
+    // Three points cover the paper's spread; cheap enough for --quick too.
+    let opss: Vec<usize> = vec![2, 8, 32];
     sweep(
         opts,
         "Section 5.3.4: transaction path length",
@@ -253,7 +250,7 @@ pub fn exp_equal_duration(opts: &HarnessOptions) -> Experiment {
 /// IRA configuration at the workload defaults.
 pub fn exp_ablation(opts: &HarnessOptions) -> Experiment {
     let mut rows = Vec::new();
-    let variants: Vec<(&str, Box<dyn Fn(&mut CellConfig)>)> = vec![
+    let variants: Vec<(&str, Tweak)> = vec![
         ("basic", Box::new(|_cfg: &mut CellConfig| {})),
         (
             "two-lock",

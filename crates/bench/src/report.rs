@@ -63,6 +63,41 @@ impl Experiment {
             }
             let _ = writeln!(out);
         }
+        out.push_str(&self.render_counters());
+        out
+    }
+
+    /// Render the substrate counter deltas of every cell: one line per
+    /// cell with the non-zero `lock.*` / `wal.*` / `ira.*` / `pqr.*` /
+    /// `db.*` / `workload.*` keys. This is the observability companion to
+    /// the figures — the *why* behind the throughput numbers (e.g. PQR's
+    /// quiesce locks and the walkers' lock waits during it).
+    pub fn render_counters(&self) -> String {
+        let mut out = String::new();
+        let any = self
+            .rows
+            .iter()
+            .any(|r| r.cells.iter().any(|c| !c.counters.is_empty()));
+        if !any {
+            return out;
+        }
+        let _ = writeln!(out, "-- substrate counters --");
+        for row in &self.rows {
+            for c in &row.cells {
+                let compact = c.counters.render_compact("");
+                if compact.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "{}={} {}: {}",
+                    self.x_name,
+                    row.x_label,
+                    c.algo.name(),
+                    compact
+                );
+            }
+        }
         out
     }
 
@@ -133,11 +168,15 @@ mod tests {
     use workload::Summary;
 
     fn cell(algo: Algo, tps: f64) -> CellResult {
+        let mut counters = obs::Snapshot::new();
+        counters.set("lock.waits", 7);
+        counters.set("wal.flushes", 100);
         CellResult {
             algo,
             summary: Summary {
                 committed: 100,
                 aborted_attempts: 2,
+                errors: 0,
                 throughput_tps: tps,
                 avg_ms: 10.0,
                 max_ms: 50.0,
@@ -149,6 +188,7 @@ mod tests {
             reorg_secs: Some(1.5),
             migrated: 42,
             lock_timeouts: 3,
+            counters,
         }
     }
 
@@ -169,6 +209,14 @@ mod tests {
         assert!(s.contains("NR.tps"));
         assert!(s.contains("IRA.art_ms"));
         assert!(s.contains("35.0"));
+    }
+
+    #[test]
+    fn render_includes_substrate_counters() {
+        let s = experiment().render();
+        assert!(s.contains("substrate counters"));
+        assert!(s.contains("lock.waits=7"));
+        assert!(s.contains("wal.flushes=100"));
     }
 
     #[test]

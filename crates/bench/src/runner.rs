@@ -89,6 +89,11 @@ pub struct CellResult {
     pub migrated: usize,
     /// Lock timeouts observed store-wide during the cell.
     pub lock_timeouts: u64,
+    /// Substrate counter deltas over the cell window: `db.*`, `lock.*`,
+    /// `wal.*`, `ert.*`, `trt.*` from [`Database::obs_snapshot`], plus the
+    /// reorganizer's `ira.*` / `pqr.*` keys and the workload's
+    /// `workload.*` aggregates.
+    pub counters: obs::Snapshot,
 }
 
 /// Run one cell to completion.
@@ -98,10 +103,14 @@ pub fn run_cell(cfg: &CellConfig) -> CellResult {
     // Install the CPU model only after the graph is built (construction is
     // not part of the measured system).
     db.set_cpu_model(Some(Arc::new(CpuModel::new(cfg.cpu_capacity, cfg.cpu_work))));
+    // Baseline snapshot: the cell's counters are the delta over its window,
+    // so graph construction does not pollute them.
+    let before = db.obs_snapshot();
     let handle = start_workload(Arc::clone(&db), Arc::clone(&info), &cfg.params);
 
     let target = info.data_partitions[cfg.reorg_partition.min(info.data_partitions.len() - 1)];
     let started = Instant::now();
+    let mut reorg_counters = obs::Snapshot::new();
     let (reorg_secs, migrated) = match cfg.algo {
         Algo::Nr => {
             std::thread::sleep(cfg.nr_window);
@@ -110,11 +119,17 @@ pub fn run_cell(cfg: &CellConfig) -> CellResult {
         Algo::Ira => {
             let report = incremental_reorganize(&db, target, cfg.plan, &cfg.ira)
                 .expect("IRA completes");
+            report.export(&mut reorg_counters);
             (Some(report.duration.as_secs_f64()), report.migrated())
         }
         Algo::Pqr => {
             let report = partition_quiesce_reorganize(&db, target, cfg.plan)
                 .expect("PQR completes");
+            reorg_counters.set("pqr.quiesce_locks", report.quiesce_locks as u64);
+            reorg_counters.set(
+                "pqr.duration_us",
+                report.duration.as_micros().min(u64::MAX as u128) as u64,
+            );
             (Some(report.duration.as_secs_f64()), report.mapping.len())
         }
     };
@@ -125,17 +140,17 @@ pub fn run_cell(cfg: &CellConfig) -> CellResult {
         }
     }
     let metrics = handle.stop_and_join();
-    let lock_timeouts = db
-        .locks
-        .stats
-        .timeouts
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let mut counters = db.obs_snapshot().diff(&before);
+    counters.merge(&reorg_counters);
+    metrics.export(&mut counters);
+    let lock_timeouts = counters.get("lock.timeouts");
     CellResult {
         algo: cfg.algo,
         summary: metrics.summarize(),
         reorg_secs,
         migrated,
         lock_timeouts,
+        counters,
     }
 }
 

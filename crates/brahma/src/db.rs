@@ -53,6 +53,20 @@ impl DbStats {
     fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Export every counter into `snap` under `db.*` keys.
+    pub fn export(&self, snap: &mut obs::Snapshot) {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        snap.set("db.commits", get(&self.commits));
+        snap.set("db.aborts", get(&self.aborts));
+        snap.set("db.creates", get(&self.creates));
+        snap.set("db.frees", get(&self.frees));
+        snap.set("db.ref_inserts", get(&self.ref_inserts));
+        snap.set("db.ref_deletes", get(&self.ref_deletes));
+        snap.set("db.payload_writes", get(&self.payload_writes));
+        snap.set("db.fuzzy_reads", get(&self.fuzzy_reads));
+        snap.set("db.migrations", get(&self.migrations));
+    }
 }
 
 /// The object database.
@@ -365,6 +379,47 @@ impl Database {
         }
     }
 
+    /// One observability snapshot over the whole substrate: operation
+    /// counters (`db.*`), lock manager (`lock.*`), WAL (`wal.*`), the ERTs
+    /// of every partition (`ert.*`, summed), and any live reorganizations'
+    /// TRTs (`trt.*`, summed). Diff two snapshots taken around an interval
+    /// to get the interval's activity ([`obs::Snapshot::diff`]).
+    pub fn obs_snapshot(&self) -> obs::Snapshot {
+        let mut snap = obs::Snapshot::new();
+        self.stats.export(&mut snap);
+        self.locks.stats.export(&mut snap);
+        snap.set("lock.table_size", self.locks.table_size() as u64);
+        self.wal.stats.export(&mut snap);
+
+        let mut ert_inserts = 0;
+        let mut ert_removes = 0;
+        let mut ert_rekeys = 0;
+        let mut ert_edges = 0u64;
+        for part in self.partitions.read().iter() {
+            ert_inserts += part.ert.stats.inserts.get();
+            ert_removes += part.ert.stats.removes.get();
+            ert_rekeys += part.ert.stats.rekeys.get();
+            ert_edges += part.ert.edge_count() as u64;
+        }
+        snap.set("ert.inserts", ert_inserts);
+        snap.set("ert.removes", ert_removes);
+        snap.set("ert.rekeys", ert_rekeys);
+        snap.set("ert.edges", ert_edges);
+
+        let mut trt_notes = 0;
+        let mut trt_purged = 0;
+        let mut trt_tuples = 0u64;
+        for trt in self.reorg_tables.read().values() {
+            trt_notes += trt.stats.notes.get();
+            trt_purged += trt.stats.purged.get();
+            trt_tuples += trt.len() as u64;
+        }
+        snap.set("trt.notes", trt_notes);
+        snap.set("trt.purged", trt_purged);
+        snap.set("trt.tuples", trt_tuples);
+        snap
+    }
+
     /// Apply the commit-time TRT purges (Section 4.5) for a completed
     /// transaction. `deleted_pairs` are the `(child, parent)` reference
     /// deletions the transaction performed, used for the insert-pair purge
@@ -438,8 +493,10 @@ mod tests {
 
     #[test]
     fn reorg_enables_history_tracking_when_not_strict() {
-        let mut config = StoreConfig::default();
-        config.strict_2pl = false;
+        let config = StoreConfig {
+            strict_2pl: false,
+            ..StoreConfig::default()
+        };
         let db = Database::new(config);
         let p = db.create_partition();
         assert!(!db.locks.history_tracking());
@@ -447,6 +504,32 @@ mod tests {
         assert!(db.locks.history_tracking());
         db.end_reorg(p);
         assert!(!db.locks.history_tracking());
+    }
+
+    #[test]
+    fn obs_snapshot_covers_every_subsystem() {
+        let db = Database::new(StoreConfig::default());
+        let p = db.create_partition();
+        db.start_reorg(p).unwrap();
+        let snap = db.obs_snapshot();
+        for key in [
+            "db.commits",
+            "lock.acquisitions",
+            "lock.table_size",
+            "wal.records",
+            "ert.inserts",
+            "ert.edges",
+            "trt.notes",
+            "trt.tuples",
+        ] {
+            assert!(
+                snap.iter().any(|(k, _)| k == key),
+                "snapshot is missing key {key}"
+            );
+        }
+        // CreatePartition + ReorgStart were logged.
+        assert!(snap.get("wal.records") >= 2);
+        db.end_reorg(p);
     }
 
     #[test]

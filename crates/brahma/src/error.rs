@@ -15,6 +15,16 @@ use std::fmt;
 pub enum Error {
     /// A lock request waited longer than the configured timeout.
     LockTimeout { addr: PhysAddr, by: TxnId },
+    /// Two shared holders both requested an upgrade to exclusive: neither
+    /// can ever be granted (each waits for the other to release), so the
+    /// later requester fails immediately instead of stalling until the
+    /// lock timeout. Retryable exactly like [`Error::LockTimeout`]: abort
+    /// or release and re-request.
+    UpgradeConflict {
+        addr: PhysAddr,
+        by: TxnId,
+        with: TxnId,
+    },
     /// The address does not name a live object (freed, never allocated, or
     /// pointing into the middle of an object).
     NoSuchObject(PhysAddr),
@@ -52,6 +62,12 @@ impl fmt::Display for Error {
         match self {
             Error::LockTimeout { addr, by } => {
                 write!(f, "lock request on {addr} by {by} timed out")
+            }
+            Error::UpgradeConflict { addr, by, with } => {
+                write!(
+                    f,
+                    "upgrade of {addr} by {by} conflicts with pending upgrade by {with}"
+                )
             }
             Error::NoSuchObject(a) => write!(f, "no live object at {a}"),
             Error::NoSuchPartition(p) => write!(f, "no such partition {p}"),

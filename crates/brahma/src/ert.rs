@@ -14,6 +14,7 @@
 
 use crate::addr::{PartitionId, PhysAddr};
 use crate::exthash::ExtHash;
+use obs::Counter;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -23,12 +24,27 @@ pub struct ErtSnapshot {
     pub edges: Vec<(PhysAddr, PhysAddr)>,
 }
 
+/// Counters for one ERT's lifetime. The ERT is the structure whose size
+/// bounds PQR's quiesce cost (it locks every external parent), so its churn
+/// is worth observing alongside the lock manager's counters.
+#[derive(Debug, Default)]
+pub struct ErtStats {
+    /// Edges inserted.
+    pub inserts: Counter,
+    /// Edges removed (one occurrence each).
+    pub removes: Counter,
+    /// Child-side rekeys performed by migration.
+    pub rekeys: Counter,
+}
+
 /// The External Reference Table of one partition.
 #[derive(Debug)]
 pub struct Ert {
     partition: PartitionId,
     /// child -> multiset of external parents.
     inner: Mutex<ExtHash<PhysAddr, Vec<PhysAddr>>>,
+    /// Lifetime counters.
+    pub stats: ErtStats,
 }
 
 impl Ert {
@@ -37,6 +53,7 @@ impl Ert {
         Ert {
             partition,
             inner: Mutex::new(ExtHash::new()),
+            stats: ErtStats::default(),
         }
     }
 
@@ -51,6 +68,7 @@ impl Ert {
     pub fn insert(&self, child: PhysAddr, parent: PhysAddr) {
         debug_assert_eq!(child.partition(), self.partition);
         debug_assert_ne!(parent.partition(), self.partition);
+        self.stats.inserts.inc();
         let mut t = self.inner.lock();
         t.entry_or_insert_with(child, Vec::new).push(parent);
     }
@@ -69,6 +87,7 @@ impl Ert {
         if parents.is_empty() {
             t.remove(&child);
         }
+        self.stats.removes.inc();
         true
     }
 
@@ -88,6 +107,7 @@ impl Ert {
     /// parents. Called when the child object migrates.
     pub fn rekey_child(&self, old_child: PhysAddr, new_child: PhysAddr) -> Vec<PhysAddr> {
         debug_assert_eq!(new_child.partition(), self.partition);
+        self.stats.rekeys.inc();
         let mut t = self.inner.lock();
         let Some(parents) = t.remove(&old_child) else {
             return Vec::new();

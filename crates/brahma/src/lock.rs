@@ -17,9 +17,10 @@
 use crate::addr::PhysAddr;
 use crate::error::{Error, Result};
 use crate::txn::TxnId;
+use obs::{Counter, Gauge, Histogram};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Lock modes. Multiple transactions may share `Shared`; `Exclusive` is
@@ -43,6 +44,11 @@ struct LockState {
     /// reorganizer's exclusive parent locks cannot be starved by a stream of
     /// short shared lockers.
     x_waiters: usize,
+    /// The shared holder currently waiting to upgrade to exclusive, if any.
+    /// Two simultaneous upgraders deadlock by construction (each waits for
+    /// the other sharer to release), so a second upgrade request fails fast
+    /// with [`Error::UpgradeConflict`] instead of stalling to the timeout.
+    upgrader: Option<TxnId>,
 }
 
 impl LockState {
@@ -84,12 +90,43 @@ impl LockState {
     }
 }
 
-/// Counters exposed for the performance study.
+/// Counters exposed for the performance study. All lock-free (`obs`
+/// primitives); safe to bump inside the wait loop.
 #[derive(Debug, Default)]
 pub struct LockStats {
-    pub acquisitions: AtomicU64,
-    pub waits: AtomicU64,
-    pub timeouts: AtomicU64,
+    /// Lock grants (including re-grants to an existing holder).
+    pub acquisitions: Counter,
+    /// Lock requests that could not be granted immediately and waited at
+    /// least once (counted once per request, not per wakeup).
+    pub waits: Counter,
+    /// Time spent blocked per waiting request, microseconds (includes
+    /// requests that eventually timed out).
+    pub wait_us: Histogram,
+    /// Requests that gave up after the lock timeout.
+    pub timeouts: Counter,
+    /// Successful shared-to-exclusive upgrades.
+    pub upgrades: Counter,
+    /// Upgrade requests refused fast because another sharer's upgrade was
+    /// already pending (the deadlock this layer detects).
+    pub upgrade_conflicts: Counter,
+    /// Exclusive requests currently queued across all shards; `peak()` is
+    /// the deepest the writer queue ever got.
+    pub x_waiter_depth: Gauge,
+}
+
+impl LockStats {
+    /// Dump every counter into `snap` under `lock.`.
+    pub fn export(&self, snap: &mut obs::Snapshot) {
+        snap.set("lock.acquisitions", self.acquisitions.get());
+        snap.set("lock.waits", self.waits.get());
+        snap.set("lock.wait_us_sum", self.wait_us.sum_us());
+        snap.set("lock.wait_us_max", self.wait_us.max_us());
+        snap.set("lock.wait_us_p99", self.wait_us.quantile_us(0.99));
+        snap.set("lock.timeouts", self.timeouts.get());
+        snap.set("lock.upgrades", self.upgrades.get());
+        snap.set("lock.upgrade_conflicts", self.upgrade_conflicts.get());
+        snap.set("lock.x_waiter_peak", self.x_waiter_depth.peak());
+    }
 }
 
 struct Shard {
@@ -158,44 +195,92 @@ impl LockManager {
         let deadline = Instant::now() + timeout;
         let mut table = shard.table.lock();
         let mut registered_x_wait = false;
+        let mut registered_upgrade = false;
+        let mut wait_started: Option<Instant> = None;
         let result = loop {
             let state = table.entry(addr.to_raw()).or_default();
             if state.grantable(tid, mode) {
+                let upgraded =
+                    state.holder_mode(tid) == Some(LockMode::Shared) && mode == LockMode::Exclusive;
                 state.grant(tid, mode);
                 if self.track_history.load(Ordering::Relaxed)
                     && !state.ever_held.contains(&tid)
                 {
                     state.ever_held.push(tid);
                 }
-                self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+                self.stats.acquisitions.inc();
+                if upgraded {
+                    self.stats.upgrades.inc();
+                }
                 break Ok(());
+            }
+            if mode == LockMode::Exclusive && state.holder_mode(tid) == Some(LockMode::Shared) {
+                // Upgrade path: if another sharer is already waiting to
+                // upgrade, neither can ever be granted — each holds the
+                // shared lock the other needs released. Fail the later
+                // requester immediately rather than deadlocking until the
+                // timeout.
+                match state.upgrader {
+                    Some(other) if other != tid => {
+                        self.stats.upgrade_conflicts.inc();
+                        break Err(Error::UpgradeConflict {
+                            addr,
+                            by: tid,
+                            with: other,
+                        });
+                    }
+                    _ => {
+                        state.upgrader = Some(tid);
+                        registered_upgrade = true;
+                    }
+                }
             }
             if mode == LockMode::Exclusive && !registered_x_wait {
                 state.x_waiters += 1;
                 registered_x_wait = true;
+                self.stats.x_waiter_depth.inc();
             }
-            self.stats.waits.fetch_add(1, Ordering::Relaxed);
+            if wait_started.is_none() {
+                wait_started = Some(Instant::now());
+                self.stats.waits.inc();
+            }
             if shard.cv.wait_until(&mut table, deadline).timed_out() {
                 // Re-check once: the grant may have raced the timeout.
                 let state = table.entry(addr.to_raw()).or_default();
                 if state.grantable(tid, mode) {
+                    let upgraded = state.holder_mode(tid) == Some(LockMode::Shared)
+                        && mode == LockMode::Exclusive;
                     state.grant(tid, mode);
                     if self.track_history.load(Ordering::Relaxed)
                         && !state.ever_held.contains(&tid)
                     {
                         state.ever_held.push(tid);
                     }
-                    self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+                    self.stats.acquisitions.inc();
+                    if upgraded {
+                        self.stats.upgrades.inc();
+                    }
                     break Ok(());
                 }
-                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.stats.timeouts.inc();
                 break Err(Error::LockTimeout { addr, by: tid });
             }
         };
+        if let Some(started) = wait_started {
+            self.stats.wait_us.record(started.elapsed());
+        }
+        if registered_upgrade {
+            if let Some(state) = table.get_mut(&addr.to_raw()) {
+                if state.upgrader == Some(tid) {
+                    state.upgrader = None;
+                }
+            }
+        }
         if registered_x_wait {
             if let Some(state) = table.get_mut(&addr.to_raw()) {
                 state.x_waiters -= 1;
             }
+            self.stats.x_waiter_depth.dec();
             // Shared requests that yielded to this exclusive waiter may now
             // be grantable.
             shard.cv.notify_all();
@@ -213,7 +298,7 @@ impl LockManager {
             if self.track_history.load(Ordering::Relaxed) && !state.ever_held.contains(&tid) {
                 state.ever_held.push(tid);
             }
-            self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+            self.stats.acquisitions.inc();
             true
         } else {
             false
@@ -294,6 +379,7 @@ impl LockManager {
 mod tests {
     use super::*;
     use crate::addr::PartitionId;
+    use std::sync::atomic::AtomicU64;
     use std::sync::Arc;
     use std::thread;
 
@@ -368,7 +454,66 @@ mod tests {
         let m = mgr();
         m.lock(TxnId(1), addr(1), LockMode::Exclusive).unwrap();
         let _ = m.lock(TxnId(2), addr(1), LockMode::Exclusive);
-        assert_eq!(m.stats.timeouts.load(Ordering::Relaxed), 1);
+        assert_eq!(m.stats.timeouts.get(), 1);
+        assert_eq!(m.stats.waits.get(), 1, "one request waited");
+        assert!(
+            m.stats.wait_us.count() == 1 && m.stats.wait_us.max_us() >= 40_000,
+            "the blocked request's wait time is recorded"
+        );
+    }
+
+    #[test]
+    fn second_upgrader_fails_fast_and_first_wins() {
+        // Regression for the upgrade-vs-write-preference deadlock: T1 and
+        // T2 both hold Shared; both request Exclusive. Before the fix each
+        // waited on the other until the 1 s timeout; now the second
+        // requester is refused immediately and the first is granted once
+        // the second releases.
+        let m = Arc::new(LockManager::new(4, Duration::from_secs(10)));
+        m.lock(TxnId(1), addr(3), LockMode::Shared).unwrap();
+        m.lock(TxnId(2), addr(3), LockMode::Shared).unwrap();
+        let m2 = Arc::clone(&m);
+        let first = thread::spawn(move || m2.lock(TxnId(1), addr(3), LockMode::Exclusive));
+        // Let T1's upgrade register as pending.
+        thread::sleep(Duration::from_millis(50));
+        let started = Instant::now();
+        let second = m.lock(TxnId(2), addr(3), LockMode::Exclusive);
+        assert!(
+            matches!(
+                second,
+                Err(Error::UpgradeConflict { by: TxnId(2), with: TxnId(1), .. })
+            ),
+            "second upgrader must fail fast, got {second:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "conflict detected without waiting out the timeout"
+        );
+        // T2 aborts (releases): T1's upgrade must now be granted.
+        m.unlock(TxnId(2), addr(3));
+        first.join().unwrap().unwrap();
+        assert_eq!(m.holds(TxnId(1), addr(3)), Some(LockMode::Exclusive));
+        assert_eq!(m.stats.upgrade_conflicts.get(), 1);
+        assert_eq!(m.stats.upgrades.get(), 1);
+    }
+
+    #[test]
+    fn upgrade_pending_flag_clears_after_failure() {
+        // If an upgrader times out, its pending-upgrade marker must not
+        // poison later upgrade attempts on the same address.
+        let m = mgr();
+        m.lock(TxnId(1), addr(4), LockMode::Shared).unwrap();
+        m.lock(TxnId(2), addr(4), LockMode::Shared).unwrap();
+        // T1's upgrade times out (T2 never releases, never upgrades).
+        assert!(matches!(
+            m.lock(TxnId(1), addr(4), LockMode::Exclusive),
+            Err(Error::LockTimeout { .. })
+        ));
+        // T1 releases; now T2 upgrades — must succeed, not see a stale
+        // pending upgrader.
+        m.unlock(TxnId(1), addr(4));
+        m.lock(TxnId(2), addr(4), LockMode::Exclusive).unwrap();
+        assert_eq!(m.holds(TxnId(2), addr(4)), Some(LockMode::Exclusive));
     }
 
     #[test]

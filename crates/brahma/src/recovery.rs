@@ -171,14 +171,12 @@ pub fn recover(image: CrashImage, config: StoreConfig) -> Result<RecoveryOutcome
 /// ERT maintenance.
 fn redo_record(db: &Database, rec: &LogRecord) -> Result<()> {
     match &rec.payload {
-        LogPayload::CreatePartition { id } => {
-            if (id.0 as usize) >= db.partition_count() {
-                let created = db.create_partition();
-                if created != *id {
-                    return Err(Error::RecoveryCorrupt(format!(
-                        "partition id mismatch during redo: {created} vs {id}"
-                    )));
-                }
+        LogPayload::CreatePartition { id } if (id.0 as usize) >= db.partition_count() => {
+            let created = db.create_partition();
+            if created != *id {
+                return Err(Error::RecoveryCorrupt(format!(
+                    "partition id mismatch during redo: {created} vs {id}"
+                )));
             }
         }
         LogPayload::Create { addr, image } => {

@@ -18,6 +18,7 @@
 use crate::addr::{PartitionId, PhysAddr};
 use crate::exthash::ExtHash;
 use crate::txn::TxnId;
+use obs::Counter;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -38,12 +39,27 @@ pub struct TrtTuple {
     pub action: RefAction,
 }
 
+/// Counters for one TRT's lifetime (Section 4.5's purge optimizations are
+/// a core space claim of the paper; these make their effect measurable).
+#[derive(Debug, Default)]
+pub struct TrtStats {
+    /// Tuples noted (pointer inserts + deletes observed during reorg).
+    pub notes: Counter,
+    /// Tuples removed by the Section 4.5 purge optimizations.
+    pub purged: Counter,
+}
+
+/// The tuples the TRT holds about one referenced object.
+type TupleList = Vec<(PhysAddr, TxnId, RefAction)>;
+
 /// The Temporary Reference Table of one partition under reorganization.
 #[derive(Debug)]
 pub struct Trt {
     partition: PartitionId,
     /// referenced object -> tuples about it.
-    inner: Mutex<ExtHash<PhysAddr, Vec<(PhysAddr, TxnId, RefAction)>>>,
+    inner: Mutex<ExtHash<PhysAddr, TupleList>>,
+    /// Lifetime counters.
+    pub stats: TrtStats,
 }
 
 impl Trt {
@@ -52,6 +68,7 @@ impl Trt {
         Trt {
             partition,
             inner: Mutex::new(ExtHash::new()),
+            stats: TrtStats::default(),
         }
     }
 
@@ -63,6 +80,7 @@ impl Trt {
     /// Note a pointer insert/delete concerning `child`.
     pub fn note(&self, child: PhysAddr, parent: PhysAddr, tid: TxnId, action: RefAction) {
         debug_assert_eq!(child.partition(), self.partition);
+        self.stats.notes.inc();
         let mut t = self.inner.lock();
         t.entry_or_insert_with(child, Vec::new)
             .push((parent, tid, action));
@@ -154,6 +172,7 @@ impl Trt {
                 }
             }
         }
+        self.stats.purged.add(purged as u64);
         purged
     }
 
@@ -177,6 +196,7 @@ impl Trt {
         if v.is_empty() {
             t.remove(&child);
         }
+        self.stats.purged.inc();
         true
     }
 

@@ -116,10 +116,8 @@ fn apply_record(
         }
     };
     match &rec.payload {
-        LogPayload::Begin { reorg } => {
-            if let Some(p) = reorg {
-                reorg_txns.insert(rec.tid, *p);
-            }
+        LogPayload::Begin { reorg: Some(p) } => {
+            reorg_txns.insert(rec.tid, *p);
         }
         LogPayload::ReorgStart { partition } => {
             active.insert(*partition);

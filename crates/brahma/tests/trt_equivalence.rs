@@ -32,8 +32,10 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 }
 
 fn run_script(steps: &[Step], purge: bool) {
-    let mut config = StoreConfig::default();
-    config.trt_purge = purge;
+    let config = StoreConfig {
+        trt_purge: purge,
+        ..StoreConfig::default()
+    };
     let db = Database::new(config);
     let p0 = db.create_partition();
     let p1 = db.create_partition();
@@ -136,8 +138,10 @@ proptest! {
 #[test]
 fn analyzer_mode_matches_inline_mode_end_state() {
     let run = |maintenance| {
-        let mut config = StoreConfig::default();
-        config.maintenance = maintenance;
+        let config = StoreConfig {
+            maintenance,
+            ..StoreConfig::default()
+        };
         let db = Database::new(config);
         let p0 = db.create_partition();
         let p1 = db.create_partition();

@@ -68,7 +68,8 @@ pub fn merge_ert_parents(
     from: usize,
 ) {
     let part = db.partition(partition).expect("partition exists");
-    for obj in state.order[from..].to_vec() {
+    for i in from..state.order.len() {
+        let obj = state.order[i];
         for parent in part.ert.parents_of(obj) {
             state.add_parent(obj, parent);
         }

@@ -12,7 +12,7 @@
 //! belong in the TRT like any other).
 
 use crate::approx::{merge_ert_parents, trt_unvisited_loop};
-use crate::driver::{IraConfig, IraError, IraReport, ReorgRun};
+use crate::driver::{IraConfig, IraError, IraPhases, IraReport, ReorgRun};
 use crate::plan::RelocationPlan;
 use crate::traversal::TraversalState;
 use brahma::wal::analyzer::rebuild_trt_seeded;
@@ -80,18 +80,23 @@ pub fn resume_reorganization(
     // copies keep packing into fresh space.
     crate::driver::withhold_free_space(db, partition, ckpt.plan).map_err(IraError::Store)?;
 
+    let mut phases = IraPhases::default();
+    let phase_start = Instant::now();
     let active = db.txns.active_snapshot();
     db.txns.wait_for_all(&active, config.quiesce_wait);
+    phases.quiesce = phase_start.elapsed();
 
     // Extend step one: objects whose only reference was cut around the
     // crash may still need traversal (L2 loop), and newly discovered
     // objects need their ERT parents merged and a place in the queue.
+    let phase_start = Instant::now();
     let mut state = ckpt.state;
     let before = state.order.len();
     trt_unvisited_loop(db, partition, &mut state);
     merge_ert_parents(db, partition, &mut state, before);
     let mut queue = ckpt.queue;
     queue.extend_from_slice(&state.order[before..]);
+    phases.traversal = phase_start.elapsed();
 
     let run = ReorgRun {
         db,
@@ -104,6 +109,7 @@ pub fn resume_reorganization(
         mapping: ckpt.mapping.into_iter().collect::<HashMap<_, _>>(),
         retries: 0,
         ext_locks: 0,
+        phases,
         started,
     };
     run.execute()

@@ -136,6 +136,22 @@ impl From<StoreError> for IraError {
     }
 }
 
+/// Wall-clock time spent in each phase of a reorganization run. The phases
+/// mirror the paper's structure: quiescing the transactions active at the
+/// start (Section 4.5), the fuzzy traversal / `Find_Objects_And_Approx_Parents`
+/// (step one), `Find_Exact_Parents` and the migration transactions (step
+/// two), and garbage collection (Section 4.6). For the two-lock variant the
+/// exact-parents work happens inside the migration loop, so it is charged to
+/// `migrate`.
+#[derive(Debug, Default, Clone)]
+pub struct IraPhases {
+    pub quiesce: Duration,
+    pub traversal: Duration,
+    pub exact_parents: Duration,
+    pub migrate: Duration,
+    pub gc: Duration,
+}
+
 /// Outcome of a completed reorganization.
 #[derive(Debug)]
 pub struct IraReport {
@@ -150,12 +166,35 @@ pub struct IraReport {
     /// Total distinct out-of-partition parents locked, summed over
     /// migration transactions — the cost the Section 7 ordering minimizes.
     pub external_parent_locks: usize,
+    /// Per-phase wall-clock breakdown.
+    pub phases: IraPhases,
+    /// TRT tuples noted / purged over the reorganization window (captured
+    /// before the TRT is dropped by `end_reorg`).
+    pub trt_notes: u64,
+    pub trt_purged: u64,
     pub duration: Duration,
 }
 
 impl IraReport {
     pub fn migrated(&self) -> usize {
         self.mapping.len()
+    }
+
+    /// Export the report into `snap` under `ira.*` keys (durations in µs).
+    pub fn export(&self, snap: &mut obs::Snapshot) {
+        let us = |d: Duration| d.as_micros().min(u64::MAX as u128) as u64;
+        snap.set("ira.migrated", self.mapping.len() as u64);
+        snap.set("ira.garbage", self.garbage.len() as u64);
+        snap.set("ira.retries", self.retries as u64);
+        snap.set("ira.external_parent_locks", self.external_parent_locks as u64);
+        snap.set("ira.quiesce_us", us(self.phases.quiesce));
+        snap.set("ira.traversal_us", us(self.phases.traversal));
+        snap.set("ira.exact_parents_us", us(self.phases.exact_parents));
+        snap.set("ira.migrate_us", us(self.phases.migrate));
+        snap.set("ira.gc_us", us(self.phases.gc));
+        snap.set("ira.trt_notes", self.trt_notes);
+        snap.set("ira.trt_purged", self.trt_purged);
+        snap.set("ira.duration_us", us(self.duration));
     }
 }
 
@@ -177,12 +216,17 @@ pub fn incremental_reorganize(
 
     // Wait for every transaction active at the start to complete, so all
     // relevant pointer updates are in the TRT (Section 4.5).
+    let mut phases = IraPhases::default();
+    let phase_start = Instant::now();
     let active_at_start = db.txns.active_snapshot();
     db.txns.wait_for_all(&active_at_start, config.quiesce_wait);
+    phases.quiesce = phase_start.elapsed();
 
     // Step one.
+    let phase_start = Instant::now();
     let state = find_objects_and_approx_parents(db, partition);
     let queue = order_queue(config.order, state.order.clone(), &state, partition);
+    phases.traversal = phase_start.elapsed();
 
     let run = ReorgRun {
         db,
@@ -195,6 +239,7 @@ pub fn incremental_reorganize(
         mapping: HashMap::new(),
         retries: 0,
         ext_locks: 0,
+        phases,
         started: start,
     };
     run.execute()
@@ -213,6 +258,7 @@ pub(crate) struct ReorgRun<'a> {
     pub mapping: HashMap<PhysAddr, PhysAddr>,
     pub retries: usize,
     pub ext_locks: usize,
+    pub phases: IraPhases,
     pub started: Instant,
 }
 
@@ -238,7 +284,8 @@ impl ReorgRun<'_> {
                 };
                 match result {
                     Ok(()) => break,
-                    Err(StoreError::LockTimeout { .. }) => {
+                    Err(StoreError::LockTimeout { .. })
+                    | Err(StoreError::UpgradeConflict { .. }) => {
                         attempts += 1;
                         self.retries += 1;
                         if attempts > self.config.max_retries {
@@ -272,6 +319,7 @@ impl ReorgRun<'_> {
         }
 
         // Garbage: allocated but never traversed (Section 4.6).
+        let phase_start = Instant::now();
         let survivors: HashSet<PhysAddr> = self.mapping.values().copied().collect();
         let garbage: Vec<PhysAddr> = self
             .db
@@ -289,15 +337,25 @@ impl ReorgRun<'_> {
             }
             txn.commit().map_err(IraError::Store)?;
         }
+        self.phases.gc = phase_start.elapsed();
+
+        // The TRT dies with end_reorg; capture its lifetime counters first.
+        let (trt_notes, trt_purged) = self
+            .db
+            .trt(self.partition)
+            .map(|t| (t.stats.notes.get(), t.stats.purged.get()))
+            .unwrap_or((0, 0));
 
         self.db.end_reorg(self.partition);
         release_target_space(self.db, self.partition, self.plan);
         // Bound the lifetime of any stale address still in a transaction's
         // local memory before creation in the partition resumes.
+        let phase_start = Instant::now();
         let active_at_end = self.db.txns.active_snapshot();
         self.db
             .txns
             .wait_for_all(&active_at_end, self.config.quiesce_wait);
+        self.phases.quiesce += phase_start.elapsed();
 
         Ok(IraReport {
             partition: self.partition,
@@ -305,6 +363,9 @@ impl ReorgRun<'_> {
             garbage,
             retries: self.retries,
             external_parent_locks: self.ext_locks,
+            phases: self.phases,
+            trt_notes,
+            trt_purged,
             duration: self.started.elapsed(),
         })
     }
@@ -344,8 +405,11 @@ impl ReorgRun<'_> {
             if self.mapping.contains_key(&oold) || !part.contains_object(oold) {
                 continue;
             }
+            let exact_start = Instant::now();
             let step = find_exact_parents(self.db, &mut txn, oold, &mut self.state, &keep)
                 .and_then(|parents| {
+                    self.phases.exact_parents += exact_start.elapsed();
+                    let migrate_start = Instant::now();
                     let onew = move_object_and_update_refs(
                         self.db,
                         &mut txn,
@@ -357,6 +421,7 @@ impl ReorgRun<'_> {
                         &mut self.mapping,
                         &mut effects,
                     )?;
+                    self.phases.migrate += migrate_start.elapsed();
                     keep.extend(parents);
                     keep.insert(onew);
                     keep.insert(oold);
@@ -387,6 +452,7 @@ impl ReorgRun<'_> {
             if self.mapping.contains_key(&oold) || !part.contains_object(oold) {
                 continue;
             }
+            let migrate_start = Instant::now();
             crate::two_lock::migrate_two_lock(
                 self.db,
                 oold,
@@ -395,6 +461,7 @@ impl ReorgRun<'_> {
                 &mut self.mapping,
                 self.config,
             )?;
+            self.phases.migrate += migrate_start.elapsed();
         }
         Ok(())
     }
@@ -434,8 +501,10 @@ mod tests {
         // A workload transaction parks on the only parent forever; with a
         // tiny lock timeout and max_retries = 2 the driver gives up and
         // releases the reorganization.
-        let mut store = StoreConfig::default();
-        store.lock_timeout = std::time::Duration::from_millis(20);
+        let store = StoreConfig {
+            lock_timeout: std::time::Duration::from_millis(20),
+            ..StoreConfig::default()
+        };
         let db = Arc::new(Database::new(store));
         let p0 = db.create_partition();
         let p1 = db.create_partition();

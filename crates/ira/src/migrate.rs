@@ -59,6 +59,7 @@ impl BatchEffects {
 /// Returns the new address. `state`, `mapping`, and `effects` are updated
 /// in place; on error the caller must abort the transaction and call
 /// [`BatchEffects::revert`].
+#[allow(clippy::too_many_arguments)] // mirrors the paper's procedure signature
 pub fn move_object_and_update_refs(
     db: &Database,
     txn: &mut Txn<'_>,

@@ -118,7 +118,11 @@ fn lock_insist(txn: &mut brahma::Txn<'_>, addr: PhysAddr) -> Result<(), StoreErr
     loop {
         match txn.lock(addr, LockMode::Exclusive) {
             Ok(()) => return Ok(()),
-            Err(StoreError::LockTimeout { .. }) if attempts < 10_000 => attempts += 1,
+            Err(StoreError::LockTimeout { .. }) | Err(StoreError::UpgradeConflict { .. })
+                if attempts < 10_000 =>
+            {
+                attempts += 1
+            }
             Err(e) => return Err(e),
         }
     }

@@ -58,8 +58,10 @@ mod tests {
     use std::thread;
 
     fn relaxed_db() -> Database {
-        let mut config = StoreConfig::default();
-        config.strict_2pl = false;
+        let config = StoreConfig {
+            strict_2pl: false,
+            ..StoreConfig::default()
+        };
         let db = Database::new(config);
         db.create_partition();
         db

@@ -155,7 +155,10 @@ fn repoint_parent(
                 txn.commit()?;
                 return Ok(());
             }
-            Err(brahma::Error::LockTimeout { .. }) if attempts < config.max_retries => {
+            Err(brahma::Error::LockTimeout { .. })
+            | Err(brahma::Error::UpgradeConflict { .. })
+                if attempts < config.max_retries =>
+            {
                 txn.abort();
                 attempts += 1;
                 std::thread::sleep(config.retry_backoff);

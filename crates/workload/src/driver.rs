@@ -3,7 +3,7 @@
 //! assigned home partitions.
 
 use crate::graph::GraphInfo;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, WalkerCounts};
 use crate::params::WorkloadParams;
 use crate::walker::{walk_once, WalkAttempt};
 use brahma::Database;
@@ -44,7 +44,7 @@ pub fn start_workload(
                     let mut rng = StdRng::seed_from_u64(params.seed ^ (t as u64) << 17);
                     let mut metrics = Metrics::default();
                     let run_start = Instant::now();
-                    while !stop.load(Ordering::Relaxed) {
+                    'run: while !stop.load(Ordering::Relaxed) {
                         // One logical transaction: retry attempts until it
                         // commits; response time spans all attempts.
                         let txn_start = Instant::now();
@@ -61,12 +61,23 @@ pub fn start_workload(
                                     }
                                 }
                                 Err(e) => {
-                                    panic!("walker {t} hit a non-retryable error: {e}")
+                                    // Non-retryable: record it and shut this
+                                    // walker down cleanly; the rest of the
+                                    // workload keeps running and the error
+                                    // surfaces in the merged metrics.
+                                    metrics.record_error(format!("walker {t}: {e}"));
+                                    break 'run;
                                 }
                             }
                         }
                     }
                     metrics.window = run_start.elapsed();
+                    metrics.per_walker.push(WalkerCounts {
+                        walker: t,
+                        committed: metrics.response_us.len() as u64,
+                        aborted_attempts: metrics.aborted_attempts,
+                        errors: metrics.errors,
+                    });
                     metrics
                 })
                 .expect("spawn walker thread")
@@ -90,7 +101,12 @@ impl WorkloadHandle {
         self.stop.store(true, Ordering::SeqCst);
         let mut merged = Metrics::default();
         for t in self.threads {
-            merged.merge(t.join().expect("walker thread panicked"));
+            match t.join() {
+                Ok(m) => merged.merge(m),
+                // A panicked walker loses its per-thread numbers but must
+                // not take the whole measurement down with it.
+                Err(_) => merged.record_error("walker thread panicked"),
+            }
         }
         merged
     }

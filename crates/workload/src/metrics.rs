@@ -11,6 +11,16 @@
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
+/// Per-walker outcome counts, one entry per workload thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkerCounts {
+    pub walker: usize,
+    pub committed: u64,
+    pub aborted_attempts: u64,
+    /// Non-retryable errors (at most 1: the walker shuts down on the first).
+    pub errors: u64,
+}
+
 /// Raw measurements from one or more workload threads.
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {
@@ -18,6 +28,14 @@ pub struct Metrics {
     pub response_us: Vec<u64>,
     /// Timeout-abort attempts (each retried).
     pub aborted_attempts: u64,
+    /// Non-retryable errors. A walker that hits one records it here and
+    /// shuts down cleanly instead of panicking; the rest of the workload
+    /// keeps running.
+    pub errors: u64,
+    /// Display text of the first non-retryable error observed (diagnostics).
+    pub first_error: Option<String>,
+    /// Per-walker breakdown (one entry per thread after a merge).
+    pub per_walker: Vec<WalkerCounts>,
     /// Wall-clock measurement window.
     pub window: Duration,
 }
@@ -27,6 +45,11 @@ impl Metrics {
     pub fn merge(&mut self, other: Metrics) {
         self.response_us.extend(other.response_us);
         self.aborted_attempts += other.aborted_attempts;
+        self.errors += other.errors;
+        if self.first_error.is_none() {
+            self.first_error = other.first_error;
+        }
+        self.per_walker.extend(other.per_walker);
         self.window = self.window.max(other.window);
     }
 
@@ -38,6 +61,22 @@ impl Metrics {
     /// Record one timed-out attempt.
     pub fn record_abort(&mut self) {
         self.aborted_attempts += 1;
+    }
+
+    /// Record a non-retryable error (the walker stops after this).
+    pub fn record_error(&mut self, error: impl std::fmt::Display) {
+        self.errors += 1;
+        if self.first_error.is_none() {
+            self.first_error = Some(error.to_string());
+        }
+    }
+
+    /// Export aggregate counts into `snap` under `workload.*` keys.
+    pub fn export(&self, snap: &mut obs::Snapshot) {
+        snap.set("workload.committed", self.response_us.len() as u64);
+        snap.set("workload.aborted_attempts", self.aborted_attempts);
+        snap.set("workload.errors", self.errors);
+        snap.set("workload.walkers", self.per_walker.len() as u64);
     }
 
     /// Summarize into the paper's reporting metrics.
@@ -75,6 +114,7 @@ impl Metrics {
         Summary {
             committed: n as u64,
             aborted_attempts: self.aborted_attempts,
+            errors: self.errors,
             throughput_tps: throughput,
             avg_ms: mean_us / 1000.0,
             max_ms: sorted.last().copied().unwrap_or(0) as f64 / 1000.0,
@@ -91,6 +131,8 @@ impl Metrics {
 pub struct Summary {
     pub committed: u64,
     pub aborted_attempts: u64,
+    /// Non-retryable walker errors (0 in a healthy run).
+    pub errors: u64,
     /// Throughput in transactions per second (Figures 6, 8, 10).
     pub throughput_tps: f64,
     /// Average response time in milliseconds (Figures 7, 9, 11).
@@ -152,6 +194,43 @@ mod tests {
         assert!(s.p99_ms <= s.max_ms);
         assert!((s.p95_ms - 95.0).abs() <= 1.5);
         assert!((s.max_ms - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_are_counted_and_first_is_kept() {
+        let mut m = Metrics::default();
+        m.record_error("first failure");
+        m.record_error("second failure");
+        assert_eq!(m.errors, 2);
+        assert_eq!(m.first_error.as_deref(), Some("first failure"));
+        let s = m.summarize();
+        assert_eq!(s.errors, 2);
+        // No commits and a zero window must not divide by zero.
+        assert_eq!(s.throughput_tps, 0.0);
+        assert_eq!(s.avg_ms, 0.0);
+        assert_eq!(s.stddev_ms, 0.0);
+    }
+
+    #[test]
+    fn export_emits_workload_keys() {
+        let mut m = Metrics {
+            window: Duration::from_secs(1),
+            ..Metrics::default()
+        };
+        m.record_commit(Duration::from_millis(5));
+        m.record_abort();
+        m.per_walker.push(WalkerCounts {
+            walker: 0,
+            committed: 1,
+            aborted_attempts: 1,
+            errors: 0,
+        });
+        let mut snap = obs::Snapshot::new();
+        m.export(&mut snap);
+        assert_eq!(snap.get("workload.committed"), 1);
+        assert_eq!(snap.get("workload.aborted_attempts"), 1);
+        assert_eq!(snap.get("workload.errors"), 0);
+        assert_eq!(snap.get("workload.walkers"), 1);
     }
 
     #[test]

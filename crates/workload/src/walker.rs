@@ -49,7 +49,7 @@ pub fn walk_once(
     };
     match txn.lock(root_obj, LockMode::Shared) {
         Ok(()) => {}
-        Err(Error::LockTimeout { .. }) => {
+        Err(Error::LockTimeout { .. }) | Err(Error::UpgradeConflict { .. }) => {
             txn.abort();
             return Ok(WalkAttempt::TimedOut);
         }
@@ -83,7 +83,7 @@ pub fn walk_once(
         };
         match txn.lock(current, mode) {
             Ok(()) => {}
-            Err(Error::LockTimeout { .. }) => {
+            Err(Error::LockTimeout { .. }) | Err(Error::UpgradeConflict { .. }) => {
                 txn.abort();
                 return Ok(WalkAttempt::TimedOut);
             }
@@ -139,8 +139,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup(strict: bool) -> (Database, GraphInfo, WorkloadParams) {
-        let mut config = StoreConfig::default();
-        config.strict_2pl = strict;
+        let config = StoreConfig {
+            strict_2pl: strict,
+            ..StoreConfig::default()
+        };
         let db = Database::new(config);
         let params = WorkloadParams {
             num_partitions: 2,

@@ -73,11 +73,11 @@ fn main() {
         addr_of[c][i] = obj;
     }
     // ...then link each chain head-to-tail and anchor it from p0.
-    for c in 0..chains {
+    for chain in addr_of.iter().take(chains) {
         for i in 0..chain_len - 1 {
-            txn.insert_ref(addr_of[c][i], addr_of[c][i + 1]).unwrap();
+            txn.insert_ref(chain[i], chain[i + 1]).unwrap();
         }
-        txn.create_object(p0, NewObject::exact(0, vec![addr_of[c][0]], vec![]))
+        txn.create_object(p0, NewObject::exact(0, vec![chain[0]], vec![]))
             .unwrap();
     }
     txn.commit().unwrap();

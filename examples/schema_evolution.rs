@@ -91,7 +91,7 @@ fn main() {
     let first = db.raw_read(anchor).unwrap().refs[0];
     let mut txn = db.begin();
     txn.lock(first, LockMode::Exclusive).unwrap();
-    txn.set_payload(first, &vec![1u8; 60]).unwrap();
+    txn.set_payload(first, &[1u8; 60]).unwrap();
     txn.commit().unwrap();
 
     ira::verify::assert_reorganization_clean(&db, &report);

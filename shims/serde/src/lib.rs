@@ -1,0 +1,12 @@
+//! Offline shim for the subset of `serde` this workspace uses: the
+//! `Serialize`/`Deserialize` trait names and their derive macros. The
+//! workspace never serializes anything (CSV is written by hand in
+//! `bench::report`), so the traits are empty markers and the derives
+//! expand to nothing. Replace with real serde when a registry is
+//! available and an actual wire format is needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde_derive`: the workspace derives
+//! `Serialize`/`Deserialize` purely as forward-looking markers (nothing is
+//! actually serialized — the bench harness writes CSV by hand), so the
+//! derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -6,4 +6,5 @@
 
 pub use brahma;
 pub use ira;
+pub use obs;
 pub use workload;

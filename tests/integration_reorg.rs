@@ -74,8 +74,10 @@ fn ira_batched_under_churning_load() {
 
 #[test]
 fn ira_with_relaxed_2pl_workload() {
-    let mut store = StoreConfig::default();
-    store.strict_2pl = false;
+    let store = StoreConfig {
+        strict_2pl: false,
+        ..StoreConfig::default()
+    };
     run_under_load(store, small_params(), |db, p| {
         let report =
             incremental_reorganize(db, p, RelocationPlan::CompactInPlace, &IraConfig::default())
@@ -86,8 +88,10 @@ fn ira_with_relaxed_2pl_workload() {
 
 #[test]
 fn ira_with_log_analyzer_maintenance() {
-    let mut store = StoreConfig::default();
-    store.maintenance = brahma::RefTableMaintenance::LogAnalyzer;
+    let store = StoreConfig {
+        maintenance: brahma::RefTableMaintenance::LogAnalyzer,
+        ..StoreConfig::default()
+    };
     run_under_load(store, small_params(), |db, p| {
         let report =
             incremental_reorganize(db, p, RelocationPlan::CompactInPlace, &IraConfig::default())

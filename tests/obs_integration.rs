@@ -1,0 +1,124 @@
+//! Observability integration tests: the substrate counters must tell the
+//! paper's contention story. PQR quiesces a partition by exclusively
+//! locking every external parent in its ERT, so (a) its lock footprint is
+//! at least the ERT's distinct-parent count, and (b) while it runs,
+//! essentially every walker is parked on those locks — whereas IRA blocks
+//! at most a couple of threads at a time (and deliberately takes the
+//! deadlock-timeout hit itself, Section 4.4).
+
+use brahma::{Database, StoreConfig};
+use ira::{incremental_reorganize, partition_quiesce_reorganize, IraConfig, RelocationPlan};
+use obs::Snapshot;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use workload::{build_graph, start_workload, CpuModel, WorkloadParams};
+
+/// No reference churn: the ERT stays stable so its size can be compared
+/// against PQR's lock footprint.
+fn stable_params() -> WorkloadParams {
+    WorkloadParams {
+        num_partitions: 3,
+        objs_per_partition: 170,
+        mpl: 6,
+        ref_update_prob: 0.0,
+        ..WorkloadParams::default()
+    }
+}
+
+/// Run `reorg` under workload load and return the substrate counter delta
+/// over the reorganization window plus the window's length in µs.
+///
+/// A short lock timeout keeps deadlock-timeout noise (which costs a full
+/// timeout per event, on whichever side loses) small relative to the
+/// blocking the algorithms *cause*; the CPU model gives the reorganization
+/// itself a realistic serial cost, as in the paper's single-CPU runs.
+fn counters_under_load(reorg: impl FnOnce(&Database, brahma::PartitionId)) -> (Snapshot, u64) {
+    let store = StoreConfig {
+        lock_timeout: Duration::from_millis(50),
+        ..StoreConfig::default()
+    };
+    let db = Arc::new(Database::new(store));
+    let params = stable_params();
+    let info = Arc::new(build_graph(&db, &params).unwrap());
+    db.set_cpu_model(Some(Arc::new(CpuModel::new(1, Duration::from_micros(20)))));
+    let handle = start_workload(Arc::clone(&db), Arc::clone(&info), &params);
+    // Let the walkers reach steady state before the measurement starts.
+    std::thread::sleep(Duration::from_millis(50));
+    let before = db.obs_snapshot();
+    let started = Instant::now();
+    reorg(&db, info.data_partitions[0]);
+    let window_us = started.elapsed().as_micros().max(1) as u64;
+    let diff = db.obs_snapshot().diff(&before);
+    let metrics = handle.stop_and_join();
+    assert_eq!(metrics.errors, 0, "no walker hit a non-retryable error");
+    brahma::sweep::assert_database_consistent(&db);
+    (diff, window_us)
+}
+
+#[test]
+fn pqr_locks_at_least_the_erts_distinct_parents() {
+    let db = Arc::new(Database::new(StoreConfig::default()));
+    let params = stable_params();
+    let info = Arc::new(build_graph(&db, &params).unwrap());
+    let target = info.data_partitions[0];
+    let distinct_parents: HashSet<_> = db
+        .partition(target)
+        .unwrap()
+        .ert
+        .snapshot()
+        .edges
+        .into_iter()
+        .map(|(_, parent)| parent)
+        .collect();
+    assert!(!distinct_parents.is_empty(), "graph has external parents");
+
+    let handle = start_workload(Arc::clone(&db), Arc::clone(&info), &params);
+    let report =
+        partition_quiesce_reorganize(&db, target, RelocationPlan::CompactInPlace).unwrap();
+    handle.stop_and_join();
+
+    assert!(
+        report.quiesce_locks >= distinct_parents.len(),
+        "PQR held {} quiesce locks but the ERT had {} distinct parents",
+        report.quiesce_locks,
+        distinct_parents.len()
+    );
+}
+
+#[test]
+fn ira_keeps_fewer_threads_blocked_than_pqr() {
+    let (ira_diff, ira_window_us) = counters_under_load(|db, p| {
+        let report =
+            incremental_reorganize(db, p, RelocationPlan::CompactInPlace, &IraConfig::default())
+                .unwrap();
+        assert_eq!(report.migrated(), 170);
+    });
+    let (pqr_diff, pqr_window_us) = counters_under_load(|db, p| {
+        let report =
+            partition_quiesce_reorganize(db, p, RelocationPlan::CompactInPlace).unwrap();
+        assert_eq!(report.mapping.len(), 170);
+        assert!(report.quiesce_locks > 0);
+    });
+
+    // PQR holds the partition's entry points exclusively for the whole
+    // reorganization: walkers pile up on them and wait.
+    assert!(
+        pqr_diff.get("lock.waits") > 0,
+        "walkers never waited during PQR: {pqr_diff}"
+    );
+
+    // The paper's core claim in lock-manager terms. Total wait time alone
+    // is window-length-biased (IRA runs longer, and deliberately eats the
+    // deadlock timeouts itself), so compare the *average number of blocked
+    // threads*: wait-µs accumulated per µs of reorganization window.
+    // Observed levels on this workload: PQR ≈ 5 of the 6 walkers parked,
+    // IRA ≈ 1.5; the factor-2 margin keeps the test robust.
+    let ira_blocked = ira_diff.get("lock.wait_us_sum") as f64 / ira_window_us as f64;
+    let pqr_blocked = pqr_diff.get("lock.wait_us_sum") as f64 / pqr_window_us as f64;
+    assert!(
+        pqr_blocked > 2.0 * ira_blocked,
+        "expected PQR to keep >2x more threads blocked than IRA; \
+         PQR={pqr_blocked:.2} IRA={ira_blocked:.2}"
+    );
+}
