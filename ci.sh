@@ -5,4 +5,8 @@ set -eux
 cargo build --release
 cargo test -q
 cargo test --workspace -q
+# Seeded chaos crash-point subset (DESIGN.md §9): one stride per fault
+# site, fixed seeds. The full matrix runs via the workspace test above;
+# this pins the --quick configuration explicitly.
+CHAOS_QUICK=1 cargo test -q -p ira --test chaos_sweep
 cargo clippy --workspace --all-targets -- -D warnings

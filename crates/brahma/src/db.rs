@@ -12,7 +12,9 @@
 use crate::addr::{PartitionId, PhysAddr};
 use crate::config::{RefTableMaintenance, StoreConfig};
 use crate::error::{Error, Result};
+use crate::fault::{site, FaultInjector};
 use crate::lock::LockManager;
+use crate::retry::RetryStats;
 use crate::object::{self, ObjectView};
 use crate::partition::Partition;
 use crate::trt::{RefAction, Trt};
@@ -80,6 +82,12 @@ pub struct Database {
     reorg_tables: RwLock<HashMap<PartitionId, Arc<Trt>>>,
     /// Log pins covering each active reorganization's TRT window.
     reorg_pins: Mutex<HashMap<PartitionId, crate::wal::PinId>>,
+    /// Durable reorganizer checkpoints, keyed by partition: the latest
+    /// serialized progress record the reorganization utility wrote for each
+    /// active reorganization. Survives a [`crate::recovery::CrashImage`] so
+    /// restart recovery can hand interrupted reorganizations back to the
+    /// utility for resumption (Section 3.7's restartability).
+    reorg_checkpoints: Mutex<HashMap<PartitionId, Vec<u8>>>,
     analyzer: LogAnalyzer,
     /// Persistent roots (Section 2). Conceptually these live in a dedicated
     /// root partition; threads obtain their walk entry points here.
@@ -87,6 +95,12 @@ pub struct Database {
     /// Optional CPU cost model (see [`CpuCharge`]).
     cpu: RwLock<Option<Arc<dyn CpuCharge>>>,
     pub stats: DbStats,
+    /// Deterministic fault injection (disarmed — one relaxed load per site
+    /// check — unless a test arms a plan). See [`crate::fault`].
+    pub fault: FaultInjector,
+    /// Store-wide retry accounting shared by every retry loop built on
+    /// [`crate::retry::RetryPolicy`].
+    pub retry_stats: RetryStats,
 }
 
 impl Database {
@@ -98,10 +112,13 @@ impl Database {
             wal: Wal::new(config.wal_retain, config.commit_flush_latency),
             reorg_tables: RwLock::new(HashMap::new()),
             reorg_pins: Mutex::new(HashMap::new()),
+            reorg_checkpoints: Mutex::new(HashMap::new()),
             analyzer: LogAnalyzer::new(0),
             roots: Mutex::new(Vec::new()),
             cpu: RwLock::new(None),
             stats: DbStats::default(),
+            fault: FaultInjector::new(),
+            retry_stats: RetryStats::default(),
             partitions: RwLock::new(Vec::new()),
             config,
         }
@@ -204,6 +221,7 @@ impl Database {
         addr: PhysAddr,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
+        self.fault.observe(site::PAGE_LATCH);
         let part = self.partition(addr.partition())?;
         let page = part.page(addr.page())?;
         let guard = page.read();
@@ -216,6 +234,7 @@ impl Database {
         addr: PhysAddr,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R> {
+        self.fault.observe(site::PAGE_LATCH);
         let part = self.partition(addr.partition())?;
         let page = part.page(addr.page())?;
         let mut guard = page.write();
@@ -288,6 +307,7 @@ impl Database {
         if let Some(pin) = self.reorg_pins.lock().remove(&partition) {
             self.wal.unpin(pin);
         }
+        self.reorg_checkpoints.lock().remove(&partition);
         if let Ok(part) = self.partition(partition) {
             part.flush_deferred_frees();
         }
@@ -298,6 +318,31 @@ impl Database {
     /// Whether `partition` has a reorganization in progress.
     pub fn reorg_active(&self, partition: PartitionId) -> bool {
         self.reorg_tables.read().contains_key(&partition)
+    }
+
+    /// Durably record the reorganization utility's serialized progress for
+    /// `partition` (replacing any previous record). The bytes survive a
+    /// crash in the [`crate::recovery::CrashImage`] and are handed back by
+    /// [`crate::recovery::recover`] when the reorganization was interrupted.
+    pub fn save_reorg_checkpoint(&self, partition: PartitionId, bytes: Vec<u8>) {
+        self.reorg_checkpoints.lock().insert(partition, bytes);
+    }
+
+    /// The latest saved reorganizer checkpoint for `partition`, if any.
+    pub fn reorg_checkpoint(&self, partition: PartitionId) -> Option<Vec<u8>> {
+        self.reorg_checkpoints.lock().get(&partition).cloned()
+    }
+
+    /// Snapshot of every saved reorganizer checkpoint (crash capture).
+    pub(crate) fn reorg_checkpoint_snapshot(&self) -> Vec<(PartitionId, Vec<u8>)> {
+        let mut v: Vec<_> = self
+            .reorg_checkpoints
+            .lock()
+            .iter()
+            .map(|(p, b)| (*p, b.clone()))
+            .collect();
+        v.sort_by_key(|(p, _)| *p);
+        v
     }
 
     /// The TRT of `partition`, when a reorganization is active.
@@ -417,6 +462,8 @@ impl Database {
         snap.set("trt.notes", trt_notes);
         snap.set("trt.purged", trt_purged);
         snap.set("trt.tuples", trt_tuples);
+        self.retry_stats.export(&mut snap);
+        self.fault.export(&mut snap);
         snap
     }
 

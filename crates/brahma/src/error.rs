@@ -55,6 +55,30 @@ pub enum Error {
     PartitionUnderReorg(u16),
     /// Restart recovery found the log inconsistent with the checkpoint.
     RecoveryCorrupt(String),
+    /// A fault-injection rule fired at the named site (testing only; never
+    /// produced by a disarmed [`crate::fault::FaultInjector`]). Retryable
+    /// injected faults are handled exactly like [`Error::LockTimeout`].
+    Injected {
+        site: &'static str,
+        kind: crate::fault::InjectedKind,
+    },
+}
+
+impl Error {
+    /// Whether this error is a transient conflict the caller should resolve
+    /// by releasing its locks, backing off, and retrying: a lock timeout,
+    /// an upgrade conflict, or a retryable injected fault.
+    pub fn is_retryable_conflict(&self) -> bool {
+        matches!(
+            self,
+            Error::LockTimeout { .. }
+                | Error::UpgradeConflict { .. }
+                | Error::Injected {
+                    kind: crate::fault::InjectedKind::Retryable,
+                    ..
+                }
+        )
+    }
 }
 
 impl fmt::Display for Error {
@@ -95,6 +119,9 @@ impl fmt::Display for Error {
                 write!(f, "partition {p} is being reorganized; creation disallowed")
             }
             Error::RecoveryCorrupt(msg) => write!(f, "recovery failed: {msg}"),
+            Error::Injected { site, kind } => {
+                write!(f, "injected {kind:?} fault at site {site}")
+            }
         }
     }
 }

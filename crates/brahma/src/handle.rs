@@ -17,6 +17,7 @@
 use crate::addr::{PartitionId, PhysAddr};
 use crate::db::Database;
 use crate::error::{Error, Result};
+use crate::fault::site;
 use crate::lock::LockMode;
 use crate::object::{self, ObjectView};
 use crate::txn::TxnId;
@@ -141,6 +142,15 @@ impl<'db> Txn<'db> {
 
     /// Acquire `mode` on `addr`, waiting up to the configured timeout.
     pub fn lock(&mut self, addr: PhysAddr, mode: LockMode) -> Result<()> {
+        if self.db.fault.armed() {
+            let upgrading = mode == LockMode::Exclusive
+                && self.db.locks.holds(self.id, addr) == Some(LockMode::Shared);
+            self.db.fault.hit(if upgrading {
+                site::LOCK_UPGRADE
+            } else {
+                site::LOCK_ACQUIRE
+            })?;
+        }
         self.db.locks.lock(self.id, addr, mode)?;
         self.record_lock(addr);
         Ok(())
@@ -250,6 +260,10 @@ impl<'db> Txn<'db> {
         if self.reorg_for != Some(partition) && self.db.reorg_active(partition) {
             return Err(Error::PartitionUnderReorg(partition.0));
         }
+        // Fault sites are checked before any mutation so an injected failure
+        // leaves nothing to undo.
+        self.db.fault.hit(site::ALLOC)?;
+        self.db.fault.hit(site::WAL_APPEND)?;
         self.db.charge_access();
         let part = self.db.partition(partition)?;
         // Capacity validation needs an address for error reporting; compute
@@ -281,6 +295,10 @@ impl<'db> Txn<'db> {
     /// final image.
     pub fn delete_object(&mut self, addr: PhysAddr) -> Result<ObjectView> {
         self.require(addr, LockMode::Exclusive)?;
+        self.db.fault.hit(site::ALLOC_FREE)?;
+        self.db.fault.hit(site::WAL_APPEND)?;
+        self.db.fault.hit(site::TRT_NOTE)?;
+        self.db.fault.hit(site::ERT_NOTE)?;
         self.db.charge_access();
         let image = self
             .db
@@ -317,6 +335,9 @@ impl<'db> Txn<'db> {
     /// returning its index.
     pub fn insert_ref(&mut self, parent: PhysAddr, child: PhysAddr) -> Result<usize> {
         self.require(parent, LockMode::Exclusive)?;
+        self.db.fault.hit(site::WAL_APPEND)?;
+        self.db.fault.hit(site::TRT_NOTE)?;
+        self.db.fault.hit(site::ERT_NOTE)?;
         self.db.charge_access();
         // Validate capacity before logging: a record must never describe an
         // operation that did not happen.
@@ -380,6 +401,9 @@ impl<'db> Txn<'db> {
         index: usize,
         child: PhysAddr,
     ) -> Result<()> {
+        self.db.fault.hit(site::WAL_APPEND)?;
+        self.db.fault.hit(site::TRT_NOTE)?;
+        self.db.fault.hit(site::ERT_NOTE)?;
         self.db.charge_access();
         self.last_lsn = self.db.wal.append(
             self.id,
@@ -412,6 +436,9 @@ impl<'db> Txn<'db> {
         new_child: PhysAddr,
     ) -> Result<PhysAddr> {
         self.require(parent, LockMode::Exclusive)?;
+        self.db.fault.hit(site::WAL_APPEND)?;
+        self.db.fault.hit(site::TRT_NOTE)?;
+        self.db.fault.hit(site::ERT_NOTE)?;
         self.db.charge_access();
         let refs = self
             .db
@@ -447,6 +474,7 @@ impl<'db> Txn<'db> {
     /// Replace the payload of `addr` (requires X).
     pub fn set_payload(&mut self, addr: PhysAddr, payload: &[u8]) -> Result<()> {
         self.require(addr, LockMode::Exclusive)?;
+        self.db.fault.hit(site::WAL_APPEND)?;
         self.db.charge_access();
         // Validate capacity before logging (see insert_ref).
         let old = self
@@ -486,7 +514,12 @@ impl<'db> Txn<'db> {
 
     /// Commit: force the log, apply the Section 4.5 TRT purges, release all
     /// locks.
+    ///
+    /// An injected `wal.commit_flush` fault fails the commit *before* the
+    /// commit record is appended; the handle is then dropped, which rolls
+    /// the transaction back — a failed commit is an abort, as in ARIES.
     pub fn commit(mut self) -> Result<()> {
+        self.db.fault.hit(site::WAL_COMMIT_FLUSH)?;
         let lsn = self.db.wal.append(self.id, LogPayload::Commit);
         self.db.wal.flush(lsn);
         self.db

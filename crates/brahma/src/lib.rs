@@ -55,12 +55,14 @@ pub mod db;
 pub mod error;
 pub mod ert;
 pub mod exthash;
+pub mod fault;
 pub mod handle;
 pub mod lock;
 pub mod object;
 pub mod page;
 pub mod partition;
 pub mod recovery;
+pub mod retry;
 pub mod sweep;
 pub mod trt;
 pub mod txn;
@@ -71,11 +73,13 @@ pub use config::{RefTableMaintenance, StoreConfig, PAGE_SIZE};
 pub use db::{CpuCharge, Database, DbStats};
 pub use error::{Error, Result};
 pub use ert::Ert;
+pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultRule, InjectedKind};
 pub use handle::{NewObject, Txn};
 pub use lock::{LockManager, LockMode};
 pub use object::ObjectView;
 pub use partition::{Partition, SpaceStats};
 pub use recovery::{recover, Checkpoint, CrashImage, RecoveryOutcome};
+pub use retry::{RetryPolicy, RetryState, RetryStats};
 pub use trt::{RefAction, Trt, TrtTuple};
 pub use txn::{TxnId, TxnManager};
 pub use wal::{LogPayload, LogRecord, Lsn, Wal};

@@ -41,6 +41,10 @@ pub struct Checkpoint {
 pub struct CrashImage {
     pub checkpoint: Checkpoint,
     pub log: Vec<LogRecord>,
+    /// Durable reorganizer checkpoints (see
+    /// [`Database::save_reorg_checkpoint`]): the utility's serialized
+    /// progress record per partition under reorganization.
+    pub reorg_checkpoints: Vec<(PartitionId, Vec<u8>)>,
 }
 
 /// The result of restart recovery.
@@ -51,6 +55,10 @@ pub struct RecoveryOutcome {
     /// Partitions whose reorganization was interrupted by the crash; the
     /// reorganizer must be restarted on them (Section 4.4).
     pub interrupted_reorgs: Vec<PartitionId>,
+    /// The surviving reorganizer checkpoint for each interrupted partition
+    /// that had saved one — hand these back to the reorganization utility
+    /// so it resumes from its last checkpoint instead of from scratch.
+    pub reorg_checkpoints: Vec<(PartitionId, Vec<u8>)>,
 }
 
 impl Database {
@@ -93,7 +101,11 @@ impl Database {
             .into_iter()
             .filter(|r| r.lsn <= horizon)
             .collect();
-        CrashImage { checkpoint, log }
+        CrashImage {
+            checkpoint,
+            log,
+            reorg_checkpoints: self.reorg_checkpoint_snapshot(),
+        }
     }
 }
 
@@ -160,10 +172,16 @@ pub fn recover(image: CrashImage, config: StoreConfig) -> Result<RecoveryOutcome
 
     let mut interrupted: Vec<PartitionId> = reorgs.into_iter().collect();
     interrupted.sort_unstable();
+    let reorg_checkpoints = image
+        .reorg_checkpoints
+        .into_iter()
+        .filter(|(p, _)| interrupted.contains(p))
+        .collect();
     Ok(RecoveryOutcome {
         db,
         losers,
         interrupted_reorgs: interrupted,
+        reorg_checkpoints,
     })
 }
 

@@ -1,9 +1,12 @@
 //! Property tests for restart recovery: for arbitrary scripts of
-//! transactions (creates, payload writes, ref edits; committed or aborted),
-//! a crash with a durable tail recovers to *exactly* the state of a
-//! reference database that ran the same script — byte-for-byte object
-//! images, allocator directories, ERTs. A loser transaction open at crash
-//! time is rolled back to the same reference state.
+//! transactions (creates, payload writes, ref edits; committed or aborted)
+//! interleaved with single-object reorganization steps (migrate + repoint
+//! inside a `ReorgStart..ReorgEnd` window), a crash with a durable tail
+//! recovers to *exactly* the state of a reference database that ran the
+//! same script — byte-for-byte object images, allocator directories, ERTs.
+//! A loser transaction open at crash time is rolled back to the same
+//! reference state; a reorganization window open at crash time is reported
+//! as interrupted, with its durable checkpoint blob handed back.
 
 use brahma::{recover, Database, LockMode, NewObject, PartitionId, PhysAddr, StoreConfig};
 use proptest::prelude::*;
@@ -18,9 +21,19 @@ enum Op {
 }
 
 #[derive(Debug, Clone)]
+enum Step {
+    /// A workload transaction: ops + whether it commits.
+    Txn(Vec<Op>, bool),
+    /// A committed reorganization step: migrate one pooled object within
+    /// its partition and repoint every parent, in a reorganization
+    /// transaction under an open `ReorgStart..ReorgEnd` window.
+    Migrate { obj: usize },
+}
+
+#[derive(Debug, Clone)]
 struct Script {
-    /// Transactions: list of ops + whether the txn commits.
-    txns: Vec<(Vec<Op>, bool)>,
+    /// Interleaved workload transactions and reorganization steps.
+    steps: Vec<Step>,
     /// Ops of a final transaction left open at the crash (loser).
     loser: Vec<Op>,
 }
@@ -35,15 +48,20 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (proptest::collection::vec(op_strategy(), 1..8), any::<bool>())
+            .prop_map(|(ops, commit)| Step::Txn(ops, commit)),
+        1 => any::<usize>().prop_map(|obj| Step::Migrate { obj }),
+    ]
+}
+
 fn script_strategy() -> impl Strategy<Value = Script> {
     (
-        proptest::collection::vec(
-            (proptest::collection::vec(op_strategy(), 1..8), any::<bool>()),
-            0..10,
-        ),
+        proptest::collection::vec(step_strategy(), 0..12),
         proptest::collection::vec(op_strategy(), 0..6),
     )
-        .prop_map(|(txns, loser)| Script { txns, loser })
+        .prop_map(|(steps, loser)| Script { steps, loser })
 }
 
 /// Apply one op to a txn, tracking the object pool. Ops on missing objects
@@ -116,24 +134,93 @@ fn apply_op(
     }
 }
 
+/// A deterministic single-object reorganization step: open the window,
+/// copy the object inside its partition, repoint every pooled parent,
+/// delete the old copy, close the window — all in one reorg transaction.
+/// The pool entry is replaced by the new address. Degenerate picks (empty
+/// pool) are skipped deterministically; the step is identical on the
+/// reference and the subject, so recovery equivalence covers the reorg
+/// log records (Migrate, ReorgStart/End, repoints) too.
+fn apply_migrate(db: &Database, obj: usize, pool: &mut [PhysAddr]) {
+    if pool.is_empty() {
+        return;
+    }
+    let old = pool[obj % pool.len()];
+    let partition = old.partition();
+    if db.start_reorg(partition).is_err() {
+        return;
+    }
+    let mut txn = db.begin_reorg(partition);
+    let migrated = (|| -> brahma::Result<PhysAddr> {
+        txn.lock(old, LockMode::Exclusive)?;
+        let image = txn.read(old)?;
+        let new = txn.create_object(
+            partition,
+            NewObject {
+                tag: image.tag,
+                refs: image.refs.clone(),
+                ref_cap: image.ref_cap,
+                payload: image.payload.clone(),
+                payload_cap: image.payload_cap,
+            },
+        )?;
+        for (i, r) in image.refs.iter().enumerate() {
+            if *r == old {
+                txn.set_ref(new, i, new)?;
+            }
+        }
+        for &parent in pool.iter() {
+            if parent == old {
+                continue;
+            }
+            txn.lock(parent, LockMode::Exclusive)?;
+            let refs = txn.read_refs(parent)?;
+            for (i, r) in refs.iter().enumerate() {
+                if *r == old {
+                    txn.set_ref(parent, i, new)?;
+                }
+            }
+        }
+        txn.delete_object(old)?;
+        Ok(new)
+    })();
+    match migrated {
+        Ok(new) => {
+            txn.commit().unwrap();
+            for slot in pool.iter_mut() {
+                if *slot == old {
+                    *slot = new;
+                }
+            }
+        }
+        Err(_) => txn.abort(),
+    }
+    db.end_reorg(partition);
+}
+
 /// Run the committed/aborted prefix of the script on a database.
 fn run_prefix(db: &Database, script: &Script) -> Vec<PhysAddr> {
     let mut pool = Vec::new();
     let mut dead = Vec::new();
-    for (ops, commit) in &script.txns {
-        let before = pool.clone();
-        let before_dead_len = dead.len();
-        let mut txn = db.begin();
-        for op in ops {
-            apply_op(&mut txn, op, &mut pool, &mut dead);
-        }
-        if *commit {
-            txn.commit().unwrap();
-        } else {
-            txn.abort();
-            // Aborted txns contribute nothing to the pool.
-            pool = before;
-            dead.truncate(before_dead_len);
+    for step in &script.steps {
+        match step {
+            Step::Txn(ops, commit) => {
+                let before = pool.clone();
+                let before_dead_len = dead.len();
+                let mut txn = db.begin();
+                for op in ops {
+                    apply_op(&mut txn, op, &mut pool, &mut dead);
+                }
+                if *commit {
+                    txn.commit().unwrap();
+                } else {
+                    txn.abort();
+                    // Aborted txns contribute nothing to the pool.
+                    pool = before;
+                    dead.truncate(before_dead_len);
+                }
+            }
+            Step::Migrate { obj } => apply_migrate(db, *obj, &mut pool),
         }
     }
     pool
@@ -235,4 +322,38 @@ proptest! {
         let out = recover(image, StoreConfig::default()).unwrap();
         prop_assert_eq!(state_dump(&out.db), reference_dump);
     }
+}
+
+/// A crash inside an open `ReorgStart..ReorgEnd` window: recovery reports
+/// the partition as interrupted and hands back the durable reorganizer
+/// checkpoint blob registered with the store.
+#[test]
+fn crash_inside_open_reorg_window_reports_interruption() {
+    let db = Database::new(StoreConfig::default());
+    let p0 = db.create_partition();
+    db.create_partition();
+    let mut setup = db.begin();
+    setup
+        .create_object(
+            p0,
+            NewObject {
+                tag: 1,
+                refs: vec![],
+                ref_cap: 6,
+                payload: vec![7; 8],
+                payload_cap: 24,
+            },
+        )
+        .unwrap();
+    setup.commit().unwrap();
+    let ckpt = db.checkpoint(0);
+
+    db.start_reorg(p0).unwrap();
+    db.save_reorg_checkpoint(p0, vec![0xAA, 0xBB, 0xCC]);
+    let image = db.crash(ckpt, true);
+    drop(db);
+
+    let out = recover(image, StoreConfig::default()).unwrap();
+    assert_eq!(out.interrupted_reorgs, vec![p0]);
+    assert_eq!(out.reorg_checkpoints, vec![(p0, vec![0xAA, 0xBB, 0xCC])]);
 }

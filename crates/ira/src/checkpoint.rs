@@ -16,7 +16,10 @@ use crate::driver::{IraConfig, IraError, IraPhases, IraReport, ReorgRun};
 use crate::plan::RelocationPlan;
 use crate::traversal::TraversalState;
 use brahma::wal::analyzer::rebuild_trt_seeded;
-use brahma::{Database, LogRecord, Lsn, PartitionId, PhysAddr, TrtTuple};
+use brahma::{
+    Database, Error as StoreError, LogRecord, Lsn, PartitionId, PhysAddr, RefAction, TrtTuple,
+    TxnId,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -37,6 +40,191 @@ pub struct IraCheckpoint {
     /// checkpoint time plus the LSN reconstruction must replay from.
     pub trt_snapshot: Vec<TrtTuple>,
     pub trt_lsn: Lsn,
+}
+
+/// Version tag leading every encoded checkpoint.
+const CODEC_VERSION: u8 = 1;
+
+impl IraCheckpoint {
+    /// Serialize to a self-contained byte record — the durable form the
+    /// driver hands to [`Database::save_reorg_checkpoint`] so the
+    /// checkpoint rides a [`brahma::CrashImage`] across a crash. Hash
+    /// containers are emitted in sorted order, so encoding is deterministic:
+    /// the same checkpoint always produces the same bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![CODEC_VERSION];
+        out.extend_from_slice(&self.partition.0.to_le_bytes());
+        match self.plan {
+            RelocationPlan::CompactInPlace => out.push(0),
+            RelocationPlan::EvacuateTo(target) => {
+                out.push(1);
+                out.extend_from_slice(&target.0.to_le_bytes());
+            }
+        }
+        put_u64(&mut out, self.pos as u64);
+        put_u64(&mut out, self.trt_lsn);
+        put_addrs(&mut out, self.queue.iter().copied());
+        put_u64(&mut out, self.mapping.len() as u64);
+        for (old, new) in &self.mapping {
+            put_addr(&mut out, *old);
+            put_addr(&mut out, *new);
+        }
+        put_addrs(&mut out, self.state.order.iter().copied());
+        let mut visited: Vec<PhysAddr> = self.state.visited.iter().copied().collect();
+        visited.sort_unstable();
+        put_addrs(&mut out, visited.into_iter());
+        let mut children: Vec<PhysAddr> = self.state.parents.keys().copied().collect();
+        children.sort_unstable();
+        put_u64(&mut out, children.len() as u64);
+        for child in children {
+            put_addr(&mut out, child);
+            let mut ps: Vec<PhysAddr> = self.state.parents[&child].iter().copied().collect();
+            ps.sort_unstable();
+            put_addrs(&mut out, ps.into_iter());
+        }
+        put_u64(&mut out, self.trt_snapshot.len() as u64);
+        for t in &self.trt_snapshot {
+            put_addr(&mut out, t.child);
+            put_addr(&mut out, t.parent);
+            put_u64(&mut out, t.tid.0);
+            out.push(match t.action {
+                RefAction::Insert => 0,
+                RefAction::Delete => 1,
+            });
+        }
+        out
+    }
+
+    /// Inverse of [`IraCheckpoint::encode`]. Truncated or malformed input
+    /// yields [`brahma::Error::RecoveryCorrupt`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut r = Reader { bytes, at: 0 };
+        let version = r.u8()?;
+        if version != CODEC_VERSION {
+            return Err(corrupt(format!(
+                "unknown IRA checkpoint version {version}"
+            )));
+        }
+        let partition = PartitionId(r.u16()?);
+        let plan = match r.u8()? {
+            0 => RelocationPlan::CompactInPlace,
+            1 => RelocationPlan::EvacuateTo(PartitionId(r.u16()?)),
+            tag => return Err(corrupt(format!("unknown relocation plan tag {tag}"))),
+        };
+        let pos = r.u64()? as usize;
+        let trt_lsn = r.u64()?;
+        let queue = r.addrs()?;
+        let mut mapping = Vec::new();
+        for _ in 0..r.u64()? {
+            mapping.push((r.addr()?, r.addr()?));
+        }
+        let order = r.addrs()?;
+        let visited = r.addrs()?.into_iter().collect();
+        let mut parents = HashMap::new();
+        for _ in 0..r.u64()? {
+            let child = r.addr()?;
+            parents.insert(child, r.addrs()?.into_iter().collect());
+        }
+        let mut trt_snapshot = Vec::new();
+        for _ in 0..r.u64()? {
+            let child = r.addr()?;
+            let parent = r.addr()?;
+            let tid = TxnId(r.u64()?);
+            let action = match r.u8()? {
+                0 => RefAction::Insert,
+                1 => RefAction::Delete,
+                tag => return Err(corrupt(format!("unknown TRT action tag {tag}"))),
+            };
+            trt_snapshot.push(TrtTuple {
+                child,
+                parent,
+                tid,
+                action,
+            });
+        }
+        if r.at != r.bytes.len() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after IRA checkpoint",
+                r.bytes.len() - r.at
+            )));
+        }
+        Ok(IraCheckpoint {
+            partition,
+            plan,
+            state: crate::traversal::TraversalState {
+                order,
+                visited,
+                parents,
+            },
+            mapping,
+            queue,
+            pos,
+            trt_snapshot,
+            trt_lsn,
+        })
+    }
+}
+
+fn corrupt(msg: String) -> StoreError {
+    StoreError::RecoveryCorrupt(msg)
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_addr(out: &mut Vec<u8>, a: PhysAddr) {
+    put_u64(out, a.to_raw());
+}
+
+fn put_addrs(out: &mut Vec<u8>, addrs: impl ExactSizeIterator<Item = PhysAddr>) {
+    put_u64(out, addrs.len() as u64);
+    for a in addrs {
+        put_addr(out, a);
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], StoreError> {
+        let end = self.at.checked_add(n).filter(|e| *e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(corrupt("truncated IRA checkpoint".to_string()));
+        };
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn addr(&mut self) -> Result<PhysAddr, StoreError> {
+        Ok(PhysAddr::from_raw(self.u64()?))
+    }
+
+    fn addrs(&mut self) -> Result<Vec<PhysAddr>, StoreError> {
+        let n = self.u64()? as usize;
+        // Guard against a corrupt length overcommitting memory: each address
+        // takes 8 bytes, so `n` can never exceed the remaining input.
+        if n > (self.bytes.len() - self.at) / 8 {
+            return Err(corrupt("truncated IRA checkpoint".to_string()));
+        }
+        (0..n).map(|_| self.addr()).collect()
+    }
 }
 
 /// Resume an interrupted reorganization on a *recovered* database.
@@ -109,6 +297,7 @@ pub fn resume_reorganization(
         mapping: ckpt.mapping.into_iter().collect::<HashMap<_, _>>(),
         retries: 0,
         ext_locks: 0,
+        throttle_pauses: 0,
         phases,
         started,
     };
@@ -172,17 +361,27 @@ mod tests {
         };
         assert_eq!(ira_ckpt.mapping.len(), 4);
 
-        // Crash the database and recover.
+        // Crash the database and recover. The crash image carries the
+        // driver's durable checkpoint record, and recovery hands it back
+        // with the interrupted partition.
         let image = db.crash(store_ckpt, true);
         let pre_crash_log = image.log.clone();
         drop(db);
         let out = recover(image, StoreConfig::default()).unwrap();
         assert_eq!(out.interrupted_reorgs, vec![p1]);
+        assert_eq!(out.reorg_checkpoints.len(), 1);
+        assert_eq!(out.reorg_checkpoints[0].0, p1);
+        assert_eq!(
+            out.reorg_checkpoints[0].1,
+            ira_ckpt.encode(),
+            "the durable record is the returned checkpoint"
+        );
+        let recovered = IraCheckpoint::decode(&out.reorg_checkpoints[0].1).unwrap();
         let db = out.db;
 
-        // Resume from the IRA checkpoint.
+        // Resume from the recovered (deserialized) IRA checkpoint.
         let report =
-            resume_reorganization(&db, *ira_ckpt, &pre_crash_log, &IraConfig::default())
+            resume_reorganization(&db, recovered, &pre_crash_log, &IraConfig::default())
                 .unwrap();
         // The mapping accumulates the 4 pre-crash migrations plus the 6
         // performed on resume; none of the survivors migrate twice.
@@ -196,6 +395,58 @@ mod tests {
         assert_eq!(db.partition(p1).unwrap().object_count(), 10);
         let _ = anchor;
         brahma::sweep::assert_database_consistent(&db);
+    }
+
+    /// The byte codec is deterministic and lossless, and rejects malformed
+    /// input instead of panicking.
+    #[test]
+    fn checkpoint_encoding_roundtrips() {
+        let p1 = PartitionId(1);
+        let a = |page, off| PhysAddr::new(p1, page, off);
+        let mut state = TraversalState::default();
+        state.order = vec![a(0, 0), a(0, 64), a(1, 0)];
+        state.visited = state.order.iter().copied().collect();
+        state.visited.insert(a(7, 0)); // stale seed, never ordered
+        state.add_parent(a(0, 64), a(0, 0));
+        state.add_parent(a(1, 0), a(0, 0));
+        state.add_parent(a(1, 0), a(0, 64));
+        let ckpt = IraCheckpoint {
+            partition: p1,
+            plan: RelocationPlan::EvacuateTo(PartitionId(2)),
+            state,
+            mapping: vec![(a(0, 0), PhysAddr::new(PartitionId(2), 0, 0))],
+            queue: vec![a(0, 0), a(0, 64), a(1, 0)],
+            pos: 1,
+            trt_snapshot: vec![TrtTuple {
+                child: a(0, 64),
+                parent: PhysAddr::new(PartitionId(0), 3, 128),
+                tid: TxnId(42),
+                action: RefAction::Delete,
+            }],
+            trt_lsn: 99,
+        };
+        let bytes = ckpt.encode();
+        let back = IraCheckpoint::decode(&bytes).unwrap();
+        assert_eq!(back.encode(), bytes, "canonical roundtrip");
+        assert_eq!(back.partition, ckpt.partition);
+        assert_eq!(back.plan, ckpt.plan);
+        assert_eq!(back.mapping, ckpt.mapping);
+        assert_eq!(back.queue, ckpt.queue);
+        assert_eq!(back.pos, ckpt.pos);
+        assert_eq!(back.trt_lsn, ckpt.trt_lsn);
+        assert_eq!(back.trt_snapshot.len(), 1);
+        assert_eq!(back.state.order, ckpt.state.order);
+        assert_eq!(back.state.visited, ckpt.state.visited);
+        assert_eq!(back.state.parents, ckpt.state.parents);
+
+        assert!(IraCheckpoint::decode(&[]).is_err());
+        assert!(IraCheckpoint::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad_version = bytes.clone();
+        bad_version[0] = 0xFF;
+        assert!(IraCheckpoint::decode(&bad_version).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(IraCheckpoint::decode(&trailing).is_err());
     }
 
     /// Restarting from scratch (the paper's simple option) also works: the

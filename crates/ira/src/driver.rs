@@ -4,13 +4,14 @@
 //! restart, and fault injection for the failure-handling tests.
 
 use crate::approx::find_objects_and_approx_parents;
+use crate::chaos::site as ira_site;
 use crate::checkpoint::IraCheckpoint;
 use crate::order::{order_queue, MigrationOrder};
 use crate::exact::find_exact_parents;
 use crate::migrate::{move_object_and_update_refs, BatchEffects};
 use crate::plan::RelocationPlan;
 use crate::traversal::TraversalState;
-use brahma::{Database, Error as StoreError, LockMode, PartitionId, PhysAddr};
+use brahma::{Database, Error as StoreError, LockMode, PartitionId, PhysAddr, RetryPolicy};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -55,6 +56,37 @@ pub enum IraVariant {
     TwoLock,
 }
 
+/// Graceful degradation under contention: the driver watches the lock
+/// manager's timeout counter between successful batches and pauses
+/// migration when workload aborts spike, resuming once the pause elapses.
+/// The reorganizer is a background utility (Section 1); when its lock
+/// footprint starts costing transactions their deadlock timeouts, backing
+/// off is cheaper than finishing sooner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThrottleConfig {
+    /// Successful batches per observation window.
+    pub window: usize,
+    /// Lock timeouts observed within one window at or above which the
+    /// driver pauses.
+    pub timeout_threshold: u64,
+    /// How long one pause lasts.
+    pub pause: Duration,
+    /// Upper bound on pauses per run, so a permanently contended system
+    /// still finishes reorganizing.
+    pub max_pauses: usize,
+}
+
+impl Default for ThrottleConfig {
+    fn default() -> Self {
+        ThrottleConfig {
+            window: 8,
+            timeout_threshold: 4,
+            pause: Duration::from_millis(50),
+            max_pauses: 100,
+        }
+    }
+}
+
 /// Driver configuration.
 #[derive(Debug, Clone)]
 pub struct IraConfig {
@@ -62,10 +94,14 @@ pub struct IraConfig {
     /// trade-off; for the two-lock variant, parent updates per transaction).
     pub batch_size: usize,
     pub variant: IraVariant,
-    /// Attempts per batch before the reorganization gives up.
-    pub max_retries: usize,
-    /// Pause after a deadlock-timeout before retrying.
-    pub retry_backoff: Duration,
+    /// Backoff applied when a batch hits a retryable conflict — a deadlock
+    /// timeout, an upgrade conflict, or an injected transient fault
+    /// (Section 4.4's release-and-retry discipline).
+    pub retry: RetryPolicy,
+    /// Poll policy for the relaxed-2PL settle wait (how long, in how many
+    /// slices, the reorganizer waits for a past lock holder to finish; see
+    /// [`crate::relaxed`]).
+    pub settle: RetryPolicy,
     /// Delete unreachable objects discovered by the traversal (Section 4.6:
     /// the reorganizer doubles as a garbage collector).
     pub collect_garbage: bool,
@@ -85,6 +121,8 @@ pub struct IraConfig {
     /// slots, change the tag). The transform must preserve the reference
     /// list exactly; capacities and payload are free to change.
     pub transform: Option<fn(brahma::ObjectView) -> brahma::ObjectView>,
+    /// Contention-adaptive throttling (`None` disables it).
+    pub throttle: Option<ThrottleConfig>,
 }
 
 impl Default for IraConfig {
@@ -92,13 +130,14 @@ impl Default for IraConfig {
         IraConfig {
             batch_size: 1,
             variant: IraVariant::Basic,
-            max_retries: 10_000,
-            retry_backoff: Duration::from_millis(2),
+            retry: RetryPolicy::default(),
+            settle: crate::relaxed::SETTLE_POLICY,
             collect_garbage: true,
             crash_after_migrations: None,
             quiesce_wait: Duration::from_secs(300),
             order: MigrationOrder::Traversal,
             transform: None,
+            throttle: None,
         }
     }
 }
@@ -163,6 +202,9 @@ pub struct IraReport {
     pub garbage: Vec<PhysAddr>,
     /// Deadlock-timeout retries across all batches.
     pub retries: usize,
+    /// Times the contention throttle paused migration (see
+    /// [`ThrottleConfig`]).
+    pub throttle_pauses: usize,
     /// Total distinct out-of-partition parents locked, summed over
     /// migration transactions — the cost the Section 7 ordering minimizes.
     pub external_parent_locks: usize,
@@ -186,6 +228,7 @@ impl IraReport {
         snap.set("ira.migrated", self.mapping.len() as u64);
         snap.set("ira.garbage", self.garbage.len() as u64);
         snap.set("ira.retries", self.retries as u64);
+        snap.set("ira.throttle.pauses", self.throttle_pauses as u64);
         snap.set("ira.external_parent_locks", self.external_parent_locks as u64);
         snap.set("ira.quiesce_us", us(self.phases.quiesce));
         snap.set("ira.traversal_us", us(self.phases.traversal));
@@ -227,6 +270,7 @@ pub fn incremental_reorganize(
     let state = find_objects_and_approx_parents(db, partition);
     let queue = order_queue(config.order, state.order.clone(), &state, partition);
     phases.traversal = phase_start.elapsed();
+    db.fault.observe(ira_site::TRAVERSAL);
 
     let run = ReorgRun {
         db,
@@ -239,6 +283,7 @@ pub fn incremental_reorganize(
         mapping: HashMap::new(),
         retries: 0,
         ext_locks: 0,
+        throttle_pauses: 0,
         phases,
         started: start,
     };
@@ -258,6 +303,7 @@ pub(crate) struct ReorgRun<'a> {
     pub mapping: HashMap<PhysAddr, PhysAddr>,
     pub retries: usize,
     pub ext_locks: usize,
+    pub throttle_pauses: usize,
     pub phases: IraPhases,
     pub started: Instant,
 }
@@ -272,11 +318,19 @@ impl ReorgRun<'_> {
 
 impl ReorgRun<'_> {
     pub(crate) fn execute(mut self) -> Result<IraReport, IraError> {
+        let mut window_batches = 0usize;
+        let mut timeouts_mark = self.db.locks.stats.timeouts.get();
         // Step two: migrate, batch by batch.
         while self.pos < self.queue.len() {
+            // A Crash fault latched anywhere (a walker's lock site, the WAL,
+            // a page latch) surfaces here, at the batch boundary — the only
+            // point where the checkpoint is consistent.
+            if self.db.fault.crash_requested() {
+                return Err(self.crash_now());
+            }
             let end = (self.pos + self.config.batch_size.max(1)).min(self.queue.len());
             let batch: Vec<PhysAddr> = self.queue[self.pos..end].to_vec();
-            let mut attempts = 0;
+            let mut backoff = self.config.retry.start();
             loop {
                 let result = match self.config.variant {
                     IraVariant::Basic => self.try_batch_basic(&batch),
@@ -284,38 +338,44 @@ impl ReorgRun<'_> {
                 };
                 match result {
                     Ok(()) => break,
-                    Err(StoreError::LockTimeout { .. })
-                    | Err(StoreError::UpgradeConflict { .. }) => {
-                        attempts += 1;
+                    Err(e) if e.is_retryable_conflict() => {
                         self.retries += 1;
-                        if attempts > self.config.max_retries {
+                        if !self.db.retry_backoff(&mut backoff) {
                             // Release the reorganization so the system keeps
                             // running; the caller may retry later.
-                            self.db.end_reorg(self.partition);
-                            release_target_space(self.db, self.partition, self.plan);
-                            return Err(IraError::RetriesExhausted {
+                            return Err(self.fail(IraError::RetriesExhausted {
                                 object: batch[0],
-                                attempts,
-                            });
+                                attempts: backoff.attempt,
+                            }));
                         }
-                        std::thread::sleep(self.config.retry_backoff);
                     }
-                    Err(e) => {
-                        self.db.end_reorg(self.partition);
-                        release_target_space(self.db, self.partition, self.plan);
-                        return Err(IraError::Store(e));
-                    }
+                    Err(e) => return Err(self.fail(IraError::Store(e))),
                 }
             }
             self.pos = end;
-            if let Some(n) = self.config.crash_after_migrations {
-                if self.mapping.len() >= n {
-                    // The "crash" leaves the reorganization open, exactly as
-                    // a real failure would; the checkpoint carries the
-                    // traversal state and progress (Section 4.4).
-                    return Err(IraError::SimulatedCrash(Box::new(self.checkpoint())));
+            self.db.fault.observe(ira_site::BATCH);
+            if let Some(t) = self.config.throttle.clone() {
+                window_batches += 1;
+                if window_batches >= t.window.max(1) {
+                    let timeouts_now = self.db.locks.stats.timeouts.get();
+                    if timeouts_now.saturating_sub(timeouts_mark) >= t.timeout_threshold
+                        && self.throttle_pauses < t.max_pauses
+                    {
+                        self.throttle_pauses += 1;
+                        std::thread::sleep(t.pause);
+                    }
+                    timeouts_mark = self.db.locks.stats.timeouts.get();
+                    window_batches = 0;
                 }
             }
+            if let Some(n) = self.config.crash_after_migrations {
+                if self.mapping.len() >= n {
+                    return Err(self.crash_now());
+                }
+            }
+        }
+        if self.db.fault.crash_requested() {
+            return Err(self.crash_now());
         }
 
         // Garbage: allocated but never traversed (Section 4.6).
@@ -330,12 +390,22 @@ impl ReorgRun<'_> {
             .filter(|a| !survivors.contains(a))
             .collect();
         if self.config.collect_garbage && !garbage.is_empty() {
-            let mut txn = self.db.begin_reorg(self.partition);
-            for &g in &garbage {
-                txn.lock(g, LockMode::Exclusive).map_err(IraError::Store)?;
-                txn.delete_object(g).map_err(IraError::Store)?;
+            let mut backoff = self.config.retry.start();
+            loop {
+                match self.try_collect_garbage(&garbage) {
+                    Ok(()) => break,
+                    Err(e) if e.is_retryable_conflict() => {
+                        self.retries += 1;
+                        if !self.db.retry_backoff(&mut backoff) {
+                            return Err(self.fail(IraError::RetriesExhausted {
+                                object: garbage[0],
+                                attempts: backoff.attempt,
+                            }));
+                        }
+                    }
+                    Err(e) => return Err(self.fail(IraError::Store(e))),
+                }
             }
-            txn.commit().map_err(IraError::Store)?;
         }
         self.phases.gc = phase_start.elapsed();
 
@@ -362,6 +432,7 @@ impl ReorgRun<'_> {
             mapping: self.mapping,
             garbage,
             retries: self.retries,
+            throttle_pauses: self.throttle_pauses,
             external_parent_locks: self.ext_locks,
             phases: self.phases,
             trt_notes,
@@ -370,9 +441,43 @@ impl ReorgRun<'_> {
         })
     }
 
+    /// Terminal failure: release the reorganization so the system keeps
+    /// running, then hand the error back.
+    fn fail(&self, e: IraError) -> IraError {
+        self.db.end_reorg(self.partition);
+        release_target_space(self.db, self.partition, self.plan);
+        e
+    }
+
+    /// Convert a latched crash request (or a `crash_after_migrations` trip)
+    /// into a simulated crash: checkpoint the run, save the checkpoint
+    /// durably so the next [`brahma::CrashImage`] carries it, and leave the
+    /// reorganization open — exactly what a stop-the-world failure between
+    /// two migration transactions looks like (Section 4.4).
+    fn crash_now(&self) -> IraError {
+        let _ = self.db.fault.take_crash_request();
+        let ckpt = self.checkpoint();
+        self.db
+            .save_reorg_checkpoint(self.partition, ckpt.encode());
+        IraError::SimulatedCrash(Box::new(ckpt))
+    }
+
+    /// One attempt at the whole garbage-collection transaction; a failure
+    /// anywhere aborts it (dropping the handle rolls the deletes back) and
+    /// the caller's retry loop starts a fresh one.
+    fn try_collect_garbage(&self, garbage: &[PhysAddr]) -> Result<(), StoreError> {
+        let mut txn = self.db.begin_reorg(self.partition);
+        for &g in garbage {
+            txn.lock(g, LockMode::Exclusive)?;
+            txn.delete_object(g)?;
+        }
+        txn.commit()
+    }
+
     /// Snapshot the run for crash-restart (Section 4.4: "the data structures
     /// Traversed Objects and Parent Lists can be checkpointed").
     pub(crate) fn checkpoint(&self) -> IraCheckpoint {
+        self.db.fault.observe(ira_site::CHECKPOINT);
         // Fuzzy TRT checkpoint: capture the log position first, then the
         // tuples — replaying from `trt_lsn` may duplicate tuples already in
         // the snapshot, which is conservative (Section 4.4).
@@ -405,6 +510,10 @@ impl ReorgRun<'_> {
             if self.mapping.contains_key(&oold) || !part.contains_object(oold) {
                 continue;
             }
+            if let Err(e) = self.db.fault.hit(ira_site::EXACT_PARENTS) {
+                failure = Some(e);
+                break;
+            }
             let exact_start = Instant::now();
             let step = find_exact_parents(self.db, &mut txn, oold, &mut self.state, &keep)
                 .and_then(|parents| {
@@ -434,8 +543,28 @@ impl ReorgRun<'_> {
         }
         match failure {
             None => {
-                self.ext_locks += self.count_external(&keep);
-                txn.commit()
+                let commit = self
+                    .db
+                    .fault
+                    .hit(ira_site::MIGRATE_COMMIT)
+                    .and_then(|()| txn.commit());
+                match commit {
+                    Ok(()) => {
+                        self.ext_locks += self.count_external(&keep);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        // A failed commit is an abort (the handle rolled the
+                        // updates back on drop); the run's in-memory
+                        // bookkeeping must roll back with it.
+                        std::mem::take(&mut effects).revert(
+                            self.db,
+                            &mut self.state,
+                            &mut self.mapping,
+                        );
+                        Err(e)
+                    }
+                }
             }
             Some(e) => {
                 txn.abort();
@@ -482,6 +611,9 @@ mod tests {
         assert!(c.collect_garbage);
         assert!(c.crash_after_migrations.is_none());
         assert!(c.transform.is_none());
+        assert!(c.throttle.is_none());
+        assert_eq!(c.retry, brahma::RetryPolicy::default());
+        assert_eq!(c.settle, crate::relaxed::SETTLE_POLICY);
     }
 
     #[test]
@@ -499,8 +631,8 @@ mod tests {
     #[test]
     fn retries_exhausted_releases_the_reorganization() {
         // A workload transaction parks on the only parent forever; with a
-        // tiny lock timeout and max_retries = 2 the driver gives up and
-        // releases the reorganization.
+        // tiny lock timeout and a two-attempt retry policy the driver gives
+        // up and releases the reorganization.
         let store = StoreConfig {
             lock_timeout: std::time::Duration::from_millis(20),
             ..StoreConfig::default()
@@ -522,8 +654,12 @@ mod tests {
         blocker.lock(parent, LockMode::Exclusive).unwrap();
 
         let config = IraConfig {
-            max_retries: 2,
-            retry_backoff: std::time::Duration::from_millis(1),
+            retry: brahma::RetryPolicy::new(
+                2,
+                std::time::Duration::from_millis(1),
+                std::time::Duration::from_millis(1),
+                0,
+            ),
             quiesce_wait: std::time::Duration::from_millis(50),
             ..IraConfig::default()
         };
@@ -531,6 +667,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, IraError::RetriesExhausted { .. }));
         assert!(!db.reorg_active(p1), "reorganization must be released");
+        assert!(db.retry_stats.giveups.get() >= 1, "giveup must be counted");
         blocker.abort();
         // A later run succeeds.
         let report =

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod approx;
+pub mod chaos;
 pub mod checkpoint;
 pub mod driver;
 pub mod exact;
@@ -58,11 +59,14 @@ pub mod traversal;
 pub mod two_lock;
 pub mod verify;
 
+pub use chaos::{run_crash_cell, CellOutcome, ChaosCell};
 pub use checkpoint::{resume_reorganization, IraCheckpoint};
-pub use driver::{incremental_reorganize, IraConfig, IraError, IraReport, IraVariant};
+pub use driver::{
+    incremental_reorganize, IraConfig, IraError, IraReport, IraVariant, ThrottleConfig,
+};
 pub use gc::{copying_collect, find_garbage, GcReport};
 pub use offline::offline_reorganize;
 pub use order::MigrationOrder;
 pub use plan::RelocationPlan;
-pub use pqr::{partition_quiesce_reorganize, PqrReport};
+pub use pqr::{partition_quiesce_reorganize, partition_quiesce_reorganize_with, PqrReport};
 pub use traversal::TraversalState;

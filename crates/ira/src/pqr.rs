@@ -17,9 +17,14 @@
 
 use crate::offline::reorganize_quiescent;
 use crate::plan::RelocationPlan;
-use brahma::{Database, Error as StoreError, LockMode, PartitionId, PhysAddr};
+use brahma::{Database, Error as StoreError, LockMode, PartitionId, PhysAddr, RetryPolicy};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// Default insist policy: effectively "keep asking" — each lock request
+/// already waits a full lock timeout, so the policy adds no delay of its
+/// own (zero base), only a very high bound against pathologies.
+pub const INSIST_POLICY: RetryPolicy = RetryPolicy::fixed(10_000, Duration::ZERO);
 
 /// Outcome of a PQR run.
 #[derive(Debug)]
@@ -31,11 +36,23 @@ pub struct PqrReport {
     pub duration: Duration,
 }
 
-/// Quiesce `partition` and reorganize it according to `plan`.
+/// Quiesce `partition` and reorganize it according to `plan`, insisting on
+/// quiesce locks under [`INSIST_POLICY`].
 pub fn partition_quiesce_reorganize(
     db: &Database,
     partition: PartitionId,
     plan: RelocationPlan,
+) -> Result<PqrReport, StoreError> {
+    partition_quiesce_reorganize_with(db, partition, plan, &INSIST_POLICY)
+}
+
+/// [`partition_quiesce_reorganize`] under a caller-supplied (test-tunable)
+/// insist policy.
+pub fn partition_quiesce_reorganize_with(
+    db: &Database,
+    partition: PartitionId,
+    plan: RelocationPlan,
+    retry: &RetryPolicy,
 ) -> Result<PqrReport, StoreError> {
     let started = Instant::now();
     db.start_reorg(partition)?;
@@ -63,7 +80,7 @@ pub fn partition_quiesce_reorganize(
                 break;
             }
             for p in parents {
-                lock_insist(&mut txn, p)?;
+                lock_insist(db, &mut txn, p, retry)?;
             }
         }
         // Lock every parent the TRT mentions and is not locked yet.
@@ -80,7 +97,7 @@ pub fn partition_quiesce_reorganize(
                 break;
             }
             for p in unlocked {
-                lock_insist(&mut txn, p)?;
+                lock_insist(db, &mut txn, p, retry)?;
             }
         }
         let quiesce_locks = txn.held_locks().len();
@@ -112,16 +129,22 @@ pub fn partition_quiesce_reorganize(
 
 /// Keep requesting the lock until granted. Workload transactions caught in
 /// a deadlock with PQR time out and abort, releasing their locks, so
-/// insisting is safe; a bounded retry count guards against pathologies.
-fn lock_insist(txn: &mut brahma::Txn<'_>, addr: PhysAddr) -> Result<(), StoreError> {
-    let mut attempts = 0usize;
+/// insisting is safe; the retry policy bounds the spin against pathologies
+/// and counts every re-request in the store's `retry.*` counters.
+fn lock_insist(
+    db: &Database,
+    txn: &mut brahma::Txn<'_>,
+    addr: PhysAddr,
+    retry: &RetryPolicy,
+) -> Result<(), StoreError> {
+    let mut backoff = retry.start();
     loop {
         match txn.lock(addr, LockMode::Exclusive) {
             Ok(()) => return Ok(()),
-            Err(StoreError::LockTimeout { .. }) | Err(StoreError::UpgradeConflict { .. })
-                if attempts < 10_000 =>
-            {
-                attempts += 1
+            Err(e) if e.is_retryable_conflict() => {
+                if !db.retry_backoff(&mut backoff) {
+                    return Err(e);
+                }
             }
             Err(e) => return Err(e),
         }

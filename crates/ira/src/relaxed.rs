@@ -9,29 +9,47 @@
 //! "transactions behave as though they were following strict 2PL with
 //! respect to the reorganization process".
 
-use brahma::{Database, Error, LockMode, PhysAddr, Result, Txn, TxnId};
+use brahma::{Database, Error, LockMode, PhysAddr, Result, RetryPolicy, Txn, TxnId};
 use std::time::Duration;
 
-/// How long one settle-wait slice lasts before the holder set is re-checked.
-const SETTLE_SLICE: Duration = Duration::from_millis(100);
-/// Upper bound on the total settle wait before giving up with a timeout
-/// (treated like a lock timeout: the caller releases and retries).
-const SETTLE_LIMIT: Duration = Duration::from_secs(30);
+/// Default settle policy: 300 fixed 100 ms slices — a 30 s bound on the
+/// total wait before giving up with a timeout (treated like a lock timeout:
+/// the caller releases and retries). Overridable per run through
+/// [`crate::IraConfig::settle`].
+pub const SETTLE_POLICY: RetryPolicy = RetryPolicy::fixed(300, Duration::from_millis(100));
 
 /// Exclusively lock `addr` for the reorganizer and, when history tracking is
 /// on, wait for every active transaction that ever held a lock on it.
 pub fn lock_and_settle(db: &Database, txn: &mut Txn<'_>, addr: PhysAddr) -> Result<()> {
+    lock_and_settle_with(db, txn, addr, &SETTLE_POLICY)
+}
+
+/// [`lock_and_settle`] under a caller-supplied settle policy.
+pub fn lock_and_settle_with(
+    db: &Database,
+    txn: &mut Txn<'_>,
+    addr: PhysAddr,
+    policy: &RetryPolicy,
+) -> Result<()> {
     txn.lock(addr, LockMode::Exclusive)?;
-    settle(db, txn.id(), addr)
+    settle_with(db, txn.id(), addr, policy)
 }
 
 /// Wait for all other active transactions that ever locked `addr` (no-op
 /// under strict 2PL, where tracking is off).
 pub fn settle(db: &Database, me: TxnId, addr: PhysAddr) -> Result<()> {
+    settle_with(db, me, addr, &SETTLE_POLICY)
+}
+
+/// [`settle`] under a caller-supplied policy: each exhausted slice re-checks
+/// the holder set; policy exhaustion is a lock timeout. The slice wait is
+/// performed by [`brahma::txn::TxnManager::wait_for_all`] (a poll interval,
+/// not contention backoff), so it is not counted in `retry.*`.
+pub fn settle_with(db: &Database, me: TxnId, addr: PhysAddr, policy: &RetryPolicy) -> Result<()> {
     if !db.locks.history_tracking() {
         return Ok(());
     }
-    let mut waited = Duration::ZERO;
+    let mut slices = policy.start();
     loop {
         let others: Vec<TxnId> = db
             .locks
@@ -42,11 +60,10 @@ pub fn settle(db: &Database, me: TxnId, addr: PhysAddr) -> Result<()> {
         if others.is_empty() {
             return Ok(());
         }
-        if waited >= SETTLE_LIMIT {
+        let Some(slice) = slices.next_delay() else {
             return Err(Error::LockTimeout { addr, by: me });
-        }
-        db.txns.wait_for_all(&others, SETTLE_SLICE);
-        waited += SETTLE_SLICE;
+        };
+        db.txns.wait_for_all(&others, slice);
     }
 }
 
@@ -117,6 +134,42 @@ mod tests {
             "settle must wait for the active past locker"
         );
         rt.commit().unwrap();
+        h.join().unwrap();
+        db.end_reorg(PartitionId(0));
+    }
+
+    #[test]
+    fn settle_policy_exhaustion_is_a_lock_timeout() {
+        let db = Arc::new(relaxed_db());
+        let mut t = db.begin();
+        let a = t
+            .create_object(PartitionId(0), NewObject::exact(0, vec![], vec![]))
+            .unwrap();
+        t.commit().unwrap();
+        db.start_reorg(PartitionId(0)).unwrap();
+
+        // A relaxed transaction that locked `a`, released it, and stays
+        // active until the end of the test.
+        let db2 = Arc::clone(&db);
+        let (locked_tx, locked_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let h = thread::spawn(move || {
+            let mut walker = db2.begin();
+            walker.lock(a, LockMode::Shared).unwrap();
+            walker.early_unlock(a).unwrap();
+            locked_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+            walker.commit().unwrap();
+        });
+        locked_rx.recv().unwrap();
+
+        // A tight test policy exhausts in ~10 ms instead of the default 30 s.
+        let tight = RetryPolicy::fixed(2, Duration::from_millis(5));
+        let mut rt = db.begin_reorg(PartitionId(0));
+        let err = lock_and_settle_with(&db, &mut rt, a, &tight).unwrap_err();
+        assert!(matches!(err, Error::LockTimeout { .. }));
+        rt.abort();
+        release_tx.send(()).unwrap();
         h.join().unwrap();
         db.end_reorg(PartitionId(0));
     }

@@ -25,7 +25,7 @@
 
 use crate::driver::IraConfig;
 use crate::plan::RelocationPlan;
-use crate::relaxed::{lock_and_settle, settle};
+use crate::relaxed::{lock_and_settle_with, settle_with};
 use crate::traversal::TraversalState;
 use brahma::{Database, LockMode, LogPayload, NewObject, PhysAddr, Result};
 use std::collections::{HashMap, HashSet};
@@ -46,7 +46,7 @@ pub fn migrate_two_lock(
     // migration.
     let mut guard = db.begin_reorg(partition);
     guard.lock(oold, LockMode::Exclusive)?;
-    settle(db, guard.id(), oold)?;
+    settle_with(db, guard.id(), oold, &config.settle)?;
     let image = guard.read(oold)?;
     let image = match config.transform {
         Some(f) => {
@@ -127,9 +127,11 @@ pub fn migrate_two_lock(
 }
 
 /// Lock one parent in its own transaction, rewrite its references to
-/// `oold`, commit (releasing it). Lock timeouts retry locally so a deadlock
-/// against a walker (who may be waiting on the guarded `oold`) resolves
-/// without abandoning the migration.
+/// `oold`, commit (releasing it). Retryable conflicts — lock timeouts,
+/// upgrade conflicts, injected transient faults, including at commit —
+/// retry locally under `config.retry`, so a deadlock against a walker (who
+/// may be waiting on the guarded `oold`) resolves without abandoning the
+/// migration.
 fn repoint_parent(
     db: &Database,
     parent: PhysAddr,
@@ -137,36 +139,29 @@ fn repoint_parent(
     onew: PhysAddr,
     config: &IraConfig,
 ) -> Result<()> {
-    let mut attempts = 0;
+    let mut backoff = config.retry.start();
     loop {
         let mut txn = db.begin_reorg(oold.partition());
-        let outcome = lock_and_settle(db, &mut txn, parent).and_then(|()| {
-            if let Ok(refs) = txn.read_refs(parent) {
-                for (i, r) in refs.iter().enumerate() {
-                    if *r == oold {
-                        txn.set_ref(parent, i, onew)?;
+        let outcome = lock_and_settle_with(db, &mut txn, parent, &config.settle)
+            .and_then(|()| {
+                if let Ok(refs) = txn.read_refs(parent) {
+                    for (i, r) in refs.iter().enumerate() {
+                        if *r == oold {
+                            txn.set_ref(parent, i, onew)?;
+                        }
                     }
                 }
-            }
-            Ok(())
-        });
+                Ok(())
+            })
+            .and_then(|()| txn.commit());
         match outcome {
-            Ok(()) => {
-                txn.commit()?;
-                return Ok(());
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_retryable_conflict() => {
+                if !db.retry_backoff(&mut backoff) {
+                    return Err(e);
+                }
             }
-            Err(brahma::Error::LockTimeout { .. })
-            | Err(brahma::Error::UpgradeConflict { .. })
-                if attempts < config.max_retries =>
-            {
-                txn.abort();
-                attempts += 1;
-                std::thread::sleep(config.retry_backoff);
-            }
-            Err(e) => {
-                txn.abort();
-                return Err(e);
-            }
+            Err(e) => return Err(e),
         }
     }
 }

@@ -45,9 +45,11 @@ pub fn start_workload(
                     let mut metrics = Metrics::default();
                     let run_start = Instant::now();
                     'run: while !stop.load(Ordering::Relaxed) {
-                        // One logical transaction: retry attempts until it
-                        // commits; response time spans all attempts.
+                        // One logical transaction: retry attempts under
+                        // `params.retry` until it commits; response time
+                        // spans all attempts.
                         let txn_start = Instant::now();
+                        let mut backoff = params.retry.start();
                         loop {
                             match walk_once(&db, &info, home, &params, &mut rng) {
                                 Ok(WalkAttempt::Committed) => {
@@ -58,6 +60,12 @@ pub fn start_workload(
                                     metrics.record_abort();
                                     if stop.load(Ordering::Relaxed) {
                                         break;
+                                    }
+                                    if !db.retry_backoff(&mut backoff) {
+                                        metrics.record_error(format!(
+                                            "walker {t}: retry policy exhausted"
+                                        ));
+                                        break 'run;
                                     }
                                 }
                                 Err(e) => {

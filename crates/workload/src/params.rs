@@ -1,6 +1,8 @@
 //! Workload parameters (Table 1 of the paper).
 
+use brahma::RetryPolicy;
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// The parameters of the Section 5.2 workload, with the paper's defaults.
 ///
@@ -45,6 +47,12 @@ pub struct WorkloadParams {
     pub ref_update_prob: f64,
     /// RNG seed for graph construction and walks.
     pub seed: u64,
+    /// Resubmission policy for a logical transaction whose attempt aborted
+    /// on a retryable conflict (lock timeout, upgrade conflict, injected
+    /// transient fault). The MPL model resubmits immediately, so the
+    /// default adds no delay and a bound high enough to never give up in
+    /// practice; tests tighten it to observe `retry.giveups`.
+    pub retry: RetryPolicy,
 }
 
 impl Default for WorkloadParams {
@@ -60,6 +68,7 @@ impl Default for WorkloadParams {
             payload_size: 40,
             ref_update_prob: 0.0,
             seed: 0xB_0BA,
+            retry: RetryPolicy::fixed(1_000_000, Duration::ZERO),
         }
     }
 }

@@ -10,8 +10,10 @@
 //! rewire the object's extra edge to a node the transaction has already
 //! visited (a pointer delete + insert, the traffic the TRT exists for).
 //!
-//! Lock timeouts abort the attempt; the logical transaction retries until
-//! it commits, and its response time spans all attempts.
+//! Retryable conflicts — lock timeouts, upgrade conflicts, injected
+//! transient faults — abort the attempt; the logical transaction retries
+//! under [`WorkloadParams::retry`], and its response time spans all
+//! attempts.
 
 use crate::graph::GraphInfo;
 use crate::params::WorkloadParams;
@@ -23,7 +25,8 @@ use rand::Rng;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WalkAttempt {
     Committed,
-    /// Lock timeout: aborted, should be retried.
+    /// Retryable conflict (lock timeout, upgrade conflict, injected
+    /// transient fault): aborted, should be retried.
     TimedOut,
 }
 
@@ -49,7 +52,7 @@ pub fn walk_once(
     };
     match txn.lock(root_obj, LockMode::Shared) {
         Ok(()) => {}
-        Err(Error::LockTimeout { .. }) | Err(Error::UpgradeConflict { .. }) => {
+        Err(e) if e.is_retryable_conflict() => {
             txn.abort();
             return Ok(WalkAttempt::TimedOut);
         }
@@ -83,7 +86,7 @@ pub fn walk_once(
         };
         match txn.lock(current, mode) {
             Ok(()) => {}
-            Err(Error::LockTimeout { .. }) | Err(Error::UpgradeConflict { .. }) => {
+            Err(e) if e.is_retryable_conflict() => {
                 txn.abort();
                 return Ok(WalkAttempt::TimedOut);
             }
@@ -102,7 +105,14 @@ pub fn walk_once(
         if exclusive {
             let mut payload = vec![0u8; params.payload_size];
             rng.fill(&mut payload[..]);
-            txn.set_payload(current, &payload)?;
+            match txn.set_payload(current, &payload) {
+                Ok(()) => {}
+                Err(e) if e.is_retryable_conflict() => {
+                    txn.abort();
+                    return Ok(WalkAttempt::TimedOut);
+                }
+                Err(e) => return Err(e),
+            }
             // Optional reference churn: repoint the extra edge (the last
             // reference) at a node already in local memory.
             if !visited.is_empty()
@@ -110,7 +120,14 @@ pub fn walk_once(
                 && rng.gen_bool(params.ref_update_prob.clamp(0.0, 1.0))
             {
                 let target = visited[rng.gen_range(0..visited.len())];
-                txn.set_ref(current, refs.len() - 1, target)?;
+                match txn.set_ref(current, refs.len() - 1, target) {
+                    Ok(_) => {}
+                    Err(e) if e.is_retryable_conflict() => {
+                        txn.abort();
+                        return Ok(WalkAttempt::TimedOut);
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         }
         visited.push(current);
@@ -127,8 +144,13 @@ pub fn walk_once(
         }
         current = refs[rng.gen_range(0..refs.len())];
     }
-    txn.commit()?;
-    Ok(WalkAttempt::Committed)
+    // A retryable fault injected at commit (e.g. on the WAL flush) aborts
+    // the attempt like any conflict; ARIES rolls the attempt back.
+    match txn.commit() {
+        Ok(()) => Ok(WalkAttempt::Committed),
+        Err(e) if e.is_retryable_conflict() => Ok(WalkAttempt::TimedOut),
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]

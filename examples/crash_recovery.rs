@@ -10,7 +10,10 @@
 //! Run with: `cargo run --example crash_recovery`
 
 use brahma::{recover, Database, NewObject, StoreConfig};
-use ira::{incremental_reorganize, resume_reorganization, IraConfig, IraError, RelocationPlan};
+use ira::{
+    incremental_reorganize, resume_reorganization, IraCheckpoint, IraConfig, IraError,
+    RelocationPlan,
+};
 
 fn main() {
     let db = Database::new(StoreConfig::default());
@@ -54,26 +57,37 @@ fn main() {
     );
 
     // The machine dies: all volatile state is gone. What survives is the
-    // checkpoint and the flushed log.
+    // checkpoint, the flushed log, and the reorganizer's durable
+    // checkpoint blob (written through the store at every batch boundary).
+    drop(ira_ckpt);
     let image = db.crash(store_ckpt, false);
     let pre_crash_log = image.log.clone();
     drop(db);
 
     // Restart recovery: redo committed work from the checkpoint, roll back
-    // losers, report the interrupted reorganization.
+    // losers, report the interrupted reorganization and hand back its
+    // durable checkpoint.
     let outcome = recover(image, StoreConfig::default()).expect("recovery succeeds");
     println!(
         "recovery: {} loser transaction(s) rolled back; interrupted reorganizations: {:?}",
         outcome.losers.len(),
         outcome.interrupted_reorgs
     );
-    let db = outcome.db;
     assert_eq!(outcome.interrupted_reorgs, vec![p1]);
+    let (_, blob) = outcome
+        .reorg_checkpoints
+        .iter()
+        .find(|(p, _)| *p == p1)
+        .expect("recovery surfaces the pending reorg checkpoint");
+    let recovered_ckpt = IraCheckpoint::decode(blob).expect("checkpoint blob decodes");
+    let db = outcome.db;
 
     // Resume: the TRT is rebuilt from the log, traversal state comes from
-    // the reorganizer checkpoint, and the remaining objects migrate.
-    let report = resume_reorganization(&db, *ira_ckpt, &pre_crash_log, &IraConfig::default())
-        .expect("resume completes");
+    // the decoded reorganizer checkpoint, and the remaining objects
+    // migrate.
+    let report =
+        resume_reorganization(&db, recovered_ckpt, &pre_crash_log, &IraConfig::default())
+            .expect("resume completes");
     println!(
         "resume migrated the remaining objects; total mapping now covers {} objects",
         report.migrated()

@@ -6,8 +6,14 @@
 //! at most a couple of threads at a time (and deliberately takes the
 //! deadlock-timeout hit itself, Section 4.4).
 
-use brahma::{Database, StoreConfig};
-use ira::{incremental_reorganize, partition_quiesce_reorganize, IraConfig, RelocationPlan};
+use brahma::{
+    fault::site, Database, FaultAction, FaultPlan, FaultRule, LockMode, NewObject, PartitionId,
+    PhysAddr, StoreConfig,
+};
+use ira::{
+    incremental_reorganize, partition_quiesce_reorganize, IraConfig, RelocationPlan,
+    ThrottleConfig,
+};
 use obs::Snapshot;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -121,4 +127,126 @@ fn ira_keeps_fewer_threads_blocked_than_pqr() {
         "expected PQR to keep >2x more threads blocked than IRA; \
          PQR={pqr_blocked:.2} IRA={ira_blocked:.2}"
     );
+}
+
+/// An anchor in `p0` referencing the head of an `n`-object chain in `p1`.
+fn chain_fixture(db: &Database, n: usize) -> (PartitionId, PartitionId, PhysAddr) {
+    let p0 = db.create_partition();
+    let p1 = db.create_partition();
+    let mut t = db.begin();
+    let mut prev = None;
+    for i in 0..n {
+        let refs = prev.map(|p| vec![p]).unwrap_or_default();
+        prev = Some(
+            t.create_object(p1, NewObject::exact(1, refs, vec![i as u8; 8]))
+                .unwrap(),
+        );
+    }
+    let anchor = t
+        .create_object(p0, NewObject::exact(0, vec![prev.unwrap()], vec![]))
+        .unwrap();
+    t.commit().unwrap();
+    (p0, p1, anchor)
+}
+
+/// Injected transient faults on the lock and WAL-flush sites are absorbed
+/// by the shared retry policy: the run completes, `retry.attempts` counts
+/// the backoffs, and `retry.giveups` stays at zero under the default
+/// policy. The fault counters record exactly which sites fired.
+#[test]
+fn injected_transient_faults_are_retried_to_completion() {
+    let db = Database::new(StoreConfig::default());
+    let (_p0, p1, _anchor) = chain_fixture(&db, 6);
+    db.fault.arm(
+        FaultPlan::new(0xFA57)
+            .with(FaultRule::burst(
+                site::LOCK_ACQUIRE,
+                1,
+                3,
+                FaultAction::Retryable,
+            ))
+            .with(FaultRule::burst(
+                site::WAL_COMMIT_FLUSH,
+                1,
+                2,
+                FaultAction::Retryable,
+            )),
+    );
+    let before = db.obs_snapshot();
+    let report =
+        incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &IraConfig::default())
+            .expect("transient faults must not kill the reorganization");
+    db.fault.disarm();
+    let mut after = db.obs_snapshot();
+    report.export(&mut after);
+    let diff = after.diff(&before);
+
+    assert_eq!(report.migrated(), 6);
+    assert!(
+        diff.get("retry.attempts") > 0,
+        "injected faults must be retried: {diff}"
+    );
+    assert_eq!(
+        diff.get("retry.giveups"),
+        0,
+        "the default policy must absorb the burst: {diff}"
+    );
+    assert!(diff.get("fault.fired.lock.acquire") >= 3, "{diff}");
+    assert!(diff.get("fault.fired.wal.commit_flush") >= 2, "{diff}");
+    ira::verify::assert_reorganization_clean(&db, &report);
+}
+
+/// A contention spike — a stream of walker lock timeouts — makes the
+/// driver pause between batches (`ira.throttle.pauses` ≥ 1) and still
+/// finish the reorganization.
+#[test]
+fn contention_spike_triggers_migration_throttle() {
+    let store = StoreConfig {
+        lock_timeout: Duration::from_millis(5),
+        ..StoreConfig::default()
+    };
+    let db = Arc::new(Database::new(store));
+    let (_p0, p1, anchor) = chain_fixture(&db, 6);
+    // A blocker parks on the chain's external anchor for 150 ms: the batch
+    // that needs to lock it keeps timing out (each retry costs a lock
+    // timeout — the signal the throttle monitors) until the blocker
+    // commits, and the next successful batch observes the spike.
+    let db2 = Arc::clone(&db);
+    let (held_tx, held_rx) = std::sync::mpsc::channel();
+    let blocker = std::thread::spawn(move || {
+        let mut t = db2.begin();
+        t.lock(anchor, LockMode::Exclusive).unwrap();
+        held_tx.send(()).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        t.commit().unwrap();
+    });
+    held_rx.recv().unwrap();
+
+    let config = IraConfig {
+        throttle: Some(ThrottleConfig {
+            window: 1,
+            timeout_threshold: 1,
+            pause: Duration::from_millis(2),
+            max_pauses: 8,
+        }),
+        // The blocker stays open past the start; don't wait the full
+        // quiesce period for it.
+        quiesce_wait: Duration::from_millis(30),
+        ..IraConfig::default()
+    };
+    let before = db.obs_snapshot();
+    let report = incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config)
+        .expect("throttled run must still complete");
+    blocker.join().unwrap();
+    let mut after = db.obs_snapshot();
+    report.export(&mut after);
+    let diff = after.diff(&before);
+
+    assert_eq!(report.migrated(), 6);
+    assert!(
+        report.throttle_pauses >= 1,
+        "the spike must trigger at least one pause"
+    );
+    assert!(diff.get("ira.throttle.pauses") >= 1, "{diff}");
+    brahma::sweep::assert_database_consistent(&db);
 }
