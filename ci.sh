@@ -9,4 +9,7 @@ cargo test --workspace -q
 # site, fixed seeds. The full matrix runs via the workspace test above;
 # this pins the --quick configuration explicitly.
 CHAOS_QUICK=1 cargo test -q -p ira --test chaos_sweep
+# Parallel wave-executor smoke: isomorphism vs serial and mid-wave
+# crash/resume at the reduced PAR_QUICK sizes.
+PAR_QUICK=1 cargo test -q -p ira --test parallel_exec
 cargo clippy --workspace --all-targets -- -D warnings

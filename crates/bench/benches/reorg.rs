@@ -4,10 +4,7 @@
 
 use brahma::{Database, StoreConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ira::{
-    approx::find_objects_and_approx_parents, incremental_reorganize, offline_reorganize,
-    IraConfig, IraVariant, RelocationPlan,
-};
+use ira::{approx::find_objects_and_approx_parents, IraVariant, Reorg, Strategy};
 use workload::{build_graph, WorkloadParams};
 
 fn graph_params(objs: usize) -> WorkloadParams {
@@ -39,49 +36,41 @@ fn bench_full_reorg(c: &mut Criterion) {
         b.iter(|| {
             let db = Database::new(StoreConfig::default());
             let info = build_graph(&db, &graph_params(510)).unwrap();
-            let r = incremental_reorganize(
-                &db,
-                info.data_partitions[0],
-                RelocationPlan::CompactInPlace,
-                &IraConfig::default(),
-            )
-            .unwrap();
+            let r = Reorg::on(&db, info.data_partitions[0]).run().unwrap();
             black_box(r.migrated())
         })
     });
     group.bench_function("ira_batched_32", |b| {
-        let config = IraConfig {
-            batch_size: 32,
-            ..IraConfig::default()
-        };
         b.iter(|| {
             let db = Database::new(StoreConfig::default());
             let info = build_graph(&db, &graph_params(510)).unwrap();
-            let r = incremental_reorganize(
-                &db,
-                info.data_partitions[0],
-                RelocationPlan::CompactInPlace,
-                &config,
-            )
-            .unwrap();
+            let r = Reorg::on(&db, info.data_partitions[0])
+                .batch(32)
+                .run()
+                .unwrap();
             black_box(r.migrated())
         })
     });
     group.bench_function("ira_two_lock", |b| {
-        let config = IraConfig {
-            variant: IraVariant::TwoLock,
-            ..IraConfig::default()
-        };
         b.iter(|| {
             let db = Database::new(StoreConfig::default());
             let info = build_graph(&db, &graph_params(510)).unwrap();
-            let r = incremental_reorganize(
-                &db,
-                info.data_partitions[0],
-                RelocationPlan::CompactInPlace,
-                &config,
-            )
-            .unwrap();
+            let r = Reorg::on(&db, info.data_partitions[0])
+                .variant(IraVariant::TwoLock)
+                .run()
+                .unwrap();
+            black_box(r.migrated())
+        })
+    });
+    group.bench_function("ira_parallel_4", |b| {
+        b.iter(|| {
+            let db = Database::new(StoreConfig::default());
+            let info = build_graph(&db, &graph_params(510)).unwrap();
+            let r = Reorg::on(&db, info.data_partitions[0])
+                .workers(4)
+                .batch(8)
+                .run()
+                .unwrap();
             black_box(r.migrated())
         })
     });
@@ -89,13 +78,11 @@ fn bench_full_reorg(c: &mut Criterion) {
         b.iter(|| {
             let db = Database::new(StoreConfig::default());
             let info = build_graph(&db, &graph_params(510)).unwrap();
-            let m = offline_reorganize(
-                &db,
-                info.data_partitions[0],
-                RelocationPlan::CompactInPlace,
-            )
-            .unwrap();
-            black_box(m.len())
+            let r = Reorg::on(&db, info.data_partitions[0])
+                .strategy(Strategy::Offline)
+                .run()
+                .unwrap();
+            black_box(r.migrated())
         })
     });
     group.finish();

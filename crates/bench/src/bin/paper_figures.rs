@@ -2,7 +2,7 @@
 //!
 //! Usage: `paper_figures <experiment>... [--quick] [--out DIR]`
 //! where experiment is one of: all, mpl, table2, partsize, updprob, glue,
-//! ops, nparts, eqdur, ablation.
+//! ops, nparts, eqdur, scaling, ablation.
 
 use bench::experiments::{self, HarnessOptions};
 use std::path::PathBuf;
@@ -23,7 +23,7 @@ fn main() {
     });
     if args.is_empty() {
         eprintln!(
-            "usage: paper_figures <all|mpl|table2|partsize|updprob|glue|ops|nparts|eqdur|ablation>... [--quick] [--out DIR]"
+            "usage: paper_figures <all|mpl|table2|partsize|updprob|glue|ops|nparts|eqdur|scaling|ablation>... [--quick] [--out DIR]"
         );
         std::process::exit(2);
     }
@@ -43,6 +43,7 @@ fn main() {
             "ops" => ("ops", experiments::exp_ops_per_trans(&opts)),
             "nparts" => ("nparts", experiments::exp_num_partitions(&opts)),
             "eqdur" => ("eqdur", experiments::exp_equal_duration(&opts)),
+            "scaling" => ("scaling", experiments::exp_scaling(&opts)),
             "ablation" => ("ablation", experiments::exp_ablation(&opts)),
             other => {
                 eprintln!("unknown experiment: {other}");
@@ -63,7 +64,7 @@ fn main() {
         if name == "all" {
             for n in [
                 "mpl", "table2", "partsize", "updprob", "glue", "ops", "nparts", "eqdur",
-                "ablation",
+                "scaling", "ablation",
             ] {
                 run_one(n);
             }

@@ -13,9 +13,7 @@
 //! measured over the duration IRA needed.
 
 use brahma::{Database, StoreConfig};
-use ira::{
-    incremental_reorganize, partition_quiesce_reorganize, IraConfig, RelocationPlan,
-};
+use ira::{IraBasic, IraConfig, IraTwoLock, IraVariant, Pqr, RelocationPlan, Reorganizer};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -117,20 +115,30 @@ pub fn run_cell(cfg: &CellConfig) -> CellResult {
             (None, 0)
         }
         Algo::Ira => {
-            let report = incremental_reorganize(&db, target, cfg.plan, &cfg.ira)
+            // Dispatch through the `Reorganizer` trait, preserving the
+            // cell's full IRA configuration (variant, workers, batch, ...).
+            let reorganizer: Box<dyn Reorganizer> = match cfg.ira.variant {
+                IraVariant::Basic => Box::new(IraBasic::new(cfg.ira.clone())),
+                IraVariant::TwoLock => Box::new(IraTwoLock::new(cfg.ira.clone())),
+            };
+            let outcome = reorganizer
+                .reorganize(&db, target, cfg.plan)
                 .expect("IRA completes");
+            let report = outcome.ira.as_ref().expect("IRA reports");
             report.export(&mut reorg_counters);
-            (Some(report.duration.as_secs_f64()), report.migrated())
+            (Some(outcome.duration.as_secs_f64()), outcome.migrated())
         }
         Algo::Pqr => {
-            let report = partition_quiesce_reorganize(&db, target, cfg.plan)
+            let outcome = Pqr::default()
+                .reorganize(&db, target, cfg.plan)
                 .expect("PQR completes");
+            let report = outcome.pqr.as_ref().expect("PQR reports");
             reorg_counters.set("pqr.quiesce_locks", report.quiesce_locks as u64);
             reorg_counters.set(
                 "pqr.duration_us",
                 report.duration.as_micros().min(u64::MAX as u128) as u64,
             );
-            (Some(report.duration.as_secs_f64()), report.mapping.len())
+            (Some(outcome.duration.as_secs_f64()), outcome.migrated())
         }
     };
     if let Some(window) = cfg.measure_window {

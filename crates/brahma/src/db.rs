@@ -49,6 +49,11 @@ pub struct DbStats {
     pub payload_writes: AtomicU64,
     pub fuzzy_reads: AtomicU64,
     pub migrations: AtomicU64,
+    /// High-water mark of concurrent reorganization workers (set by the
+    /// parallel executor in the `ira` crate).
+    pub reorg_workers: AtomicU64,
+    /// Batches completed by parallel reorganization workers.
+    pub reorg_wave_batches: AtomicU64,
 }
 
 impl DbStats {
@@ -68,6 +73,8 @@ impl DbStats {
         snap.set("db.payload_writes", get(&self.payload_writes));
         snap.set("db.fuzzy_reads", get(&self.fuzzy_reads));
         snap.set("db.migrations", get(&self.migrations));
+        snap.set("db.reorg_workers", get(&self.reorg_workers));
+        snap.set("db.reorg_wave_batches", get(&self.reorg_wave_batches));
     }
 }
 

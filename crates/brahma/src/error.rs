@@ -55,6 +55,12 @@ pub enum Error {
     PartitionUnderReorg(u16),
     /// Restart recovery found the log inconsistent with the checkpoint.
     RecoveryCorrupt(String),
+    /// A parallel reorganization worker found another worker mid-migration
+    /// on an object it needs to touch (typically a child whose parent list
+    /// must be rewritten). Retryable exactly like [`Error::LockTimeout`]:
+    /// the batch aborts, backs off, and retries once the other worker's
+    /// batch has committed or reverted.
+    ReorgCollision { addr: PhysAddr },
     /// A fault-injection rule fired at the named site (testing only; never
     /// produced by a disarmed [`crate::fault::FaultInjector`]). Retryable
     /// injected faults are handled exactly like [`Error::LockTimeout`].
@@ -73,6 +79,7 @@ impl Error {
             self,
             Error::LockTimeout { .. }
                 | Error::UpgradeConflict { .. }
+                | Error::ReorgCollision { .. }
                 | Error::Injected {
                     kind: crate::fault::InjectedKind::Retryable,
                     ..
@@ -117,6 +124,9 @@ impl fmt::Display for Error {
             Error::TxnNotActive(t) => write!(f, "transaction {t} is not active"),
             Error::PartitionUnderReorg(p) => {
                 write!(f, "partition {p} is being reorganized; creation disallowed")
+            }
+            Error::ReorgCollision { addr } => {
+                write!(f, "object {addr} is mid-migration by a concurrent worker")
             }
             Error::RecoveryCorrupt(msg) => write!(f, "recovery failed: {msg}"),
             Error::Injected { site, kind } => {

@@ -22,7 +22,7 @@ use crate::addr::{PartitionId, PhysAddr};
 use crate::object::ObjectView;
 use crate::txn::TxnId;
 use obs::{Counter, Histogram};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -134,6 +134,9 @@ pub struct WalStats {
     /// Flush calls that actually forced the log (not already-durable
     /// no-ops). Commits force the log, so this tracks commit flushes.
     pub flushes: Counter,
+    /// Flush requests absorbed by another caller's force: the caller waited
+    /// on an in-flight group leader instead of paying its own device sleep.
+    pub group_commits: Counter,
     /// Latency of each forcing flush, microseconds.
     pub flush_us: Histogram,
     /// Records discarded by self-truncation.
@@ -146,6 +149,7 @@ impl WalStats {
         snap.set("wal.records", self.records.get());
         snap.set("wal.bytes", self.bytes.get());
         snap.set("wal.flushes", self.flushes.get());
+        snap.set("wal.group_commits", self.group_commits.get());
         snap.set("wal.flush_us_sum", self.flush_us.sum_us());
         snap.set("wal.flush_us_max", self.flush_us.max_us());
         snap.set("wal.truncated", self.truncated.get());
@@ -176,6 +180,10 @@ pub struct Wal {
     pinned_lsn: AtomicU64,
     /// Truncation threshold when retention is off.
     truncate_watermark: usize,
+    /// Group-commit election: true while a leader is inside the simulated
+    /// device sleep. Followers wait on `flush_cv` instead of sleeping.
+    flush_leader: Mutex<bool>,
+    flush_cv: Condvar,
     /// Logging-path counters.
     pub stats: WalStats,
 }
@@ -197,6 +205,8 @@ impl Wal {
             next_pin: AtomicU64::new(1),
             pinned_lsn: AtomicU64::new(u64::MAX),
             truncate_watermark: 1 << 16,
+            flush_leader: Mutex::new(false),
+            flush_cv: Condvar::new(),
             stats: WalStats::default(),
         }
     }
@@ -223,18 +233,51 @@ impl Wal {
     }
 
     /// Force the log up to `lsn`, simulating the device latency.
+    ///
+    /// Group commit: concurrent callers elect one *leader* that pays a
+    /// single device sleep covering everything appended up to the moment
+    /// the force starts; the others wait on a condvar and return once the
+    /// leader's force makes their LSN durable (`group_commits` counts such
+    /// absorbed requests). This also fixes the historical double-sleep:
+    /// two threads racing on overlapping LSNs used to both sleep the full
+    /// latency. Any caller sleeps at most ~2 latencies (a force already in
+    /// flight when it arrives, plus the force it may then lead).
     pub fn flush(&self, lsn: Lsn) {
         if self.flushed_lsn.load(Ordering::Acquire) >= lsn {
             return;
         }
         let started = Instant::now();
-        if !self.flush_latency.is_zero() {
-            // Model the device: the flush costs latency outside any latch.
-            std::thread::sleep(self.flush_latency);
+        let mut absorbed = false;
+        let mut leader_active = self.flush_leader.lock();
+        loop {
+            if self.flushed_lsn.load(Ordering::Acquire) >= lsn {
+                if absorbed {
+                    self.stats.group_commits.inc();
+                }
+                return;
+            }
+            if *leader_active {
+                absorbed = true;
+                self.flush_cv.wait(&mut leader_active);
+                continue;
+            }
+            // Become the leader. Capture the force target *before* the
+            // sleep: appends racing with the sleep wait for the next force.
+            *leader_active = true;
+            drop(leader_active);
+            let target = self.next_lsn().saturating_sub(1).max(lsn);
+            if !self.flush_latency.is_zero() {
+                // Model the device: the flush costs latency outside any latch.
+                std::thread::sleep(self.flush_latency);
+            }
+            self.flushed_lsn.fetch_max(target, Ordering::AcqRel);
+            self.stats.flushes.inc();
+            self.stats.flush_us.record(started.elapsed());
+            leader_active = self.flush_leader.lock();
+            *leader_active = false;
+            self.flush_cv.notify_all();
+            // `target >= lsn`, so the next iteration returns.
         }
-        self.flushed_lsn.fetch_max(lsn, Ordering::AcqRel);
-        self.stats.flushes.inc();
-        self.stats.flush_us.record(started.elapsed());
     }
 
     /// Highest LSN known durable.
@@ -352,6 +395,8 @@ mod tests {
             next_pin: AtomicU64::new(1),
             pinned_lsn: AtomicU64::new(u64::MAX),
             truncate_watermark: 10,
+            flush_leader: Mutex::new(false),
+            flush_cv: Condvar::new(),
             stats: WalStats::default(),
         };
         let early = wal.pin_at(5);
@@ -386,6 +431,43 @@ mod tests {
         assert!(
             wal.stats.flush_us.max_us() >= 1_000,
             "simulated device latency shows up in the flush histogram"
+        );
+    }
+
+    #[test]
+    fn concurrent_flushers_share_one_device_force() {
+        use std::sync::Arc;
+        let wal = Arc::new(Wal::new(true, Duration::from_millis(20)));
+        let lsns: Vec<Lsn> = (0..8)
+            .map(|_| wal.append(TxnId(1), LogPayload::Commit))
+            .collect();
+        let started = Instant::now();
+        let handles: Vec<_> = lsns
+            .iter()
+            .map(|&lsn| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || wal.flush(lsn))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(wal.flushed_lsn() >= *lsns.last().unwrap());
+        // All LSNs were appended before any flush started, so the first
+        // leader's force covers every request: at most one straggler that
+        // raced past the fast path leads a second (empty) force.
+        assert!(
+            wal.stats.flushes.get() <= 2,
+            "{} device forces for one group of 8 flushers",
+            wal.stats.flushes.get()
+        );
+        assert!(
+            wal.stats.group_commits.get() >= 1,
+            "waiting followers must be absorbed into the leader's force"
+        );
+        assert!(
+            started.elapsed() < Duration::from_millis(8 * 20),
+            "followers must not serialize their sleeps"
         );
     }
 

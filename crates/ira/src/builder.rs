@@ -1,0 +1,557 @@
+//! The unified reorganization entry point: one fluent builder over every
+//! algorithm the crate implements.
+//!
+//! The paper describes a family of reorganizers — quiescent (Section 3.1),
+//! PQR (Section 5.1), IRA basic (Section 3.5), IRA two-lock (Section 4.2),
+//! and checkpoint-resume (Section 4.4). Historically each had its own free
+//! function with its own config struct; [`Reorg`] folds them behind one
+//! surface:
+//!
+//! ```text
+//! Reorg::on(&db, partition)
+//!     .plan(RelocationPlan::EvacuateTo(target))
+//!     .variant(IraVariant::TwoLock)
+//!     .workers(4)
+//!     .batch(8)
+//!     .run()?
+//! ```
+//!
+//! [`Reorg::run`] dispatches through the [`Reorganizer`] trait, which every
+//! algorithm implements — callers that need to hold "some reorganizer"
+//! generically (the bench runner, the chaos harness) can box the trait
+//! object instead of matching on an enum.
+
+use crate::checkpoint::IraCheckpoint;
+use crate::driver::{ExecOptions, IraConfig, IraError, IraReport, IraVariant, ThrottleConfig};
+use crate::order::MigrationOrder;
+use crate::plan::RelocationPlan;
+use crate::pqr::{PqrReport, INSIST_POLICY};
+use brahma::{Database, LogRecord, PartitionId, PhysAddr, RetryPolicy};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Which algorithm family a [`Reorg`] run uses. The IRA variant (basic vs
+/// two-lock) is a separate axis, set with [`Reorg::variant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// On-line IRA (the paper's contribution): fuzzy traversal, exact
+    /// parents per object, migration transactions concurrent with the
+    /// workload.
+    #[default]
+    Incremental,
+    /// The PQR baseline: lock every external parent to quiesce the
+    /// partition, then reorganize it in one transaction.
+    PartitionQuiesce,
+    /// The quiescent algorithm run in a single transaction; the caller
+    /// guarantees the database is otherwise idle.
+    Offline,
+}
+
+/// What a reorganization produced, regardless of algorithm. The
+/// algorithm-specific reports remain available through [`ReorgOutcome::ira`]
+/// / [`ReorgOutcome::pqr`].
+#[derive(Debug)]
+pub struct ReorgOutcome {
+    pub partition: PartitionId,
+    /// Old address -> new address for every migrated object.
+    pub mapping: HashMap<PhysAddr, PhysAddr>,
+    pub duration: Duration,
+    /// The full IRA report, when an incremental (or resumed) run produced
+    /// one.
+    pub ira: Option<IraReport>,
+    /// The PQR report, when the partition-quiesce baseline ran.
+    pub pqr: Option<PqrReport>,
+}
+
+impl ReorgOutcome {
+    pub fn migrated(&self) -> usize {
+        self.mapping.len()
+    }
+
+    fn from_ira(report: IraReport) -> Self {
+        ReorgOutcome {
+            partition: report.partition,
+            mapping: report.mapping.clone(),
+            duration: report.duration,
+            ira: Some(report),
+            pqr: None,
+        }
+    }
+}
+
+/// A reorganization algorithm. All five implementations ([`IraBasic`],
+/// [`IraTwoLock`], [`Pqr`], [`Offline`], [`Resume`]) are driven the same
+/// way: point them at a database, a partition, and a relocation plan.
+pub trait Reorganizer {
+    /// Stable short name, for reports and bench labels.
+    fn name(&self) -> &'static str;
+
+    /// Run the algorithm to completion.
+    fn reorganize(
+        &self,
+        db: &Database,
+        partition: PartitionId,
+        plan: RelocationPlan,
+    ) -> Result<ReorgOutcome, IraError>;
+}
+
+/// Basic IRA (Section 3.5): all of an object's parents locked
+/// simultaneously while it migrates.
+pub struct IraBasic {
+    config: IraConfig,
+    exec: ExecOptions,
+}
+
+impl IraBasic {
+    pub fn new(mut config: IraConfig) -> Self {
+        config.variant = IraVariant::Basic;
+        IraBasic {
+            config,
+            exec: ExecOptions::default(),
+        }
+    }
+}
+
+impl Reorganizer for IraBasic {
+    fn name(&self) -> &'static str {
+        "ira-basic"
+    }
+
+    fn reorganize(
+        &self,
+        db: &Database,
+        partition: PartitionId,
+        plan: RelocationPlan,
+    ) -> Result<ReorgOutcome, IraError> {
+        crate::driver::run_incremental(db, partition, plan, &self.config, &self.exec)
+            .map(ReorgOutcome::from_ira)
+    }
+}
+
+/// IRA with the two-lock extension (Section 4.2): at most two distinct
+/// objects locked at any point during a migration.
+pub struct IraTwoLock {
+    config: IraConfig,
+    exec: ExecOptions,
+}
+
+impl IraTwoLock {
+    pub fn new(mut config: IraConfig) -> Self {
+        config.variant = IraVariant::TwoLock;
+        IraTwoLock {
+            config,
+            exec: ExecOptions::default(),
+        }
+    }
+}
+
+impl Reorganizer for IraTwoLock {
+    fn name(&self) -> &'static str {
+        "ira-two-lock"
+    }
+
+    fn reorganize(
+        &self,
+        db: &Database,
+        partition: PartitionId,
+        plan: RelocationPlan,
+    ) -> Result<ReorgOutcome, IraError> {
+        crate::driver::run_incremental(db, partition, plan, &self.config, &self.exec)
+            .map(ReorgOutcome::from_ira)
+    }
+}
+
+/// The PQR baseline (Section 5.1).
+pub struct Pqr {
+    insist: RetryPolicy,
+}
+
+impl Pqr {
+    pub fn new(insist: RetryPolicy) -> Self {
+        Pqr { insist }
+    }
+}
+
+impl Default for Pqr {
+    fn default() -> Self {
+        Pqr {
+            insist: INSIST_POLICY,
+        }
+    }
+}
+
+impl Reorganizer for Pqr {
+    fn name(&self) -> &'static str {
+        "pqr"
+    }
+
+    fn reorganize(
+        &self,
+        db: &Database,
+        partition: PartitionId,
+        plan: RelocationPlan,
+    ) -> Result<ReorgOutcome, IraError> {
+        let report = crate::pqr::run_pqr(db, partition, plan, &self.insist)
+            .map_err(IraError::Store)?;
+        Ok(ReorgOutcome {
+            partition: report.partition,
+            mapping: report.mapping.clone(),
+            duration: report.duration,
+            ira: None,
+            pqr: Some(report),
+        })
+    }
+}
+
+/// The quiescent reorganizer (Section 3.1), run in one transaction on an
+/// otherwise idle database.
+#[derive(Default)]
+pub struct Offline;
+
+impl Reorganizer for Offline {
+    fn name(&self) -> &'static str {
+        "offline"
+    }
+
+    fn reorganize(
+        &self,
+        db: &Database,
+        partition: PartitionId,
+        plan: RelocationPlan,
+    ) -> Result<ReorgOutcome, IraError> {
+        let started = Instant::now();
+        let mapping =
+            crate::offline::run_offline(db, partition, plan).map_err(IraError::Store)?;
+        Ok(ReorgOutcome {
+            partition,
+            mapping,
+            duration: started.elapsed(),
+            ira: None,
+            pqr: None,
+        })
+    }
+}
+
+/// Continue a crashed IRA run from its recovered checkpoint (Section 4.4).
+pub struct Resume {
+    ckpt: IraCheckpoint,
+    pre_crash_log: Vec<LogRecord>,
+    config: IraConfig,
+    exec: ExecOptions,
+}
+
+impl Resume {
+    pub fn new(ckpt: IraCheckpoint, pre_crash_log: Vec<LogRecord>, config: IraConfig) -> Self {
+        Resume {
+            ckpt,
+            pre_crash_log,
+            config,
+            exec: ExecOptions::default(),
+        }
+    }
+}
+
+impl Reorganizer for Resume {
+    fn name(&self) -> &'static str {
+        "ira-resume"
+    }
+
+    fn reorganize(
+        &self,
+        db: &Database,
+        _partition: PartitionId,
+        _plan: RelocationPlan,
+    ) -> Result<ReorgOutcome, IraError> {
+        // The checkpoint carries its own partition and plan; the builder's
+        // are ignored by construction (`Reorg::resume_from` pins them).
+        crate::checkpoint::run_resume(
+            db,
+            self.ckpt.clone(),
+            &self.pre_crash_log,
+            &self.config,
+            &self.exec,
+        )
+        .map(ReorgOutcome::from_ira)
+    }
+}
+
+/// Fluent builder over every reorganization algorithm in the crate.
+///
+/// ```
+/// use brahma::{Database, NewObject, StoreConfig};
+/// use ira::{RelocationPlan, Reorg};
+///
+/// let db = Database::new(StoreConfig::default());
+/// let p0 = db.create_partition();
+/// let p1 = db.create_partition();
+/// let mut txn = db.begin();
+/// let child = txn.create_object(p1, NewObject::exact(0, vec![], b"c".to_vec())).unwrap();
+/// let parent = txn.create_object(p0, NewObject::exact(0, vec![child], vec![])).unwrap();
+/// txn.commit().unwrap();
+///
+/// let outcome = Reorg::on(&db, p1)
+///     .plan(RelocationPlan::CompactInPlace)
+///     .run()
+///     .unwrap();
+/// assert_eq!(outcome.migrated(), 1);
+/// assert_eq!(db.raw_read(parent).unwrap().refs, vec![outcome.mapping[&child]]);
+/// ```
+pub struct Reorg<'a> {
+    db: &'a Database,
+    partition: PartitionId,
+    plan: RelocationPlan,
+    strategy: Strategy,
+    config: IraConfig,
+    exec: ExecOptions,
+    insist: RetryPolicy,
+    resume: Option<(IraCheckpoint, Vec<LogRecord>)>,
+}
+
+impl<'a> Reorg<'a> {
+    /// Start describing a reorganization of `partition`. The default run is
+    /// incremental (basic IRA), compacting in place, with one worker.
+    pub fn on(db: &'a Database, partition: PartitionId) -> Self {
+        Reorg {
+            db,
+            partition,
+            plan: RelocationPlan::CompactInPlace,
+            strategy: Strategy::default(),
+            config: IraConfig::default(),
+            exec: ExecOptions::default(),
+            insist: INSIST_POLICY,
+            resume: None,
+        }
+    }
+
+    /// Where migrated objects go (compact in place, or evacuate to another
+    /// partition).
+    pub fn plan(mut self, plan: RelocationPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Which algorithm family runs (incremental IRA, the PQR baseline, or
+    /// the offline quiescent reorganizer).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Basic vs two-lock IRA (only meaningful for
+    /// [`Strategy::Incremental`]).
+    pub fn variant(mut self, variant: IraVariant) -> Self {
+        self.config.variant = variant;
+        self
+    }
+
+    /// Migrator workers. More than one partitions the migration queue into
+    /// conflict-disjoint waves drained concurrently (see [`crate::wave`]).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Migrations grouped into one transaction (Section 4.3).
+    pub fn batch(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Backoff for retryable conflicts (Section 4.4's release-and-retry).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Migration order (Section 7 future work).
+    pub fn order(mut self, order: MigrationOrder) -> Self {
+        self.config.order = order;
+        self
+    }
+
+    /// Rewrite each object as it migrates (the schema-evolution use case).
+    pub fn transform(mut self, f: fn(brahma::ObjectView) -> brahma::ObjectView) -> Self {
+        self.config.transform = Some(f);
+        self
+    }
+
+    /// Contention-adaptive throttling.
+    pub fn throttle(mut self, throttle: ThrottleConfig) -> Self {
+        self.config.throttle = Some(throttle);
+        self
+    }
+
+    /// Whether the traversal's unreachable objects are deleted
+    /// (Section 4.6). Defaults to `true`.
+    pub fn collect_garbage(mut self, yes: bool) -> Self {
+        self.config.collect_garbage = yes;
+        self
+    }
+
+    /// How long to wait for transactions active when the run starts.
+    pub fn quiesce_wait(mut self, wait: Duration) -> Self {
+        self.config.quiesce_wait = wait;
+        self
+    }
+
+    /// Poll policy for the two-lock variant's relaxed-2PL settle wait.
+    pub fn settle(mut self, settle: RetryPolicy) -> Self {
+        self.exec.settle = settle;
+        self
+    }
+
+    /// Fault injection: simulate a crash once this many objects have
+    /// migrated (`None` disables).
+    pub fn crash_after_migrations(mut self, n: impl Into<Option<usize>>) -> Self {
+        self.exec.crash_after_migrations = n.into();
+        self
+    }
+
+    /// Insist policy for PQR's quiesce locks (only meaningful for
+    /// [`Strategy::PartitionQuiesce`]).
+    pub fn insist(mut self, insist: RetryPolicy) -> Self {
+        self.insist = insist;
+        self
+    }
+
+    /// Continue a crashed run from its recovered checkpoint instead of
+    /// starting fresh. The checkpoint's partition and plan override the
+    /// builder's; IRA knobs (`workers`, `batch`, `retry`, ...) still apply
+    /// to the resumed portion.
+    pub fn resume_from(mut self, ckpt: IraCheckpoint, pre_crash_log: &[LogRecord]) -> Self {
+        self.partition = ckpt.partition;
+        self.plan = ckpt.plan;
+        self.resume = Some((ckpt, pre_crash_log.to_vec()));
+        self
+    }
+
+    /// Build the configured [`Reorganizer`] without running it — for
+    /// callers that schedule algorithms generically.
+    pub fn build(self) -> (Box<dyn Reorganizer>, &'a Database, PartitionId, RelocationPlan) {
+        let Reorg {
+            db,
+            partition,
+            plan,
+            strategy,
+            config,
+            exec,
+            insist,
+            resume,
+        } = self;
+        let reorganizer: Box<dyn Reorganizer> = match resume {
+            Some((ckpt, pre_crash_log)) => Box::new(Resume {
+                ckpt,
+                pre_crash_log,
+                config,
+                exec,
+            }),
+            None => match strategy {
+                Strategy::Incremental => match config.variant {
+                    IraVariant::Basic => Box::new(IraBasic { config, exec }),
+                    IraVariant::TwoLock => Box::new(IraTwoLock { config, exec }),
+                },
+                Strategy::PartitionQuiesce => Box::new(Pqr { insist }),
+                Strategy::Offline => Box::new(Offline),
+            },
+        };
+        (reorganizer, db, partition, plan)
+    }
+
+    /// Run the configured reorganization to completion.
+    pub fn run(self) -> Result<ReorgOutcome, IraError> {
+        let (reorganizer, db, partition, plan) = self.build();
+        reorganizer.reorganize(db, partition, plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brahma::{NewObject, StoreConfig};
+
+    fn seed(db: &Database) -> (PartitionId, PhysAddr, PhysAddr) {
+        let p0 = db.create_partition();
+        let p1 = db.create_partition();
+        let mut t = db.begin();
+        let child = t
+            .create_object(p1, NewObject::exact(0, vec![], b"c".to_vec()))
+            .unwrap();
+        let parent = t
+            .create_object(p0, NewObject::exact(0, vec![child], vec![]))
+            .unwrap();
+        t.commit().unwrap();
+        (p1, child, parent)
+    }
+
+    #[test]
+    fn default_builder_runs_basic_ira() {
+        let db = Database::new(StoreConfig::default());
+        let (p1, child, parent) = seed(&db);
+        let outcome = Reorg::on(&db, p1).run().unwrap();
+        assert_eq!(outcome.migrated(), 1);
+        let report = outcome.ira.as_ref().expect("incremental runs report IRA");
+        assert_eq!(report.workers, 1);
+        assert!(outcome.pqr.is_none());
+        assert_eq!(
+            db.raw_read(parent).unwrap().refs,
+            vec![outcome.mapping[&child]]
+        );
+    }
+
+    #[test]
+    fn strategy_dispatch_picks_the_right_reorganizer() {
+        let db = Database::new(StoreConfig::default());
+        let p = db.create_partition();
+        let names = [
+            (Strategy::Incremental, IraVariant::Basic, "ira-basic"),
+            (Strategy::Incremental, IraVariant::TwoLock, "ira-two-lock"),
+            (Strategy::PartitionQuiesce, IraVariant::Basic, "pqr"),
+            (Strategy::Offline, IraVariant::Basic, "offline"),
+        ];
+        for (strategy, variant, expect) in names {
+            let (r, _, _, _) = Reorg::on(&db, p).strategy(strategy).variant(variant).build();
+            assert_eq!(r.name(), expect);
+        }
+    }
+
+    #[test]
+    fn pqr_strategy_reports_pqr() {
+        let db = Database::new(StoreConfig::default());
+        let (p1, _, _) = seed(&db);
+        let outcome = Reorg::on(&db, p1)
+            .strategy(Strategy::PartitionQuiesce)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.migrated(), 1);
+        assert!(outcome.ira.is_none());
+        assert_eq!(outcome.pqr.unwrap().quiesce_locks, 1);
+        brahma::sweep::assert_database_consistent(&db);
+    }
+
+    #[test]
+    fn offline_strategy_migrates_without_reports() {
+        let db = Database::new(StoreConfig::default());
+        let (p1, _, _) = seed(&db);
+        let outcome = Reorg::on(&db, p1).strategy(Strategy::Offline).run().unwrap();
+        assert_eq!(outcome.migrated(), 1);
+        assert!(outcome.ira.is_none() && outcome.pqr.is_none());
+        brahma::sweep::assert_database_consistent(&db);
+    }
+
+    #[test]
+    fn knobs_reach_the_driver() {
+        let db = Database::new(StoreConfig::default());
+        let (p1, _, _) = seed(&db);
+        let outcome = Reorg::on(&db, p1)
+            .variant(IraVariant::TwoLock)
+            .workers(2)
+            .batch(4)
+            .collect_garbage(false)
+            .run()
+            .unwrap();
+        let report = outcome.ira.unwrap();
+        // One object -> one component -> the worker pool clamps to 1... but
+        // the configured count is what the report carries.
+        assert_eq!(report.workers, 2);
+    }
+}

@@ -10,8 +10,9 @@
 //! TRT reconstruction. The sweep in `tests/chaos_sweep.rs` runs one cell
 //! per coordinate.
 
-use crate::checkpoint::{resume_reorganization, IraCheckpoint};
-use crate::driver::{incremental_reorganize, IraConfig, IraError};
+use crate::builder::Reorg;
+use crate::checkpoint::IraCheckpoint;
+use crate::driver::IraError;
 use crate::plan::RelocationPlan;
 use brahma::wal::analyzer::{rebuild_trt, rebuild_trt_seeded};
 use brahma::{
@@ -59,6 +60,9 @@ pub struct ChaosCell {
     pub nth_hit: u64,
     /// Seeds the fault plan (reporting / reproducibility).
     pub seed: u64,
+    /// Migrator workers the cell's reorganization (and its resume) runs
+    /// with; > 1 exercises the parallel wave executor under crash faults.
+    pub workers: usize,
 }
 
 /// What one cell did. The cell's assertions all live inside
@@ -286,15 +290,15 @@ pub fn run_crash_cell(cell: &ChaosCell) -> CellOutcome {
     )));
     primer(&db, graph.p0, graph.anchors[0]);
 
-    let config = IraConfig {
-        batch_size: 2,
-        quiesce_wait: Duration::from_secs(10),
-        // `ira.checkpoint` only executes when a checkpoint is written, so
-        // its cells force one with the deterministic migration counter.
-        crash_after_migrations: (cell.site == site::CHECKPOINT).then_some(3),
-        ..IraConfig::default()
-    };
-    let result = incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config);
+    // `ira.checkpoint` only executes when a checkpoint is written, so its
+    // cells force one with the deterministic migration counter.
+    let result = Reorg::on(&db, p1)
+        .plan(RelocationPlan::CompactInPlace)
+        .batch(2)
+        .workers(cell.workers)
+        .quiesce_wait(Duration::from_secs(10))
+        .crash_after_migrations((cell.site == site::CHECKPOINT).then_some(3))
+        .run();
 
     stop.store(true, Ordering::SeqCst);
     for w in walkers {
@@ -304,19 +308,20 @@ pub fn run_crash_cell(cell: &ChaosCell) -> CellOutcome {
     db.fault.disarm();
 
     match result {
-        Ok(report) => {
+        Ok(outcome) => {
             assert_eq!(
-                report.migrated(),
+                outcome.migrated(),
                 chain_len,
                 "cell {cell:?}: clean run must migrate the whole chain"
             );
-            crate::verify::assert_reorganization_clean(&db, &report);
+            let report = outcome.ira.as_ref().expect("incremental run reports IRA");
+            crate::verify::assert_reorganization_clean(&db, report);
             brahma::sweep::assert_database_consistent(&db);
             CellOutcome {
                 fired,
                 crashed: false,
                 premigrated: 0,
-                migrated: report.migrated(),
+                migrated: outcome.migrated(),
             }
         }
         Err(IraError::SimulatedCrash(ckpt)) => {
@@ -342,21 +347,24 @@ pub fn run_crash_cell(cell: &ChaosCell) -> CellOutcome {
             );
 
             let db = out.db;
-            let report =
-                resume_reorganization(&db, recovered, &pre_crash_log, &IraConfig::default())
-                    .expect("resume after crash");
+            let outcome = Reorg::on(&db, p1)
+                .workers(cell.workers)
+                .resume_from(recovered, &pre_crash_log)
+                .run()
+                .expect("resume after crash");
             assert_eq!(
-                report.migrated(),
+                outcome.migrated(),
                 chain_len,
                 "cell {cell:?}: resume must finish migrating the chain"
             );
-            crate::verify::assert_reorganization_clean(&db, &report);
+            let report = outcome.ira.as_ref().expect("resume reports IRA");
+            crate::verify::assert_reorganization_clean(&db, report);
             brahma::sweep::assert_database_consistent(&db);
             CellOutcome {
                 fired,
                 crashed: true,
                 premigrated,
-                migrated: report.migrated(),
+                migrated: outcome.migrated(),
             }
         }
         Err(e) => panic!("cell {cell:?}: reorganization failed: {e}"),
@@ -366,7 +374,7 @@ pub fn run_crash_cell(cell: &ChaosCell) -> CellOutcome {
 /// Assert the seeded TRT reconstruction (checkpoint snapshot + the log at
 /// or after `trt_lsn`) is a conservative superset of the from-scratch
 /// reconstruction over the whole reorganization window — the equivalence
-/// [`resume_reorganization`] relies on: duplicates are allowed (the exact
+/// the checkpoint-resume path relies on: duplicates are allowed (the exact
 /// parent check discards stale tuples under locks), losses are not.
 pub fn assert_trt_reconstruction_covers(
     pre_crash_log: &[LogRecord],
@@ -427,6 +435,7 @@ mod tests {
             site: site::TRAVERSAL,
             nth_hit: 1_000_000,
             seed: 1,
+            workers: 1,
         });
         assert!(!out.crashed);
         assert_eq!(out.fired, 0);
@@ -439,6 +448,7 @@ mod tests {
             site: site::BATCH,
             nth_hit: 2,
             seed: 2,
+            workers: 1,
         });
         assert!(out.crashed);
         assert_eq!(out.fired, 1);

@@ -12,16 +12,16 @@
 //! belong in the TRT like any other).
 
 use crate::approx::{merge_ert_parents, trt_unvisited_loop};
-use crate::driver::{IraConfig, IraError, IraPhases, IraReport, ReorgRun};
+use crate::driver::{ExecOptions, IraConfig, IraError, IraPhases, IraReport, ReorgRun};
 use crate::plan::RelocationPlan;
-use crate::traversal::TraversalState;
+use crate::shared::MigrationMap;
+use crate::traversal::{ParentMap, TraversalState};
 use brahma::wal::analyzer::rebuild_trt_seeded;
 use brahma::{
     Database, Error as StoreError, LogRecord, Lsn, PartitionId, PhysAddr, RefAction, TrtTuple,
     TxnId,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// A resumable snapshot of an in-flight reorganization.
@@ -73,13 +73,10 @@ impl IraCheckpoint {
         let mut visited: Vec<PhysAddr> = self.state.visited.iter().copied().collect();
         visited.sort_unstable();
         put_addrs(&mut out, visited.into_iter());
-        let mut children: Vec<PhysAddr> = self.state.parents.keys().copied().collect();
-        children.sort_unstable();
-        put_u64(&mut out, children.len() as u64);
-        for child in children {
+        let entries = self.state.parents.sorted_entries();
+        put_u64(&mut out, entries.len() as u64);
+        for (child, ps) in entries {
             put_addr(&mut out, child);
-            let mut ps: Vec<PhysAddr> = self.state.parents[&child].iter().copied().collect();
-            ps.sort_unstable();
             put_addrs(&mut out, ps.into_iter());
         }
         put_u64(&mut out, self.trt_snapshot.len() as u64);
@@ -120,10 +117,12 @@ impl IraCheckpoint {
         }
         let order = r.addrs()?;
         let visited = r.addrs()?.into_iter().collect();
-        let mut parents = HashMap::new();
+        let parents = ParentMap::default();
         for _ in 0..r.u64()? {
             let child = r.addr()?;
-            parents.insert(child, r.addrs()?.into_iter().collect());
+            for parent in r.addrs()? {
+                parents.add(child, parent);
+            }
         }
         let mut trt_snapshot = Vec::new();
         for _ in 0..r.u64()? {
@@ -232,11 +231,24 @@ impl Reader<'_> {
 /// `pre_crash_log` is the surviving log of the crashed instance (from
 /// [`brahma::CrashImage::log`]); together with the recovered database's own
 /// log it reconstructs the TRT window since the reorganization started.
+#[deprecated(note = "use the builder: `Reorg::on(&db, ckpt.partition).resume_from(ckpt, log).run()`")]
 pub fn resume_reorganization(
     db: &Database,
     ckpt: IraCheckpoint,
     pre_crash_log: &[LogRecord],
     config: &IraConfig,
+) -> Result<IraReport, IraError> {
+    run_resume(db, ckpt, pre_crash_log, config, &ExecOptions::default())
+}
+
+/// Crate-internal entry point behind [`resume_reorganization`] and the
+/// builder.
+pub(crate) fn run_resume(
+    db: &Database,
+    ckpt: IraCheckpoint,
+    pre_crash_log: &[LogRecord],
+    config: &IraConfig,
+    exec: &ExecOptions,
 ) -> Result<IraReport, IraError> {
     let started = Instant::now();
     let partition = ckpt.partition;
@@ -279,11 +291,22 @@ pub fn resume_reorganization(
     // objects need their ERT parents merged and a place in the queue.
     let phase_start = Instant::now();
     let mut state = ckpt.state;
+    // The crashed run's new copies already sit at their final locations,
+    // but concurrent pointer rewrites touching them (e.g. a walker's
+    // same-value `set_ref` on a rewritten parent) land in the rebuilt TRT.
+    // Mark them visited, or the L2 loop would re-discover them as fresh
+    // objects and migrate them a second time.
+    for &(_, new) in &ckpt.mapping {
+        state.visited.insert(new);
+    }
     let before = state.order.len();
     trt_unvisited_loop(db, partition, &mut state);
     merge_ert_parents(db, partition, &mut state, before);
+    // The checkpointed queue (already ordered) plus the newly discovered
+    // suffix becomes the resumed run's queue, which lives in `state.order`.
     let mut queue = ckpt.queue;
     queue.extend_from_slice(&state.order[before..]);
+    state.order = queue;
     phases.traversal = phase_start.elapsed();
 
     let run = ReorgRun {
@@ -291,13 +314,15 @@ pub fn resume_reorganization(
         partition,
         plan: ckpt.plan,
         config,
+        exec,
         state,
-        queue,
         pos: ckpt.pos,
-        mapping: ckpt.mapping.into_iter().collect::<HashMap<_, _>>(),
+        mapping: MigrationMap::from_committed(ckpt.mapping),
         retries: 0,
         ext_locks: 0,
         throttle_pauses: 0,
+        waves: 0,
+        deferred: 0,
         phases,
         started,
     };
@@ -307,7 +332,7 @@ pub fn resume_reorganization(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::incremental_reorganize;
+    use crate::builder::Reorg;
     use brahma::{recover, NewObject, StoreConfig};
 
     /// Full crash/recover/resume cycle: reorganize with fault injection,
@@ -350,12 +375,7 @@ mod tests {
         let store_ckpt = db.checkpoint(1);
 
         // Run IRA with a fault after 4 migrations.
-        let config = IraConfig {
-            crash_after_migrations: Some(4),
-            ..IraConfig::default()
-        };
-        let err = incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config)
-            .unwrap_err();
+        let err = Reorg::on(&db, p1).crash_after_migrations(4).run().unwrap_err();
         let IraError::SimulatedCrash(ira_ckpt) = err else {
             panic!("expected simulated crash")
         };
@@ -380,12 +400,13 @@ mod tests {
         let db = out.db;
 
         // Resume from the recovered (deserialized) IRA checkpoint.
-        let report =
-            resume_reorganization(&db, recovered, &pre_crash_log, &IraConfig::default())
-                .unwrap();
+        let outcome = Reorg::on(&db, p1)
+            .resume_from(recovered, &pre_crash_log)
+            .run()
+            .unwrap();
         // The mapping accumulates the 4 pre-crash migrations plus the 6
         // performed on resume; none of the survivors migrate twice.
-        assert_eq!(report.migrated(), 10);
+        assert_eq!(outcome.migrated(), 10);
 
         // Every chain object moved, the anchor points at a live object, and
         // the database is fully consistent.
@@ -468,29 +489,18 @@ mod tests {
         t.commit().unwrap();
 
         let store_ckpt = db.checkpoint(1);
-        let config = IraConfig {
-            crash_after_migrations: Some(1),
-            ..IraConfig::default()
-        };
         // Crash after the single migration committed.
-        let _ = incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config)
-            .unwrap_err();
+        let _ = Reorg::on(&db, p1).crash_after_migrations(1).run().unwrap_err();
         let image = db.crash(store_ckpt, true);
         drop(db);
         let out = recover(image, StoreConfig::default()).unwrap();
         let db = out.db;
 
         // Fresh run on the recovered database.
-        let report = incremental_reorganize(
-            &db,
-            p1,
-            RelocationPlan::CompactInPlace,
-            &IraConfig::default(),
-        )
-        .unwrap();
+        let outcome = Reorg::on(&db, p1).run().unwrap();
         // The surviving (already migrated) object migrates again; that is
         // allowed — migration is idempotent at the graph level.
-        assert_eq!(report.migrated(), 1);
+        assert_eq!(outcome.migrated(), 1);
         brahma::sweep::assert_database_consistent(&db);
     }
 }

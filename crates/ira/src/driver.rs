@@ -1,19 +1,25 @@
 //! The IRA driver: Figure 1 of the paper, plus the engineering around it —
 //! migration batching (Section 4.3), deadlock retry (Section 4.4), garbage
 //! collection as a side effect (Section 4.6), checkpointing for crash
-//! restart, and fault injection for the failure-handling tests.
+//! restart, fault injection for the failure-handling tests, and the
+//! parallel wave executor (N migrator workers over conflict-disjoint
+//! components of the migration queue; see [`crate::wave`]).
 
 use crate::approx::find_objects_and_approx_parents;
 use crate::chaos::site as ira_site;
 use crate::checkpoint::IraCheckpoint;
-use crate::order::{order_queue, MigrationOrder};
 use crate::exact::find_exact_parents;
 use crate::migrate::{move_object_and_update_refs, BatchEffects};
+use crate::order::{order_queue, MigrationOrder};
 use crate::plan::RelocationPlan;
+use crate::shared::{MigrationMap, OwnerId};
 use crate::traversal::TraversalState;
 use brahma::{Database, Error as StoreError, LockMode, PartitionId, PhysAddr, RetryPolicy};
-use std::collections::{HashMap, HashSet};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::HashSet;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrd};
 use std::time::{Duration, Instant};
 
 /// Defer all free space of the source (and, for evacuation, target)
@@ -95,20 +101,13 @@ pub struct IraConfig {
     pub batch_size: usize,
     pub variant: IraVariant,
     /// Backoff applied when a batch hits a retryable conflict — a deadlock
-    /// timeout, an upgrade conflict, or an injected transient fault
-    /// (Section 4.4's release-and-retry discipline).
+    /// timeout, an upgrade conflict, a cross-worker migration collision, or
+    /// an injected transient fault (Section 4.4's release-and-retry
+    /// discipline).
     pub retry: RetryPolicy,
-    /// Poll policy for the relaxed-2PL settle wait (how long, in how many
-    /// slices, the reorganizer waits for a past lock holder to finish; see
-    /// [`crate::relaxed`]).
-    pub settle: RetryPolicy,
     /// Delete unreachable objects discovered by the traversal (Section 4.6:
     /// the reorganizer doubles as a garbage collector).
     pub collect_garbage: bool,
-    /// Fault injection: simulate a crash (return
-    /// [`IraError::SimulatedCrash`] with a resumable checkpoint) once this
-    /// many objects have migrated.
-    pub crash_after_migrations: Option<usize>,
     /// How long to wait for the transactions active when the reorganization
     /// starts (they must complete before the fuzzy traversal, Section 4.5).
     pub quiesce_wait: Duration,
@@ -123,6 +122,12 @@ pub struct IraConfig {
     pub transform: Option<fn(brahma::ObjectView) -> brahma::ObjectView>,
     /// Contention-adaptive throttling (`None` disables it).
     pub throttle: Option<ThrottleConfig>,
+    /// Migrator workers. With `1` (the default) the queue executes
+    /// serially, in order. With more, the queue is partitioned into
+    /// conflict-disjoint components ([`crate::wave::plan_waves`]) and the
+    /// workers drain them concurrently, each running its own migration
+    /// transactions against the shared mapping and traversal state.
+    pub workers: usize,
 }
 
 impl Default for IraConfig {
@@ -131,13 +136,37 @@ impl Default for IraConfig {
             batch_size: 1,
             variant: IraVariant::Basic,
             retry: RetryPolicy::default(),
-            settle: crate::relaxed::SETTLE_POLICY,
             collect_garbage: true,
-            crash_after_migrations: None,
             quiesce_wait: Duration::from_secs(300),
             order: MigrationOrder::Traversal,
             transform: None,
             throttle: None,
+            workers: 1,
+        }
+    }
+}
+
+/// Variant- and test-specific execution knobs, split out of [`IraConfig`]
+/// so the public configuration carries only what every run needs. Surfaced
+/// through [`crate::builder::Reorg`]'s `settle` / `crash_after_migrations`
+/// methods.
+#[derive(Debug, Clone)]
+pub(crate) struct ExecOptions {
+    /// Poll policy for the relaxed-2PL settle wait used by the two-lock
+    /// variant (how long, in how many slices, the reorganizer waits for a
+    /// past lock holder to finish; see [`crate::relaxed`]).
+    pub settle: RetryPolicy,
+    /// Fault injection: simulate a crash (return
+    /// [`IraError::SimulatedCrash`] with a resumable checkpoint) once this
+    /// many objects have migrated.
+    pub crash_after_migrations: Option<usize>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            settle: crate::relaxed::SETTLE_POLICY,
+            crash_after_migrations: None,
         }
     }
 }
@@ -181,7 +210,8 @@ impl From<StoreError> for IraError {
 /// (step one), `Find_Exact_Parents` and the migration transactions (step
 /// two), and garbage collection (Section 4.6). For the two-lock variant the
 /// exact-parents work happens inside the migration loop, so it is charged to
-/// `migrate`.
+/// `migrate`. With multiple workers, `exact_parents` and `migrate` sum the
+/// workers' concurrent time and can exceed wall-clock.
 #[derive(Debug, Default, Clone)]
 pub struct IraPhases {
     pub quiesce: Duration,
@@ -214,6 +244,14 @@ pub struct IraReport {
     /// before the TRT is dropped by `end_reorg`).
     pub trt_notes: u64,
     pub trt_purged: u64,
+    /// Conflict-disjoint components the wave planner produced (0 for a
+    /// serial run, which needs no plan).
+    pub waves: usize,
+    /// Migrator workers the run executed with.
+    pub workers: usize,
+    /// Objects that exhausted their worker's retry budget and fell back to
+    /// the serial tail pass.
+    pub deferred: usize,
     pub duration: Duration,
 }
 
@@ -237,17 +275,33 @@ impl IraReport {
         snap.set("ira.gc_us", us(self.phases.gc));
         snap.set("ira.trt_notes", self.trt_notes);
         snap.set("ira.trt_purged", self.trt_purged);
+        snap.set("ira.waves", self.waves as u64);
+        snap.set("ira.workers", self.workers as u64);
+        snap.set("ira.deferred", self.deferred as u64);
         snap.set("ira.duration_us", us(self.duration));
     }
 }
 
 /// The Incremental Reorganization Algorithm: migrate every live object of
 /// `partition` to the location chosen by `plan`, on-line.
+#[deprecated(note = "use the builder: `Reorg::on(&db, partition).plan(plan).run()`")]
 pub fn incremental_reorganize(
     db: &Database,
     partition: PartitionId,
     plan: RelocationPlan,
     config: &IraConfig,
+) -> Result<IraReport, IraError> {
+    run_incremental(db, partition, plan, config, &ExecOptions::default())
+}
+
+/// Crate-internal entry point behind [`incremental_reorganize`] and the
+/// builder.
+pub(crate) fn run_incremental(
+    db: &Database,
+    partition: PartitionId,
+    plan: RelocationPlan,
+    config: &IraConfig,
+    exec: &ExecOptions,
 ) -> Result<IraReport, IraError> {
     let start = Instant::now();
     db.start_reorg(partition)?;
@@ -265,10 +319,13 @@ pub fn incremental_reorganize(
     db.txns.wait_for_all(&active_at_start, config.quiesce_wait);
     phases.quiesce = phase_start.elapsed();
 
-    // Step one.
+    // Step one. The ordered traversal output doubles as the migration
+    // queue, in place.
     let phase_start = Instant::now();
-    let state = find_objects_and_approx_parents(db, partition);
-    let queue = order_queue(config.order, state.order.clone(), &state, partition);
+    let mut state = find_objects_and_approx_parents(db, partition);
+    let mut queue = std::mem::take(&mut state.order);
+    order_queue(config.order, &mut queue, &state, partition);
+    state.order = queue;
     phases.traversal = phase_start.elapsed();
     db.fault.observe(ira_site::TRAVERSAL);
 
@@ -277,13 +334,15 @@ pub fn incremental_reorganize(
         partition,
         plan,
         config,
+        exec,
         state,
-        queue,
         pos: 0,
-        mapping: HashMap::new(),
+        mapping: MigrationMap::new(),
         retries: 0,
         ext_locks: 0,
         throttle_pauses: 0,
+        waves: 0,
+        deferred: 0,
         phases,
         started: start,
     };
@@ -297,90 +356,253 @@ pub(crate) struct ReorgRun<'a> {
     pub partition: PartitionId,
     pub plan: RelocationPlan,
     pub config: &'a IraConfig,
+    pub exec: &'a ExecOptions,
+    /// Traversal state; `state.order` is the migration queue.
     pub state: TraversalState,
-    pub queue: Vec<PhysAddr>,
     pub pos: usize,
-    pub mapping: HashMap<PhysAddr, PhysAddr>,
+    pub mapping: MigrationMap,
     pub retries: usize,
     pub ext_locks: usize,
     pub throttle_pauses: usize,
+    pub waves: usize,
+    pub deferred: usize,
     pub phases: IraPhases,
     pub started: Instant,
 }
 
-impl ReorgRun<'_> {
-    fn count_external(&self, keep: &HashSet<PhysAddr>) -> usize {
-        keep.iter()
-            .filter(|a| a.partition() != self.partition)
-            .count()
-    }
+/// Per-worker accumulators handed back to the run when the worker joins.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    retries: usize,
+    ext_locks: usize,
+    exact_time: Duration,
+    migrate_time: Duration,
 }
 
-impl ReorgRun<'_> {
-    pub(crate) fn execute(mut self) -> Result<IraReport, IraError> {
-        let mut window_batches = 0usize;
-        let mut timeouts_mark = self.db.locks.stats.timeouts.get();
-        // Step two: migrate, batch by batch.
-        while self.pos < self.queue.len() {
-            // A Crash fault latched anywhere (a walker's lock site, the WAL,
-            // a page latch) surfaces here, at the batch boundary — the only
-            // point where the checkpoint is consistent.
-            if self.db.fault.crash_requested() {
-                return Err(self.crash_now());
+/// Why a batch could not complete.
+enum BatchFail {
+    /// Retryable conflicts past the retry budget: the serial run fails the
+    /// reorganization, a parallel worker defers the batch to the tail pass.
+    Exhausted { object: PhysAddr, attempts: usize },
+    /// A non-retryable storage error.
+    Fatal(StoreError),
+}
+
+/// One migrator: everything a batch attempt needs, plus local stat
+/// accumulators, so N of these can run in parallel over one shared
+/// [`TraversalState`] and [`MigrationMap`].
+struct WorkerCtx<'a> {
+    db: &'a Database,
+    partition: PartitionId,
+    plan: RelocationPlan,
+    config: &'a IraConfig,
+    exec: &'a ExecOptions,
+    state: &'a TraversalState,
+    mapping: &'a MigrationMap,
+    owner: OwnerId,
+    stats: WorkerStats,
+}
+
+impl<'a> WorkerCtx<'a> {
+    fn into_stats(self) -> WorkerStats {
+        self.stats
+    }
+
+    /// Run one batch to completion: retryable conflicts (deadlock timeouts,
+    /// upgrade conflicts, cross-worker collisions, injected transients)
+    /// retry under the configured backoff; success returns the number of
+    /// objects migrated (skipped objects — already migrated or claimed
+    /// elsewhere — don't count).
+    fn run_batch(&mut self, batch: &[PhysAddr]) -> Result<usize, BatchFail> {
+        let mut backoff = self.config.retry.start();
+        loop {
+            let result = match self.config.variant {
+                IraVariant::Basic => self.try_batch_basic(batch),
+                IraVariant::TwoLock => self.try_batch_two_lock(batch),
+            };
+            match result {
+                Ok(n) => return Ok(n),
+                Err(e) if e.is_retryable_conflict() => {
+                    self.stats.retries += 1;
+                    if !self.db.retry_backoff(&mut backoff) {
+                        return Err(BatchFail::Exhausted {
+                            object: batch[0],
+                            attempts: backoff.attempt,
+                        });
+                    }
+                }
+                Err(e) => return Err(BatchFail::Fatal(e)),
             }
-            let end = (self.pos + self.config.batch_size.max(1)).min(self.queue.len());
-            let batch: Vec<PhysAddr> = self.queue[self.pos..end].to_vec();
-            let mut backoff = self.config.retry.start();
-            loop {
-                let result = match self.config.variant {
-                    IraVariant::Basic => self.try_batch_basic(&batch),
-                    IraVariant::TwoLock => self.try_batch_two_lock(&batch),
-                };
-                match result {
-                    Ok(()) => break,
-                    Err(e) if e.is_retryable_conflict() => {
-                        self.retries += 1;
-                        if !self.db.retry_backoff(&mut backoff) {
-                            // Release the reorganization so the system keeps
-                            // running; the caller may retry later.
-                            return Err(self.fail(IraError::RetriesExhausted {
-                                object: batch[0],
-                                attempts: backoff.attempt,
-                            }));
+        }
+    }
+
+    /// Migrate one batch inside one transaction (basic IRA).
+    fn try_batch_basic(&mut self, batch: &[PhysAddr]) -> Result<usize, StoreError> {
+        let part = self.db.partition(self.partition)?;
+        let mut txn = self.db.begin_reorg(self.partition);
+        let mut keep: HashSet<PhysAddr> = HashSet::new();
+        let mut effects = BatchEffects::default();
+        let mut failure = None;
+        for &oold in batch {
+            // Skip freed addresses and objects already migrated (committed
+            // slot) or mid-migration by another worker (their claim).
+            if !part.contains_object(oold) || !self.mapping.claim(oold, self.owner) {
+                continue;
+            }
+            effects.claims.push(oold);
+            if let Err(e) = self.db.fault.hit(ira_site::EXACT_PARENTS) {
+                failure = Some(e);
+                break;
+            }
+            let exact_start = Instant::now();
+            let step = find_exact_parents(self.db, &mut txn, oold, self.state, &keep)
+                .and_then(|parents| {
+                    self.stats.exact_time += exact_start.elapsed();
+                    let migrate_start = Instant::now();
+                    let onew = move_object_and_update_refs(
+                        self.db,
+                        &mut txn,
+                        oold,
+                        &parents,
+                        self.plan,
+                        self.config.transform,
+                        self.state,
+                        self.mapping,
+                        self.owner,
+                        &mut effects,
+                    )?;
+                    self.stats.migrate_time += migrate_start.elapsed();
+                    keep.extend(parents);
+                    keep.insert(onew);
+                    keep.insert(oold);
+                    Ok(())
+                });
+            if let Err(e) = step {
+                failure = Some(e);
+                break;
+            }
+        }
+        match failure {
+            None => {
+                let commit = self
+                    .db
+                    .fault
+                    .hit(ira_site::MIGRATE_COMMIT)
+                    .and_then(|()| txn.commit());
+                match commit {
+                    Ok(()) => {
+                        let migrated = effects.migrations.len();
+                        for &(old, _) in &effects.migrations {
+                            self.mapping.commit(old);
                         }
+                        // Claims that produced no migration reopen; release
+                        // spares the just-committed slots.
+                        for &claimed in &effects.claims {
+                            self.mapping.release(claimed);
+                        }
+                        self.stats.ext_locks += keep
+                            .iter()
+                            .filter(|a| a.partition() != self.partition)
+                            .count();
+                        Ok(migrated)
                     }
-                    Err(e) => return Err(self.fail(IraError::Store(e))),
+                    Err(e) => {
+                        // A failed commit is an abort (the handle rolled the
+                        // updates back on drop); the run's in-memory
+                        // bookkeeping must roll back with it.
+                        effects.revert(self.db, self.state, self.mapping);
+                        Err(e)
+                    }
                 }
             }
-            self.pos = end;
-            self.db.fault.observe(ira_site::BATCH);
-            if let Some(t) = self.config.throttle.clone() {
-                window_batches += 1;
-                if window_batches >= t.window.max(1) {
-                    let timeouts_now = self.db.locks.stats.timeouts.get();
-                    if timeouts_now.saturating_sub(timeouts_mark) >= t.timeout_threshold
-                        && self.throttle_pauses < t.max_pauses
-                    {
-                        self.throttle_pauses += 1;
-                        std::thread::sleep(t.pause);
-                    }
-                    timeouts_mark = self.db.locks.stats.timeouts.get();
-                    window_batches = 0;
-                }
+            Some(e) => {
+                txn.abort();
+                effects.revert(self.db, self.state, self.mapping);
+                Err(e)
             }
-            if let Some(n) = self.config.crash_after_migrations {
-                if self.mapping.len() >= n {
-                    return Err(self.crash_now());
+        }
+    }
+
+    /// Migrate one batch with the two-lock extension (each object commits
+    /// by itself; on a mid-batch error, earlier objects stay migrated and
+    /// the retry skips them via their committed slots).
+    fn try_batch_two_lock(&mut self, batch: &[PhysAddr]) -> Result<usize, StoreError> {
+        let part = self.db.partition(self.partition)?;
+        let mut migrated = 0usize;
+        for &oold in batch {
+            if !part.contains_object(oold) || !self.mapping.claim(oold, self.owner) {
+                continue;
+            }
+            let migrate_start = Instant::now();
+            let outcome = crate::two_lock::migrate_two_lock(
+                self.db,
+                oold,
+                self.plan,
+                self.config.transform,
+                self.state,
+                self.mapping,
+                self.owner,
+                &self.config.retry,
+                &self.exec.settle,
+            );
+            self.stats.migrate_time += migrate_start.elapsed();
+            match outcome {
+                Ok(_) => migrated += 1,
+                Err(e) => {
+                    self.mapping.release(oold);
+                    return Err(e);
                 }
             }
         }
-        if self.db.fault.crash_requested() {
-            return Err(self.crash_now());
+        Ok(migrated)
+    }
+}
+
+/// How the migration loop ended (before error-path cleanup).
+enum LoopEnd {
+    Crash,
+    Exhausted { object: PhysAddr, attempts: usize },
+    Fatal(StoreError),
+}
+
+impl ReorgRun<'_> {
+    fn worker_ctx(&self, owner: OwnerId) -> WorkerCtx<'_> {
+        WorkerCtx {
+            db: self.db,
+            partition: self.partition,
+            plan: self.plan,
+            config: self.config,
+            exec: self.exec,
+            state: &self.state,
+            mapping: &self.mapping,
+            owner,
+            stats: WorkerStats::default(),
+        }
+    }
+
+    fn absorb(&mut self, stats: WorkerStats) {
+        self.retries += stats.retries;
+        self.ext_locks += stats.ext_locks;
+        self.phases.exact_parents += stats.exact_time;
+        self.phases.migrate += stats.migrate_time;
+    }
+
+    pub(crate) fn execute(mut self) -> Result<IraReport, IraError> {
+        // Step two: migrate, serially or across workers.
+        if self.config.workers.max(1) > 1 {
+            self.run_parallel()?;
+        } else {
+            self.run_serial()?;
         }
 
         // Garbage: allocated but never traversed (Section 4.6).
         let phase_start = Instant::now();
-        let survivors: HashSet<PhysAddr> = self.mapping.values().copied().collect();
+        let survivors: HashSet<PhysAddr> = self
+            .mapping
+            .sorted_committed()
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect();
         let garbage: Vec<PhysAddr> = self
             .db
             .partition(self.partition)
@@ -429,7 +651,7 @@ impl ReorgRun<'_> {
 
         Ok(IraReport {
             partition: self.partition,
-            mapping: self.mapping,
+            mapping: self.mapping.to_hashmap(),
             garbage,
             retries: self.retries,
             throttle_pauses: self.throttle_pauses,
@@ -437,8 +659,243 @@ impl ReorgRun<'_> {
             phases: self.phases,
             trt_notes,
             trt_purged,
+            waves: self.waves,
+            workers: self.config.workers.max(1),
+            deferred: self.deferred,
             duration: self.started.elapsed(),
         })
+    }
+
+    /// The serial migration loop: drain the queue in order, one batch at a
+    /// time.
+    fn run_serial(&mut self) -> Result<(), IraError> {
+        let mut ctx = self.worker_ctx(0);
+        let mut window_batches = 0usize;
+        let mut timeouts_mark = self.db.locks.stats.timeouts.get();
+        let mut pos = self.pos;
+        let mut pauses = self.throttle_pauses;
+        let mut end: Option<LoopEnd> = None;
+        while pos < self.state.order.len() {
+            // A Crash fault latched anywhere (a walker's lock site, the WAL,
+            // a page latch) surfaces here, at the batch boundary — the only
+            // point where the checkpoint is consistent.
+            if self.db.fault.crash_requested() {
+                end = Some(LoopEnd::Crash);
+                break;
+            }
+            let batch_end = (pos + self.config.batch_size.max(1)).min(self.state.order.len());
+            let batch: Vec<PhysAddr> = self.state.order[pos..batch_end].to_vec();
+            match ctx.run_batch(&batch) {
+                Ok(_) => {}
+                Err(BatchFail::Exhausted { object, attempts }) => {
+                    end = Some(LoopEnd::Exhausted { object, attempts });
+                    break;
+                }
+                Err(BatchFail::Fatal(e)) => {
+                    end = Some(LoopEnd::Fatal(e));
+                    break;
+                }
+            }
+            pos = batch_end;
+            self.db.fault.observe(ira_site::BATCH);
+            if let Some(t) = &self.config.throttle {
+                window_batches += 1;
+                if window_batches >= t.window.max(1) {
+                    let timeouts_now = self.db.locks.stats.timeouts.get();
+                    if timeouts_now.saturating_sub(timeouts_mark) >= t.timeout_threshold
+                        && pauses < t.max_pauses
+                    {
+                        pauses += 1;
+                        std::thread::sleep(t.pause);
+                    }
+                    timeouts_mark = self.db.locks.stats.timeouts.get();
+                    window_batches = 0;
+                }
+            }
+            if let Some(n) = self.exec.crash_after_migrations {
+                if self.mapping.len() >= n {
+                    end = Some(LoopEnd::Crash);
+                    break;
+                }
+            }
+        }
+        if end.is_none() && self.db.fault.crash_requested() {
+            end = Some(LoopEnd::Crash);
+        }
+        let stats = ctx.into_stats();
+        self.absorb(stats);
+        self.pos = pos;
+        self.throttle_pauses = pauses;
+        self.finish_loop(end)
+    }
+
+    /// The parallel migration loop: plan conflict-disjoint components, let
+    /// N workers claim and drain them, then migrate whatever was deferred
+    /// in a serial tail pass.
+    fn run_parallel(&mut self) -> Result<(), IraError> {
+        let wave_plan =
+            crate::wave::plan_waves(&self.state.order[self.pos..], &self.state, self.partition);
+        self.waves = wave_plan.components.len();
+        let nworkers = self
+            .config
+            .workers
+            .max(1)
+            .min(wave_plan.components.len().max(1));
+        self.db.stats.reorg_workers.fetch_max(nworkers as u64, AtomicOrd::Relaxed);
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let crash = AtomicBool::new(false);
+        let fatal: Mutex<Option<StoreError>> = Mutex::new(None);
+        let deferred: Mutex<Vec<PhysAddr>> = Mutex::new(Vec::new());
+        let pauses = AtomicUsize::new(self.throttle_pauses);
+
+        let db = self.db;
+        let config = self.config;
+        let exec = self.exec;
+        let components = &wave_plan.components;
+        let mapping = &self.mapping;
+
+        let worker_stats: Vec<WorkerStats> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nworkers)
+                .map(|w| {
+                    let next = &next;
+                    let stop = &stop;
+                    let crash = &crash;
+                    let fatal = &fatal;
+                    let deferred = &deferred;
+                    let pauses = &pauses;
+                    let mut ctx = self.worker_ctx(w);
+                    s.spawn(move || {
+                        let mut window_batches = 0usize;
+                        let mut timeouts_mark = db.locks.stats.timeouts.get();
+                        'claim: while !stop.load(AtomicOrd::Relaxed) {
+                            let c = next.fetch_add(1, AtomicOrd::Relaxed);
+                            let Some(component) = components.get(c) else {
+                                break;
+                            };
+                            for chunk in component.chunks(config.batch_size.max(1)) {
+                                if stop.load(AtomicOrd::Relaxed) {
+                                    break 'claim;
+                                }
+                                if db.fault.crash_requested() {
+                                    crash.store(true, AtomicOrd::Relaxed);
+                                    stop.store(true, AtomicOrd::Relaxed);
+                                    break 'claim;
+                                }
+                                match ctx.run_batch(chunk) {
+                                    Ok(_) => {}
+                                    Err(BatchFail::Exhausted { .. }) => {
+                                        // Residual cross-component conflict
+                                        // (shared external parent, walker
+                                        // interference): hand the objects to
+                                        // the serial tail instead of failing
+                                        // the run.
+                                        deferred.lock().extend_from_slice(chunk);
+                                    }
+                                    Err(BatchFail::Fatal(e)) => {
+                                        *fatal.lock() = Some(e);
+                                        stop.store(true, AtomicOrd::Relaxed);
+                                        break 'claim;
+                                    }
+                                }
+                                db.fault.observe(ira_site::BATCH);
+                                db.stats.reorg_wave_batches.fetch_add(1, AtomicOrd::Relaxed);
+                                if let Some(t) = &config.throttle {
+                                    window_batches += 1;
+                                    if window_batches >= t.window.max(1) {
+                                        let timeouts_now = db.locks.stats.timeouts.get();
+                                        if timeouts_now.saturating_sub(timeouts_mark)
+                                            >= t.timeout_threshold
+                                            && pauses.load(AtomicOrd::Relaxed) < t.max_pauses
+                                        {
+                                            pauses.fetch_add(1, AtomicOrd::Relaxed);
+                                            std::thread::sleep(t.pause);
+                                        }
+                                        timeouts_mark = db.locks.stats.timeouts.get();
+                                        window_batches = 0;
+                                    }
+                                }
+                                if let Some(n) = exec.crash_after_migrations {
+                                    if mapping.len() >= n {
+                                        crash.store(true, AtomicOrd::Relaxed);
+                                        stop.store(true, AtomicOrd::Relaxed);
+                                        break 'claim;
+                                    }
+                                }
+                            }
+                        }
+                        ctx.into_stats()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for stats in worker_stats {
+            self.absorb(stats);
+        }
+        self.throttle_pauses = pauses.into_inner();
+
+        if let Some(e) = fatal.into_inner() {
+            return self.finish_loop(Some(LoopEnd::Fatal(e)));
+        }
+        if crash.into_inner() || self.db.fault.crash_requested() {
+            // Workers stopped at batch boundaries, so every slot is either
+            // committed or released. Restart covers the whole queue; the
+            // resume skips committed objects through the mapping.
+            self.pos = 0;
+            return self.finish_loop(Some(LoopEnd::Crash));
+        }
+
+        // Serial tail: whatever the workers deferred, in queue order.
+        let mut tail = deferred.into_inner();
+        tail.dedup();
+        self.deferred = tail.len();
+        if !tail.is_empty() {
+            let mut ctx = self.worker_ctx(nworkers);
+            let mut end: Option<LoopEnd> = None;
+            for chunk in tail.chunks(self.config.batch_size.max(1)) {
+                if self.db.fault.crash_requested() {
+                    end = Some(LoopEnd::Crash);
+                    break;
+                }
+                match ctx.run_batch(chunk) {
+                    Ok(_) => {}
+                    Err(BatchFail::Exhausted { object, attempts }) => {
+                        end = Some(LoopEnd::Exhausted { object, attempts });
+                        break;
+                    }
+                    Err(BatchFail::Fatal(e)) => {
+                        end = Some(LoopEnd::Fatal(e));
+                        break;
+                    }
+                }
+                self.db.fault.observe(ira_site::BATCH);
+            }
+            let stats = ctx.into_stats();
+            self.absorb(stats);
+            if end.is_some() {
+                if matches!(end, Some(LoopEnd::Crash)) {
+                    self.pos = 0;
+                }
+                return self.finish_loop(end);
+            }
+        }
+        self.pos = self.state.order.len();
+        Ok(())
+    }
+
+    /// Translate how the migration loop ended into the run's outcome,
+    /// applying the error-path cleanup (checkpoint for a crash, release for
+    /// a failure).
+    fn finish_loop(&mut self, end: Option<LoopEnd>) -> Result<(), IraError> {
+        match end {
+            None => Ok(()),
+            Some(LoopEnd::Crash) => Err(self.crash_now()),
+            Some(LoopEnd::Exhausted { object, attempts }) => {
+                Err(self.fail(IraError::RetriesExhausted { object, attempts }))
+            }
+            Some(LoopEnd::Fatal(e)) => Err(self.fail(IraError::Store(e))),
+        }
     }
 
     /// Terminal failure: release the reorganization so the system keeps
@@ -491,108 +948,12 @@ impl ReorgRun<'_> {
             partition: self.partition,
             plan: self.plan,
             state: self.state.clone(),
-            mapping: self.mapping.iter().map(|(k, v)| (*k, *v)).collect(),
-            queue: self.queue.clone(),
+            mapping: self.mapping.sorted_committed(),
+            queue: self.state.order.clone(),
             pos: self.pos,
             trt_snapshot,
             trt_lsn,
         }
-    }
-
-    /// Migrate one batch inside one transaction (basic IRA).
-    fn try_batch_basic(&mut self, batch: &[PhysAddr]) -> Result<(), StoreError> {
-        let part = self.db.partition(self.partition)?;
-        let mut txn = self.db.begin_reorg(self.partition);
-        let mut keep: HashSet<PhysAddr> = HashSet::new();
-        let mut effects = BatchEffects::default();
-        let mut failure = None;
-        for &oold in batch {
-            if self.mapping.contains_key(&oold) || !part.contains_object(oold) {
-                continue;
-            }
-            if let Err(e) = self.db.fault.hit(ira_site::EXACT_PARENTS) {
-                failure = Some(e);
-                break;
-            }
-            let exact_start = Instant::now();
-            let step = find_exact_parents(self.db, &mut txn, oold, &mut self.state, &keep)
-                .and_then(|parents| {
-                    self.phases.exact_parents += exact_start.elapsed();
-                    let migrate_start = Instant::now();
-                    let onew = move_object_and_update_refs(
-                        self.db,
-                        &mut txn,
-                        oold,
-                        &parents,
-                        self.plan,
-                        self.config.transform,
-                        &mut self.state,
-                        &mut self.mapping,
-                        &mut effects,
-                    )?;
-                    self.phases.migrate += migrate_start.elapsed();
-                    keep.extend(parents);
-                    keep.insert(onew);
-                    keep.insert(oold);
-                    Ok(())
-                });
-            if let Err(e) = step {
-                failure = Some(e);
-                break;
-            }
-        }
-        match failure {
-            None => {
-                let commit = self
-                    .db
-                    .fault
-                    .hit(ira_site::MIGRATE_COMMIT)
-                    .and_then(|()| txn.commit());
-                match commit {
-                    Ok(()) => {
-                        self.ext_locks += self.count_external(&keep);
-                        Ok(())
-                    }
-                    Err(e) => {
-                        // A failed commit is an abort (the handle rolled the
-                        // updates back on drop); the run's in-memory
-                        // bookkeeping must roll back with it.
-                        std::mem::take(&mut effects).revert(
-                            self.db,
-                            &mut self.state,
-                            &mut self.mapping,
-                        );
-                        Err(e)
-                    }
-                }
-            }
-            Some(e) => {
-                txn.abort();
-                std::mem::take(&mut effects).revert(self.db, &mut self.state, &mut self.mapping);
-                Err(e)
-            }
-        }
-    }
-
-    /// Migrate one batch with the two-lock extension.
-    fn try_batch_two_lock(&mut self, batch: &[PhysAddr]) -> Result<(), StoreError> {
-        let part = self.db.partition(self.partition)?;
-        for &oold in batch {
-            if self.mapping.contains_key(&oold) || !part.contains_object(oold) {
-                continue;
-            }
-            let migrate_start = Instant::now();
-            crate::two_lock::migrate_two_lock(
-                self.db,
-                oold,
-                self.plan,
-                &mut self.state,
-                &mut self.mapping,
-                self.config,
-            )?;
-            self.phases.migrate += migrate_start.elapsed();
-        }
-        Ok(())
     }
 }
 
@@ -609,20 +970,27 @@ mod tests {
         assert_eq!(c.batch_size, 1);
         assert_eq!(c.variant, IraVariant::Basic);
         assert!(c.collect_garbage);
-        assert!(c.crash_after_migrations.is_none());
         assert!(c.transform.is_none());
         assert!(c.throttle.is_none());
+        assert_eq!(c.workers, 1);
         assert_eq!(c.retry, brahma::RetryPolicy::default());
-        assert_eq!(c.settle, crate::relaxed::SETTLE_POLICY);
+        let e = ExecOptions::default();
+        assert_eq!(e.settle, crate::relaxed::SETTLE_POLICY);
+        assert!(e.crash_after_migrations.is_none());
     }
 
     #[test]
     fn empty_partition_reorganizes_trivially() {
         let db = Database::new(StoreConfig::default());
         let p = db.create_partition();
-        let report =
-            incremental_reorganize(&db, p, RelocationPlan::CompactInPlace, &IraConfig::default())
-                .unwrap();
+        let report = run_incremental(
+            &db,
+            p,
+            RelocationPlan::CompactInPlace,
+            &IraConfig::default(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
         assert_eq!(report.migrated(), 0);
         assert!(report.garbage.is_empty());
         assert!(!db.reorg_active(p));
@@ -663,16 +1031,27 @@ mod tests {
             quiesce_wait: std::time::Duration::from_millis(50),
             ..IraConfig::default()
         };
-        let err = incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config)
-            .unwrap_err();
+        let err = run_incremental(
+            &db,
+            p1,
+            RelocationPlan::CompactInPlace,
+            &config,
+            &ExecOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, IraError::RetriesExhausted { .. }));
         assert!(!db.reorg_active(p1), "reorganization must be released");
         assert!(db.retry_stats.giveups.get() >= 1, "giveup must be counted");
         blocker.abort();
         // A later run succeeds.
-        let report =
-            incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &IraConfig::default())
-                .unwrap();
+        let report = run_incremental(
+            &db,
+            p1,
+            RelocationPlan::CompactInPlace,
+            &IraConfig::default(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
         assert_eq!(report.migrated(), 1);
     }
 
@@ -697,8 +1076,14 @@ mod tests {
             transform: Some(bump_tag),
             ..IraConfig::default()
         };
-        let report =
-            incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config).unwrap();
+        let report = run_incremental(
+            &db,
+            p1,
+            RelocationPlan::CompactInPlace,
+            &config,
+            &ExecOptions::default(),
+        )
+        .unwrap();
         assert_eq!(db.raw_read(report.mapping[&o]).unwrap().tag, 42);
     }
 }

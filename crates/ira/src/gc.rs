@@ -13,7 +13,7 @@
 //! * [`find_garbage`] is the non-destructive detector used by tests and the
 //!   example.
 
-use crate::driver::{incremental_reorganize, IraConfig, IraError};
+use crate::driver::{run_incremental, ExecOptions, IraConfig, IraError};
 use crate::plan::RelocationPlan;
 use brahma::{Database, PartitionId, PhysAddr};
 use std::time::Duration;
@@ -42,11 +42,12 @@ pub fn copying_collect(
     let target = target.unwrap_or_else(|| db.create_partition());
     let mut config = config.clone();
     config.collect_garbage = true;
-    let report = incremental_reorganize(
+    let report = run_incremental(
         db,
         partition,
         RelocationPlan::EvacuateTo(target),
         &config,
+        &ExecOptions::default(),
     )?;
     Ok(GcReport {
         source: partition,

@@ -4,26 +4,30 @@
 //! Object Databases* (Lakhamraju, Rastogi, Seshadri, Sudarshan; SIGMOD
 //! 2000) on the `brahma` storage substrate:
 //!
-//! * [`incremental_reorganize`] — the IRA of Section 3: a fuzzy,
-//!   latch-only traversal finds the partition's live objects and their
-//!   approximate parents; then, object by object, the parent set is made
-//!   exact (with the Temporary Reference Table catching concurrent pointer
-//!   inserts and deletes) and the object is migrated inside a transaction
-//!   holding locks only on its parents.
+//! * [`Reorg`] — the unified entry point. Its default strategy is the IRA
+//!   of Section 3: a fuzzy, latch-only traversal finds the partition's
+//!   live objects and their approximate parents; then, object by object,
+//!   the parent set is made exact (with the Temporary Reference Table
+//!   catching concurrent pointer inserts and deletes) and the object is
+//!   migrated inside a transaction holding locks only on its parents.
 //! * Extensions: relaxed strict-2PL (Section 4.1, [`relaxed`]), the
 //!   two-lock variant holding at most two locks at any time (Section 4.2,
-//!   [`two_lock`]), migration batching (Section 4.3, `IraConfig::batch_size`),
-//!   checkpoint/restart after failures (Section 4.4, [`checkpoint`]), and
-//!   copying garbage collection as a side effect (Section 4.6, [`gc`]).
+//!   [`two_lock`]), migration batching (Section 4.3, [`Reorg::batch`]),
+//!   checkpoint/restart after failures (Section 4.4, [`checkpoint`]),
+//!   copying garbage collection as a side effect (Section 4.6, [`gc`]),
+//!   and a parallel wave executor — N migrator workers over
+//!   conflict-disjoint components of the migration queue ([`wave`],
+//!   [`Reorg::workers`]).
 //! * Baselines: the quiescent reorganizer of Section 3.1 ([`offline`]) and
 //!   **PQR**, the Partition Quiesce Reorganization baseline of the paper's
-//!   performance study (Section 5.1, [`pqr`]).
+//!   performance study (Section 5.1, [`pqr`]) — both reachable through
+//!   [`Reorg::strategy`].
 //!
 //! ## Quick tour
 //!
 //! ```
 //! use brahma::{Database, NewObject, StoreConfig};
-//! use ira::{incremental_reorganize, IraConfig, RelocationPlan};
+//! use ira::{RelocationPlan, Reorg};
 //!
 //! let db = Database::new(StoreConfig::default());
 //! let p0 = db.create_partition();
@@ -34,16 +38,24 @@
 //! txn.commit().unwrap();
 //!
 //! // Migrate every live object of p1, on-line.
-//! let report = incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace,
-//!                                     &IraConfig::default()).unwrap();
-//! assert_eq!(report.migrated(), 1);
-//! let new_child = report.mapping[&child];
+//! let outcome = Reorg::on(&db, p1)
+//!     .plan(RelocationPlan::CompactInPlace)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(outcome.migrated(), 1);
+//! let new_child = outcome.mapping[&child];
 //! // The parent's physical reference was rewritten.
 //! assert_eq!(db.raw_read(parent).unwrap().refs, vec![new_child]);
-//! ira::verify::assert_reorganization_clean(&db, &report);
+//! ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
 //! ```
+//!
+//! Everything is a knob on the same builder: `.variant(IraVariant::TwoLock)`
+//! for the two-lock extension, `.workers(4)` for the parallel executor,
+//! `.strategy(Strategy::PartitionQuiesce)` for the PQR baseline,
+//! `.resume_from(ckpt, &log)` to continue a crashed run.
 
 pub mod approx;
+pub mod builder;
 pub mod chaos;
 pub mod checkpoint;
 pub mod driver;
@@ -55,18 +67,29 @@ pub mod order;
 pub mod plan;
 pub mod pqr;
 pub mod relaxed;
+pub mod shared;
 pub mod traversal;
 pub mod two_lock;
 pub mod verify;
+pub mod wave;
 
-pub use chaos::{run_crash_cell, CellOutcome, ChaosCell};
-pub use checkpoint::{resume_reorganization, IraCheckpoint};
-pub use driver::{
-    incremental_reorganize, IraConfig, IraError, IraReport, IraVariant, ThrottleConfig,
+pub use builder::{
+    IraBasic, IraTwoLock, Offline, Pqr, Reorg, ReorgOutcome, Reorganizer, Resume, Strategy,
 };
+pub use chaos::{run_crash_cell, CellOutcome, ChaosCell};
+pub use checkpoint::IraCheckpoint;
+#[allow(deprecated)]
+pub use checkpoint::resume_reorganization;
+pub use driver::{IraConfig, IraError, IraReport, IraVariant, ThrottleConfig};
+#[allow(deprecated)]
+pub use driver::incremental_reorganize;
 pub use gc::{copying_collect, find_garbage, GcReport};
+#[allow(deprecated)]
 pub use offline::offline_reorganize;
 pub use order::MigrationOrder;
 pub use plan::RelocationPlan;
-pub use pqr::{partition_quiesce_reorganize, partition_quiesce_reorganize_with, PqrReport};
+pub use pqr::PqrReport;
+#[allow(deprecated)]
+pub use pqr::{partition_quiesce_reorganize, partition_quiesce_reorganize_with};
+pub use shared::MigrationMap;
 pub use traversal::TraversalState;

@@ -19,15 +19,20 @@
 //! transaction commits and the parents' locks are released.
 
 use crate::plan::RelocationPlan;
+use crate::shared::{ChildFate, MigrationMap, OwnerId};
 use crate::traversal::TraversalState;
-use brahma::{Database, LockMode, LogPayload, NewObject, PhysAddr, Result, Txn};
-use std::collections::HashMap;
+use brahma::{
+    Database, Error as StoreError, LockMode, LogPayload, NewObject, PhysAddr, Result, Txn,
+};
 use std::sync::atomic::Ordering;
 
 /// Side effects of migrations inside one (possibly batched) transaction,
 /// recorded so they can be reverted if the transaction later aborts.
 #[derive(Debug, Default)]
 pub struct BatchEffects {
+    /// Objects claimed in the shared [`MigrationMap`] by this batch (a
+    /// superset of `migrations`' old addresses: a claim precedes the move).
+    pub claims: Vec<PhysAddr>,
     /// (old, new) pairs, in migration order.
     pub migrations: Vec<(PhysAddr, PhysAddr)>,
     /// (child, old_parent, new_parent) parent-list rewrites applied to the
@@ -40,21 +45,28 @@ pub struct BatchEffects {
 impl BatchEffects {
     /// Revert all recorded side effects (the transaction aborted; the
     /// storage-level changes roll back through the transaction's own undo).
-    pub fn revert(self, db: &Database, state: &mut TraversalState, mapping: &mut HashMap<PhysAddr, PhysAddr>) {
+    /// Releasing the claims reopens every object of the batch to other
+    /// workers.
+    pub fn revert(self, db: &Database, state: &TraversalState, mapping: &MigrationMap) {
         for (old, new) in self.root_rewrites.into_iter().rev() {
             db.replace_root(new, old);
         }
         for (child, old_parent, new_parent) in self.parent_rewrites.into_iter().rev() {
             state.replace_parent(child, new_parent, old_parent);
         }
-        for (old, _new) in self.migrations.into_iter().rev() {
-            mapping.remove(&old);
+        for old in self.claims.into_iter().rev() {
+            mapping.release(old);
         }
     }
 }
 
 /// Migrate `oold` to its new location, updating the `parents`' references
 /// (which the caller has locked exactly via `find_exact_parents`).
+///
+/// The caller must have claimed `oold` in `mapping` as `owner` (see
+/// [`MigrationMap::claim`]); on success the migration is left *staged* —
+/// the caller flips it to committed via [`MigrationMap::commit`] after the
+/// batch transaction commits.
 ///
 /// Returns the new address. `state`, `mapping`, and `effects` are updated
 /// in place; on error the caller must abort the transaction and call
@@ -67,8 +79,9 @@ pub fn move_object_and_update_refs(
     parents: &[PhysAddr],
     plan: RelocationPlan,
     transform: Option<fn(brahma::ObjectView) -> brahma::ObjectView>,
-    state: &mut TraversalState,
-    mapping: &mut HashMap<PhysAddr, PhysAddr>,
+    state: &TraversalState,
+    mapping: &MigrationMap,
+    owner: OwnerId,
     effects: &mut BatchEffects,
 ) -> Result<PhysAddr> {
     // With all parents locked, no transaction can hold or obtain a lock on
@@ -88,19 +101,34 @@ pub fn move_object_and_update_refs(
         None => image,
     };
 
+    // Resolve this object's own references before copying: a same-partition
+    // child already migrated *and committed* by another worker is healed (the
+    // copy gets the child's new address — the old one is freed); a child
+    // claimed by another worker is a collision, surfacing as a retryable
+    // error before anything is written.
+    let mut new_refs = image.refs.clone();
+    for r in new_refs.iter_mut() {
+        let child = *r;
+        if child.partition() == oold.partition() && child != oold {
+            if let Some(n) = mapping.heal_or_collide(child, owner)? {
+                *r = n;
+            }
+        }
+    }
+
     // 1. Copy to the new location.
     let onew = txn.create_object(
         plan.target_partition(oold),
         NewObject {
             tag: image.tag,
-            refs: image.refs.clone(),
+            refs: new_refs.clone(),
             ref_cap: image.ref_cap,
             payload: image.payload.clone(),
             payload_cap: image.payload_cap,
         },
     )?;
     // Self-references must point at the new copy.
-    for (i, r) in image.refs.iter().enumerate() {
+    for (i, r) in new_refs.iter().enumerate() {
         if *r == oold {
             txn.set_ref(onew, i, onew)?;
         }
@@ -126,14 +154,26 @@ pub fn move_object_and_update_refs(
     db.wal
         .append(txn.id(), LogPayload::Migrate { old: oold, new: onew });
 
-    // 3. Parent-list bookkeeping for children that still await migration.
-    for &child in &image.refs {
-        if child.partition() == oold.partition()
-            && child != oold
-            && !mapping.contains_key(&child)
-        {
-            state.replace_parent(child, oold, onew);
-            effects.parent_rewrites.push((child, oold, onew));
+    // 3. Parent-list bookkeeping for children that still await migration,
+    // atomic with the child's migration slot (see
+    // [`MigrationMap::resolve_child`]): a child claimed or committed by
+    // another worker since the resolution above is a collision — our copy
+    // still references its old address.
+    for (i, &child) in image.refs.iter().enumerate() {
+        if new_refs[i] != child {
+            continue; // healed: the child is migrated, no bookkeeping left
+        }
+        if child.partition() == oold.partition() && child != oold {
+            match mapping.resolve_child(child, owner, || {
+                state.replace_parent(child, oold, onew);
+            })? {
+                ChildFate::Repointed => {
+                    effects.parent_rewrites.push((child, oold, onew));
+                }
+                ChildFate::Healed(_) => {
+                    return Err(StoreError::ReorgCollision { addr: child });
+                }
+            }
         }
     }
 
@@ -146,7 +186,7 @@ pub fn move_object_and_update_refs(
     // 4. Delete the old copy (space deferred until the reorganization ends).
     txn.delete_object(oold)?;
 
-    mapping.insert(oold, onew);
+    mapping.stage(oold, onew, owner);
     effects.migrations.push((oold, onew));
     db.stats.migrations.fetch_add(1, Ordering::Relaxed);
     Ok(onew)
@@ -182,17 +222,20 @@ mod tests {
         db: &Database,
         oold: PhysAddr,
         plan: RelocationPlan,
-        state: &mut TraversalState,
-        mapping: &mut HashMap<PhysAddr, PhysAddr>,
+        state: &TraversalState,
+        mapping: &MigrationMap,
     ) -> PhysAddr {
+        assert!(mapping.claim(oold, 0), "object already claimed");
         let mut txn = db.begin_reorg(oold.partition());
         let parents = find_exact_parents(db, &mut txn, oold, state, &HashSet::new()).unwrap();
         let mut effects = BatchEffects::default();
+        effects.claims.push(oold);
         let onew = move_object_and_update_refs(
-            db, &mut txn, oold, &parents, plan, None, state, mapping, &mut effects,
+            db, &mut txn, oold, &parents, plan, None, state, mapping, 0, &mut effects,
         )
         .unwrap();
         txn.commit().unwrap();
+        mapping.commit(oold);
         onew
     }
 
@@ -207,9 +250,9 @@ mod tests {
         let _anchor = mk(&db, p0, vec![local]);
 
         db.start_reorg(p1).unwrap();
-        let mut state = find_objects_and_approx_parents(&db, p1);
-        let mut mapping = HashMap::new();
-        let onew = migrate_one(&db, o, RelocationPlan::CompactInPlace, &mut state, &mut mapping);
+        let state = find_objects_and_approx_parents(&db, p1);
+        let mapping = MigrationMap::new();
+        let onew = migrate_one(&db, o, RelocationPlan::CompactInPlace, &state, &mapping);
         db.end_reorg(p1);
 
         assert_ne!(onew, o);
@@ -241,14 +284,14 @@ mod tests {
         let _ = anchor_for_child;
 
         db.start_reorg(p1).unwrap();
-        let mut state = find_objects_and_approx_parents(&db, p1);
-        let mut mapping = HashMap::new();
+        let state = find_objects_and_approx_parents(&db, p1);
+        let mapping = MigrationMap::new();
         let onew = migrate_one(
             &db,
             o,
             RelocationPlan::EvacuateTo(p2),
-            &mut state,
-            &mut mapping,
+            &state,
+            &mapping,
         );
         db.end_reorg(p1);
 
@@ -270,9 +313,9 @@ mod tests {
         let parent = mk(&db, p0, vec![o, o]);
 
         db.start_reorg(p1).unwrap();
-        let mut state = find_objects_and_approx_parents(&db, p1);
-        let mut mapping = HashMap::new();
-        let onew = migrate_one(&db, o, RelocationPlan::CompactInPlace, &mut state, &mut mapping);
+        let state = find_objects_and_approx_parents(&db, p1);
+        let mapping = MigrationMap::new();
+        let onew = migrate_one(&db, o, RelocationPlan::CompactInPlace, &state, &mapping);
         db.end_reorg(p1);
 
         assert_eq!(db.raw_read(parent).unwrap().refs, vec![onew, onew]);
@@ -294,9 +337,9 @@ mod tests {
         let _ext = mk(&db, p0, vec![o]);
 
         db.start_reorg(p1).unwrap();
-        let mut state = find_objects_and_approx_parents(&db, p1);
-        let mut mapping = HashMap::new();
-        let onew = migrate_one(&db, o, RelocationPlan::CompactInPlace, &mut state, &mut mapping);
+        let state = find_objects_and_approx_parents(&db, p1);
+        let mapping = MigrationMap::new();
+        let onew = migrate_one(&db, o, RelocationPlan::CompactInPlace, &state, &mapping);
         db.end_reorg(p1);
 
         assert_eq!(db.raw_read(onew).unwrap().refs, vec![onew]);
@@ -312,11 +355,13 @@ mod tests {
         let ext = mk(&db, p0, vec![o]);
 
         db.start_reorg(p1).unwrap();
-        let mut state = find_objects_and_approx_parents(&db, p1);
-        let mut mapping = HashMap::new();
+        let state = find_objects_and_approx_parents(&db, p1);
+        let mapping = MigrationMap::new();
         let mut txn = db.begin_reorg(p1);
-        let parents = find_exact_parents(&db, &mut txn, o, &mut state, &HashSet::new()).unwrap();
+        assert!(mapping.claim(o, 0));
+        let parents = find_exact_parents(&db, &mut txn, o, &state, &HashSet::new()).unwrap();
         let mut effects = BatchEffects::default();
+        effects.claims.push(o);
         move_object_and_update_refs(
             &db,
             &mut txn,
@@ -324,16 +369,19 @@ mod tests {
             &parents,
             RelocationPlan::CompactInPlace,
             None,
-            &mut state,
-            &mut mapping,
+            &state,
+            &mapping,
+            0,
             &mut effects,
         )
         .unwrap();
         txn.abort();
-        effects.revert(&db, &mut state, &mut mapping);
+        effects.revert(&db, &state, &mapping);
         db.end_reorg(p1);
 
         assert!(mapping.is_empty());
+        assert!(mapping.claim(o, 1), "revert must release the claim");
+        mapping.release(o);
         assert_eq!(db.raw_read(ext).unwrap().refs, vec![o]);
         assert_eq!(db.raw_read(o).unwrap().payload, b"payload".to_vec());
         brahma::sweep::assert_database_consistent(&db);
@@ -346,14 +394,14 @@ mod tests {
         let root = mk(&db, p0, vec![]);
         db.add_root(root);
         db.start_reorg(p0).unwrap();
-        let mut state = find_objects_and_approx_parents(&db, p0);
-        let mut mapping = HashMap::new();
+        let state = find_objects_and_approx_parents(&db, p0);
+        let mapping = MigrationMap::new();
         let new_root = migrate_one(
             &db,
             root,
             RelocationPlan::CompactInPlace,
-            &mut state,
-            &mut mapping,
+            &state,
+            &mapping,
         );
         db.end_reorg(p0);
         assert!(db.is_root(new_root));

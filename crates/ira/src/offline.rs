@@ -89,7 +89,19 @@ pub fn reorganize_quiescent(
 
 /// Convenience wrapper: reorganize a partition of an otherwise idle
 /// database in a single transaction.
+#[deprecated(note = "use the builder: \
+    `Reorg::on(&db, partition).strategy(Strategy::Offline).run()`")]
 pub fn offline_reorganize(
+    db: &Database,
+    partition: PartitionId,
+    plan: RelocationPlan,
+) -> Result<HashMap<PhysAddr, PhysAddr>> {
+    run_offline(db, partition, plan)
+}
+
+/// Crate-internal entry point behind [`offline_reorganize`] and the
+/// builder's [`crate::builder::Offline`].
+pub(crate) fn run_offline(
     db: &Database,
     partition: PartitionId,
     plan: RelocationPlan,
@@ -142,7 +154,7 @@ mod tests {
         let mid = mk(&db, p1, vec![leaf]);
         let ext = mk(&db, p0, vec![mid]);
 
-        let mapping = offline_reorganize(&db, p1, RelocationPlan::CompactInPlace).unwrap();
+        let mapping = run_offline(&db, p1, RelocationPlan::CompactInPlace).unwrap();
         assert_eq!(mapping.len(), 2);
         let mid_new = mapping[&mid];
         let leaf_new = mapping[&leaf];
@@ -161,7 +173,7 @@ mod tests {
         let b = mk(&db, p1, vec![a]);
         let _ext = mk(&db, p0, vec![b]);
 
-        let mapping = offline_reorganize(&db, p1, RelocationPlan::EvacuateTo(p2)).unwrap();
+        let mapping = run_offline(&db, p1, RelocationPlan::EvacuateTo(p2)).unwrap();
         assert_eq!(db.partition(p1).unwrap().object_count(), 0);
         assert_eq!(db.partition(p2).unwrap().object_count(), 2);
         assert!(mapping.values().all(|a| a.partition() == p2));
@@ -177,7 +189,7 @@ mod tests {
         let _ = p0;
         let p1 = db.create_partition();
         let orphan = mk(&db, p1, vec![]);
-        let mapping = offline_reorganize(&db, p1, RelocationPlan::CompactInPlace).unwrap();
+        let mapping = run_offline(&db, p1, RelocationPlan::CompactInPlace).unwrap();
         assert!(mapping.contains_key(&orphan));
         assert_eq!(db.partition(p1).unwrap().object_count(), 1);
     }

@@ -32,40 +32,32 @@ pub enum MigrationOrder {
     GroupByExternalParent,
 }
 
-/// Apply the order to a migration queue.
+/// Apply the order to a migration queue, in place.
 pub fn order_queue(
     order: MigrationOrder,
-    queue: Vec<PhysAddr>,
+    queue: &mut Vec<PhysAddr>,
     state: &TraversalState,
     partition: PartitionId,
-) -> Vec<PhysAddr> {
+) {
     match order {
-        MigrationOrder::Traversal => queue,
+        MigrationOrder::Traversal => {}
         MigrationOrder::GroupByExternalParent => {
             // Group by the (deterministic) smallest external parent; objects
             // with no external parent keep their relative order at the end.
             let mut groups: BTreeMap<PhysAddr, Vec<PhysAddr>> = BTreeMap::new();
             let mut rest = Vec::new();
-            for obj in queue {
+            for obj in queue.drain(..) {
                 let ext = state
-                    .parents
-                    .get(&obj)
-                    .and_then(|ps| {
-                        ps.iter()
-                            .filter(|p| p.partition() != partition)
-                            .min()
-                            .copied()
-                    });
+                    .parents_of(obj)
+                    .into_iter()
+                    .filter(|p| p.partition() != partition)
+                    .min();
                 match ext {
                     Some(e) => groups.entry(e).or_default().push(obj),
                     None => rest.push(obj),
                 }
             }
-            groups
-                .into_values()
-                .flatten()
-                .chain(rest)
-                .collect()
+            queue.extend(groups.into_values().flatten().chain(rest));
         }
     }
 }
@@ -83,10 +75,9 @@ mod tests {
     fn traversal_order_is_identity() {
         let q = vec![a(1, 0), a(1, 64), a(1, 128)];
         let state = TraversalState::default();
-        assert_eq!(
-            order_queue(MigrationOrder::Traversal, q.clone(), &state, PartitionId(1)),
-            q
-        );
+        let mut ordered = q.clone();
+        order_queue(MigrationOrder::Traversal, &mut ordered, &state, PartitionId(1));
+        assert_eq!(ordered, q);
     }
 
     #[test]
@@ -95,18 +86,14 @@ mod tests {
         let ext1 = a(0, 0);
         let ext2 = a(0, 64);
         let (o1, o2, o3, o4, o5) = (a(1, 0), a(1, 64), a(1, 128), a(1, 192), a(1, 256));
-        let mut state = TraversalState::default();
+        let state = TraversalState::default();
         state.add_parent(o1, ext1);
         state.add_parent(o2, ext2);
         state.add_parent(o3, ext1);
         state.add_parent(o4, a(1, 300)); // intra-partition parent only
         // o5 has no recorded parents.
-        let ordered = order_queue(
-            MigrationOrder::GroupByExternalParent,
-            vec![o1, o2, o3, o4, o5],
-            &state,
-            p,
-        );
+        let mut ordered = vec![o1, o2, o3, o4, o5];
+        order_queue(MigrationOrder::GroupByExternalParent, &mut ordered, &state, p);
         // ext1's children are adjacent; parentless objects go last in
         // original relative order.
         let i1 = ordered.iter().position(|&x| x == o1).unwrap();
@@ -120,15 +107,11 @@ mod tests {
     fn grouping_ignores_intra_partition_parents() {
         let p = PartitionId(1);
         let (o1, o2) = (a(1, 0), a(1, 64));
-        let mut state = TraversalState::default();
+        let state = TraversalState::default();
         state.add_parent(o1, o2);
         state.add_parent(o2, o1);
-        let ordered = order_queue(
-            MigrationOrder::GroupByExternalParent,
-            vec![o1, o2],
-            &state,
-            p,
-        );
+        let mut ordered = vec![o1, o2];
+        order_queue(MigrationOrder::GroupByExternalParent, &mut ordered, &state, p);
         assert_eq!(ordered, vec![o1, o2]);
     }
 }

@@ -38,17 +38,32 @@ pub struct PqrReport {
 
 /// Quiesce `partition` and reorganize it according to `plan`, insisting on
 /// quiesce locks under [`INSIST_POLICY`].
+#[deprecated(note = "use the builder: \
+    `Reorg::on(&db, partition).strategy(Strategy::PartitionQuiesce).run()`")]
 pub fn partition_quiesce_reorganize(
     db: &Database,
     partition: PartitionId,
     plan: RelocationPlan,
 ) -> Result<PqrReport, StoreError> {
-    partition_quiesce_reorganize_with(db, partition, plan, &INSIST_POLICY)
+    run_pqr(db, partition, plan, &INSIST_POLICY)
 }
 
 /// [`partition_quiesce_reorganize`] under a caller-supplied (test-tunable)
 /// insist policy.
+#[deprecated(note = "use the builder: `Reorg::on(&db, partition)\
+    .strategy(Strategy::PartitionQuiesce).insist(policy).run()`")]
 pub fn partition_quiesce_reorganize_with(
+    db: &Database,
+    partition: PartitionId,
+    plan: RelocationPlan,
+    retry: &RetryPolicy,
+) -> Result<PqrReport, StoreError> {
+    run_pqr(db, partition, plan, retry)
+}
+
+/// Crate-internal entry point behind the deprecated free functions and the
+/// builder's [`crate::builder::Pqr`].
+pub(crate) fn run_pqr(
     db: &Database,
     partition: PartitionId,
     plan: RelocationPlan,
@@ -184,8 +199,7 @@ mod tests {
         let e1 = mk(&db, p0, vec![mid]);
         let e2 = mk(&db, p0, vec![leaf]);
 
-        let report = partition_quiesce_reorganize(&db, p1, RelocationPlan::CompactInPlace)
-            .unwrap();
+        let report = run_pqr(&db, p1, RelocationPlan::CompactInPlace, &INSIST_POLICY).unwrap();
         assert_eq!(report.mapping.len(), 2);
         assert_eq!(report.quiesce_locks, 2, "two external parents were locked");
         assert_eq!(db.raw_read(e1).unwrap().refs, vec![report.mapping[&mid]]);
@@ -238,8 +252,7 @@ mod tests {
         // hold: reorganize, and only then signal.
         std::thread::sleep(Duration::from_millis(20));
         quiesced.store(true, Ordering::SeqCst);
-        let report =
-            partition_quiesce_reorganize(&db, p1, RelocationPlan::CompactInPlace).unwrap();
+        let report = run_pqr(&db, p1, RelocationPlan::CompactInPlace, &INSIST_POLICY).unwrap();
         assert_eq!(report.mapping.len(), 1);
         // The walker may or may not have observed the block (timing), but
         // the database must be consistent and the walker must terminate.

@@ -23,22 +23,33 @@
 //! *comparisons* by transactions must either lock the referenced objects or
 //! consult the migration mapping (see [`crate::driver::IraReport::mapping`]).
 
-use crate::driver::IraConfig;
 use crate::plan::RelocationPlan;
 use crate::relaxed::{lock_and_settle_with, settle_with};
+use crate::shared::{ChildFate, MigrationMap, OwnerId};
 use crate::traversal::TraversalState;
-use brahma::{Database, LockMode, LogPayload, NewObject, PhysAddr, Result};
-use std::collections::{HashMap, HashSet};
+use brahma::{
+    Database, Error as StoreError, LockMode, LogPayload, NewObject, PhysAddr, Result, RetryPolicy,
+};
+use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 
 /// Migrate one object with the two-lock discipline.
+///
+/// The caller must have claimed `oold` in `mapping` as `owner`; on success
+/// the migration is committed (the guard transaction commits inside), so
+/// this function flips the slot to `Committed` itself. On error the caller
+/// releases the claim.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's procedure signature
 pub fn migrate_two_lock(
     db: &Database,
     oold: PhysAddr,
     plan: RelocationPlan,
-    state: &mut TraversalState,
-    mapping: &mut HashMap<PhysAddr, PhysAddr>,
-    config: &IraConfig,
+    transform: Option<fn(brahma::ObjectView) -> brahma::ObjectView>,
+    state: &TraversalState,
+    mapping: &MigrationMap,
+    owner: OwnerId,
+    retry: &RetryPolicy,
+    settle: &RetryPolicy,
 ) -> Result<PhysAddr> {
     let partition = oold.partition();
 
@@ -46,9 +57,9 @@ pub fn migrate_two_lock(
     // migration.
     let mut guard = db.begin_reorg(partition);
     guard.lock(oold, LockMode::Exclusive)?;
-    settle_with(db, guard.id(), oold, &config.settle)?;
+    settle_with(db, guard.id(), oold, settle)?;
     let image = guard.read(oold)?;
-    let image = match config.transform {
+    let image = match transform {
         Some(f) => {
             let transformed = f(image.clone());
             debug_assert_eq!(
@@ -60,6 +71,19 @@ pub fn migrate_two_lock(
         None => image,
     };
 
+    // Resolve this object's own references before copying (see
+    // `move_object_and_update_refs`): committed children heal to their new
+    // address; children mid-migration by another worker are a collision.
+    let mut new_refs = image.refs.clone();
+    for r in new_refs.iter_mut() {
+        let child = *r;
+        if child.partition() == partition && child != oold {
+            if let Some(n) = mapping.heal_or_collide(child, owner)? {
+                *r = n;
+            }
+        }
+    }
+
     // Create the copy in its own transaction, then hand its lock to the
     // guard. Nothing references O_new yet, so the hand-over window is
     // unreachable by other transactions.
@@ -68,13 +92,13 @@ pub fn migrate_two_lock(
         plan.target_partition(oold),
         NewObject {
             tag: image.tag,
-            refs: image.refs.clone(),
+            refs: new_refs.clone(),
             ref_cap: image.ref_cap,
             payload: image.payload.clone(),
             payload_cap: image.payload_cap,
         },
     )?;
-    for (i, r) in image.refs.iter().enumerate() {
+    for (i, r) in new_refs.iter().enumerate() {
         if *r == oold {
             creator.set_ref(onew, i, onew)?;
         }
@@ -93,7 +117,7 @@ pub fn migrate_two_lock(
             if parent == oold || parent == onew || processed.contains(&parent) {
                 continue;
             }
-            repoint_parent(db, parent, oold, onew, config)?;
+            repoint_parent(db, parent, oold, onew, retry, settle)?;
             processed.insert(parent);
         }
         db.drain_analyzer();
@@ -102,15 +126,27 @@ pub fn migrate_two_lock(
         // Per-parent transaction, exactly as above; the tuple is deleted
         // after its parent is locked (Figure 4's ordering).
         if tuple.parent != oold && tuple.parent != onew {
-            repoint_parent(db, tuple.parent, oold, onew, config)?;
+            repoint_parent(db, tuple.parent, oold, onew, retry, settle)?;
         }
         trt.remove_tuple(&tuple);
     }
 
-    // Bookkeeping identical to the basic variant.
-    for &child in &image.refs {
-        if child.partition() == partition && child != oold && !mapping.contains_key(&child) {
-            state.replace_parent(child, oold, onew);
+    // Bookkeeping identical to the basic variant: atomic with the child's
+    // migration slot, colliding when another worker took the child since
+    // the resolution above.
+    for (i, &child) in image.refs.iter().enumerate() {
+        if new_refs[i] != child {
+            continue; // healed: the child is migrated, no bookkeeping left
+        }
+        if child.partition() == partition && child != oold {
+            match mapping.resolve_child(child, owner, || {
+                state.replace_parent(child, oold, onew);
+            })? {
+                ChildFate::Repointed => {}
+                ChildFate::Healed(_) => {
+                    return Err(StoreError::ReorgCollision { addr: child });
+                }
+            }
         }
     }
     if db.is_root(oold) {
@@ -119,9 +155,10 @@ pub fn migrate_two_lock(
     db.wal
         .append(guard.id(), LogPayload::Migrate { old: oold, new: onew });
     guard.delete_object(oold)?;
+    mapping.stage(oold, onew, owner);
     guard.commit()?;
 
-    mapping.insert(oold, onew);
+    mapping.commit(oold);
     db.stats.migrations.fetch_add(1, Ordering::Relaxed);
     Ok(onew)
 }
@@ -129,7 +166,7 @@ pub fn migrate_two_lock(
 /// Lock one parent in its own transaction, rewrite its references to
 /// `oold`, commit (releasing it). Retryable conflicts — lock timeouts,
 /// upgrade conflicts, injected transient faults, including at commit —
-/// retry locally under `config.retry`, so a deadlock against a walker (who
+/// retry locally under `retry`, so a deadlock against a walker (who
 /// may be waiting on the guarded `oold`) resolves without abandoning the
 /// migration.
 fn repoint_parent(
@@ -137,12 +174,13 @@ fn repoint_parent(
     parent: PhysAddr,
     oold: PhysAddr,
     onew: PhysAddr,
-    config: &IraConfig,
+    retry: &RetryPolicy,
+    settle: &RetryPolicy,
 ) -> Result<()> {
-    let mut backoff = config.retry.start();
+    let mut backoff = retry.start();
     loop {
         let mut txn = db.begin_reorg(oold.partition());
-        let outcome = lock_and_settle_with(db, &mut txn, parent, &config.settle)
+        let outcome = lock_and_settle_with(db, &mut txn, parent, settle)
             .and_then(|()| {
                 if let Ok(refs) = txn.read_refs(parent) {
                     for (i, r) in refs.iter().enumerate() {
@@ -170,6 +208,7 @@ fn repoint_parent(
 mod tests {
     use super::*;
     use crate::approx::find_objects_and_approx_parents;
+    use crate::relaxed::SETTLE_POLICY;
     use brahma::{PartitionId, StoreConfig};
 
     fn mk(db: &Database, p: PartitionId, refs: Vec<PhysAddr>) -> PhysAddr {
@@ -190,6 +229,27 @@ mod tests {
         a
     }
 
+    fn migrate(
+        db: &Database,
+        o: PhysAddr,
+        state: &TraversalState,
+        mapping: &MigrationMap,
+    ) -> PhysAddr {
+        assert!(mapping.claim(o, 0));
+        migrate_two_lock(
+            db,
+            o,
+            RelocationPlan::CompactInPlace,
+            None,
+            state,
+            mapping,
+            0,
+            &RetryPolicy::default(),
+            &SETTLE_POLICY,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn migrates_and_repoints_with_at_most_two_reorg_locks() {
         let db = Database::new(StoreConfig::default());
@@ -200,23 +260,15 @@ mod tests {
         let e2 = mk(&db, p0, vec![o]);
 
         db.start_reorg(p1).unwrap();
-        let mut state = find_objects_and_approx_parents(&db, p1);
-        let mut mapping = HashMap::new();
-        let onew = migrate_two_lock(
-            &db,
-            o,
-            RelocationPlan::CompactInPlace,
-            &mut state,
-            &mut mapping,
-            &IraConfig::default(),
-        )
-        .unwrap();
+        let state = find_objects_and_approx_parents(&db, p1);
+        let mapping = MigrationMap::new();
+        let onew = migrate(&db, o, &state, &mapping);
         db.end_reorg(p1);
 
         assert_eq!(db.raw_read(e1).unwrap().refs, vec![onew]);
         assert_eq!(db.raw_read(e2).unwrap().refs, vec![onew]);
         assert!(db.raw_read(o).is_err());
-        assert_eq!(mapping.get(&o), Some(&onew));
+        assert_eq!(mapping.committed(o), Some(onew));
         brahma::sweep::assert_database_consistent(&db);
     }
 
@@ -230,7 +282,7 @@ mod tests {
         let late = mk(&db, p0, vec![]);
 
         db.start_reorg(p1).unwrap();
-        let mut state = find_objects_and_approx_parents(&db, p1);
+        let state = find_objects_and_approx_parents(&db, p1);
         // Simulate a transaction inserting a new reference to o after the
         // traversal but before migration (it will be in the TRT).
         let mut t = db.begin();
@@ -238,16 +290,8 @@ mod tests {
         t.insert_ref(late, o).unwrap();
         t.commit().unwrap();
 
-        let mut mapping = HashMap::new();
-        let onew = migrate_two_lock(
-            &db,
-            o,
-            RelocationPlan::CompactInPlace,
-            &mut state,
-            &mut mapping,
-            &IraConfig::default(),
-        )
-        .unwrap();
+        let mapping = MigrationMap::new();
+        let onew = migrate(&db, o, &state, &mapping);
         db.end_reorg(p1);
         assert_eq!(db.raw_read(late).unwrap().refs, vec![onew]);
         assert_eq!(db.raw_read(e1).unwrap().refs, vec![onew]);

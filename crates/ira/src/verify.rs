@@ -3,7 +3,42 @@
 
 use crate::driver::IraReport;
 use brahma::sweep;
-use brahma::Database;
+use brahma::{Database, PhysAddr};
+use std::collections::HashMap;
+
+/// Canonical fingerprint of the live graph reachable from `anchors`:
+/// a deterministic DFS assigns visit numbers, then each object is described
+/// by tag, payload, and the visit numbers of its edge list. Two databases
+/// yield equal fingerprints exactly when their live graphs are isomorphic
+/// under relocation — the property every reorganization must preserve, and
+/// how the tests compare a parallel run against a serial one.
+pub fn logical_fingerprint(db: &Database, anchors: &[PhysAddr]) -> Vec<String> {
+    let mut ids: HashMap<PhysAddr, usize> = HashMap::new();
+    let mut stack: Vec<PhysAddr> = anchors.to_vec();
+    while let Some(a) = stack.pop() {
+        if ids.contains_key(&a) {
+            continue;
+        }
+        ids.insert(a, ids.len());
+        let v = db.raw_read(a).expect("live object readable");
+        for &c in v.refs.iter().rev() {
+            stack.push(c);
+        }
+    }
+    // Second pass: stable description per object in visit order.
+    let mut by_id: Vec<(usize, PhysAddr)> = ids.iter().map(|(&a, &i)| (i, a)).collect();
+    by_id.sort_unstable();
+    let mut out = Vec::new();
+    for (_, a) in by_id {
+        let v = db.raw_read(a).unwrap();
+        let edge_ids: Vec<usize> = v.refs.iter().map(|c| ids[c]).collect();
+        out.push(format!(
+            "tag={} payload={:?} edges={:?}",
+            v.tag, v.payload, edge_ids
+        ));
+    }
+    out
+}
 
 /// Check a completed reorganization against the database:
 /// every old address must be dead, every new address live, and the global

@@ -34,6 +34,9 @@ fn crash_point_sweep_over_every_site() {
                 site,
                 nth_hit: stride,
                 seed: 0xC4A05 ^ ((i as u64) << 8) ^ stride,
+                // The quick sweep runs entirely on the parallel executor;
+                // the full matrix alternates serial and parallel cells.
+                workers: if quick { 2 } else { 1 + (i % 2) },
             };
             // run_crash_cell panics on any invariant violation; reaching
             // here means the cell verified.

@@ -8,9 +8,9 @@
 //! invariants hold.
 
 use brahma::{Database, NewObject, PhysAddr, StoreConfig};
-use ira::{incremental_reorganize, IraConfig, IraVariant, RelocationPlan};
+use ira::verify::logical_fingerprint;
+use ira::{IraVariant, RelocationPlan, Reorg};
 use proptest::prelude::*;
-use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 struct GraphSpec {
@@ -45,34 +45,6 @@ fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
                 batch,
             })
     })
-}
-
-/// Canonical fingerprint of the live graph reachable from the anchors:
-/// parallel DFS comparing payloads and edge lists structurally.
-fn fingerprint(db: &Database, anchors: &[PhysAddr]) -> Vec<String> {
-    // Deterministic DFS assigning visit numbers.
-    let mut ids: HashMap<PhysAddr, usize> = HashMap::new();
-    let mut out = Vec::new();
-    let mut stack: Vec<PhysAddr> = anchors.to_vec();
-    while let Some(a) = stack.pop() {
-        if ids.contains_key(&a) {
-            continue;
-        }
-        ids.insert(a, ids.len());
-        let v = db.raw_read(a).expect("live object readable");
-        for &c in v.refs.iter().rev() {
-            stack.push(c);
-        }
-    }
-    // Second pass: stable description per object in id order.
-    let mut by_id: Vec<(usize, PhysAddr)> = ids.iter().map(|(&a, &i)| (i, a)).collect();
-    by_id.sort_unstable();
-    for (_, a) in by_id {
-        let v = db.raw_read(a).unwrap();
-        let edge_ids: Vec<usize> = v.refs.iter().map(|c| ids[c]).collect();
-        out.push(format!("tag={} payload={:?} edges={:?}", v.tag, v.payload, edge_ids));
-    }
-    out
 }
 
 proptest! {
@@ -115,35 +87,35 @@ proptest! {
             .collect();
         txn.commit().unwrap();
 
-        let before = fingerprint(&db, &anchors);
+        let before = logical_fingerprint(&db, &anchors);
 
         let plan = if spec.evacuate {
             RelocationPlan::EvacuateTo(target)
         } else {
             RelocationPlan::CompactInPlace
         };
-        let config = IraConfig {
-            variant: if spec.two_lock { IraVariant::TwoLock } else { IraVariant::Basic },
-            batch_size: spec.batch,
-            ..IraConfig::default()
-        };
-        let report = incremental_reorganize(&db, p1, plan, &config).unwrap();
+        let outcome = Reorg::on(&db, p1)
+            .plan(plan)
+            .variant(if spec.two_lock { IraVariant::TwoLock } else { IraVariant::Basic })
+            .batch(spec.batch)
+            .run()
+            .unwrap();
 
         // The live graph is unchanged up to relocation.
-        let after = fingerprint(&db, &anchors);
+        let after = logical_fingerprint(&db, &anchors);
         prop_assert_eq!(before, after);
 
         // Everything live moved; everything unreachable was collected.
         prop_assert_eq!(
             db.partition(p1).unwrap().object_count(),
-            if spec.evacuate { 0 } else { report.migrated() }
+            if spec.evacuate { 0 } else { outcome.migrated() }
         );
-        for (old, new) in &report.mapping {
+        for (old, new) in &outcome.mapping {
             prop_assert!(db.raw_read(*new).is_ok(), "new copy {} live", new);
             prop_assert!(!db.partition(old.partition()).unwrap().contains_object(*old)
-                || report.mapping.values().any(|v| v == old),
+                || outcome.mapping.values().any(|v| v == old),
                 "old address {} reclaimed or reused by a new copy", old);
         }
-        ira::verify::assert_reorganization_clean(&db, &report);
+        ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
     }
 }

@@ -1,0 +1,192 @@
+//! Parallel wave executor tests: the N-worker executor must produce a
+//! database isomorphic to the serial one, report its wave/worker counts
+//! faithfully, and crash/resume correctly mid-wave.
+//!
+//! `PAR_QUICK=1` shrinks the matrix (the ci.sh smoke configuration).
+
+use brahma::{recover, Database, NewObject, PartitionId, PhysAddr, StoreConfig};
+use ira::verify::logical_fingerprint;
+use ira::{IraCheckpoint, IraError, Reorg};
+
+fn quick() -> bool {
+    std::env::var_os("PAR_QUICK").is_some()
+}
+
+/// A deterministic forest of anchored chains in `p1`: each chain is one
+/// conflict component (its objects share parents only within the chain),
+/// so the wave scheduler has real parallelism to exploit. One garbage
+/// object rides along for the collection phase.
+struct Forest {
+    p1: PartitionId,
+    anchors: Vec<PhysAddr>,
+    live: usize,
+}
+
+fn build_forest(db: &Database, chains: usize, chain_len: usize) -> Forest {
+    let p0 = db.create_partition();
+    let p1 = db.create_partition();
+    let mut anchors = Vec::new();
+    for c in 0..chains {
+        let mut prev: Option<PhysAddr> = None;
+        let mut mid: Option<PhysAddr> = None;
+        for i in 0..chain_len {
+            let mut t = db.begin();
+            let refs = prev.map(|p| vec![p]).unwrap_or_default();
+            let a = t
+                .create_object(
+                    p1,
+                    NewObject {
+                        tag: (c % 250) as u8,
+                        refs,
+                        ref_cap: 4,
+                        payload: vec![c as u8, i as u8, (c * 31 + i) as u8],
+                        payload_cap: 8,
+                    },
+                )
+                .expect("forest build");
+            t.commit().expect("forest build");
+            if i == chain_len / 2 {
+                mid = Some(a);
+            }
+            prev = Some(a);
+        }
+        // Anchor sees the head and the middle of its chain: two entry
+        // points per component, one diamond per chain.
+        let mut t = db.begin();
+        let anchor = t
+            .create_object(
+                p0,
+                NewObject {
+                    tag: 200,
+                    refs: vec![prev.unwrap(), mid.unwrap()],
+                    ref_cap: 4,
+                    payload: vec![c as u8],
+                    payload_cap: 8,
+                },
+            )
+            .expect("forest build");
+        t.commit().expect("forest build");
+        anchors.push(anchor);
+    }
+    let mut t = db.begin();
+    t.create_object(p1, NewObject::exact(9, vec![], b"junk".to_vec()))
+        .expect("forest build");
+    t.commit().expect("forest build");
+    Forest {
+        p1,
+        anchors,
+        live: chains * chain_len,
+    }
+}
+
+/// The defining property of the parallel executor: for any worker count,
+/// the post-reorganization live graph is isomorphic to the serial result
+/// (and to the original), and every live object migrated exactly once.
+#[test]
+fn parallel_run_is_isomorphic_to_serial() {
+    let chains = if quick() { 4 } else { 8 };
+    let chain_len = if quick() { 6 } else { 12 };
+    let worker_counts: &[usize] = if quick() { &[2] } else { &[2, 4] };
+
+    let serial_db = Database::new(StoreConfig::default());
+    let serial = build_forest(&serial_db, chains, chain_len);
+    let reference = logical_fingerprint(&serial_db, &serial.anchors);
+    let outcome = Reorg::on(&serial_db, serial.p1).run().unwrap();
+    assert_eq!(outcome.migrated(), serial.live);
+    assert_eq!(
+        logical_fingerprint(&serial_db, &serial.anchors),
+        reference,
+        "serial reorganization must preserve the graph"
+    );
+
+    for &workers in worker_counts {
+        let db = Database::new(StoreConfig::default());
+        let forest = build_forest(&db, chains, chain_len);
+        let outcome = Reorg::on(&db, forest.p1)
+            .workers(workers)
+            .batch(2)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.migrated(), forest.live, "workers={workers}");
+        let report = outcome.ira.as_ref().unwrap();
+        assert_eq!(report.workers, workers);
+        assert!(report.waves >= 1, "workers={workers}: no waves recorded");
+        assert_eq!(
+            logical_fingerprint(&db, &forest.anchors),
+            reference,
+            "workers={workers}: parallel result must be isomorphic to serial"
+        );
+        ira::verify::assert_reorganization_clean(&db, report);
+        brahma::sweep::assert_database_consistent(&db);
+    }
+}
+
+/// `.workers(0)` clamps to one worker and takes the serial path; the
+/// report says so.
+#[test]
+fn zero_workers_clamps_to_serial() {
+    let db = Database::new(StoreConfig::default());
+    let forest = build_forest(&db, 2, 3);
+    let outcome = Reorg::on(&db, forest.p1).workers(0).run().unwrap();
+    assert_eq!(outcome.migrated(), forest.live);
+    assert_eq!(outcome.ira.as_ref().unwrap().workers, 1);
+}
+
+/// Deterministic mid-wave crash with two workers: the durable checkpoint
+/// must resume — still on the parallel executor — to a graph isomorphic
+/// to the original.
+#[test]
+fn crash_mid_wave_resumes_with_parallel_executor() {
+    let chains = if quick() { 3 } else { 6 };
+    let chain_len = if quick() { 4 } else { 8 };
+    let db = Database::new(StoreConfig::default());
+    let forest = build_forest(&db, chains, chain_len);
+    let reference = logical_fingerprint(&db, &forest.anchors);
+    let store_ckpt = db.checkpoint(0xAF_u64);
+
+    let err = Reorg::on(&db, forest.p1)
+        .workers(2)
+        .batch(2)
+        .crash_after_migrations(chains * chain_len / 2)
+        .run()
+        .unwrap_err();
+    let ckpt = match err {
+        IraError::SimulatedCrash(c) => c,
+        other => panic!("expected a simulated crash, got {other}"),
+    };
+    assert!(
+        !ckpt.mapping.is_empty() && ckpt.mapping.len() < forest.live,
+        "the crash must land mid-run ({} of {} migrated)",
+        ckpt.mapping.len(),
+        forest.live
+    );
+
+    let image = db.crash(store_ckpt, true);
+    let blob = image
+        .reorg_checkpoints
+        .iter()
+        .find(|(p, _)| *p == forest.p1)
+        .map(|(_, b)| b.clone())
+        .expect("crash image carries the durable reorg checkpoint");
+    let pre_crash_log = image.log.clone();
+    drop(db);
+
+    let out = recover(image, StoreConfig::default()).expect("recovery");
+    assert_eq!(out.interrupted_reorgs, vec![forest.p1]);
+    let recovered = IraCheckpoint::decode(&blob).expect("checkpoint decode");
+    let db = out.db;
+
+    let outcome = Reorg::on(&db, forest.p1)
+        .workers(2)
+        .resume_from(recovered, &pre_crash_log)
+        .run()
+        .expect("resume after mid-wave crash");
+    assert_eq!(outcome.migrated(), forest.live);
+    assert_eq!(
+        logical_fingerprint(&db, &forest.anchors),
+        reference,
+        "resumed parallel run must reproduce the original graph"
+    );
+    ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
+    brahma::sweep::assert_database_consistent(&db);
+}

@@ -160,18 +160,14 @@ mod tests {
         let handle = start_workload(Arc::clone(&db), Arc::clone(&info), &params);
 
         // Reorganize a data partition while the walkers hammer it.
-        let report = ira::incremental_reorganize(
-            &db,
-            info.data_partitions[0],
-            ira::RelocationPlan::CompactInPlace,
-            &ira::IraConfig::default(),
-        )
-        .expect("IRA completes under load");
-        assert_eq!(report.migrated(), 170);
+        let outcome = ira::Reorg::on(&db, info.data_partitions[0])
+            .run()
+            .expect("IRA completes under load");
+        assert_eq!(outcome.migrated(), 170);
 
         let metrics = handle.stop_and_join();
         assert!(metrics.summarize().committed > 0);
         brahma::sweep::assert_database_consistent(&db);
-        ira::verify::assert_reorganization_clean(&db, &report);
+        ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
     }
 }

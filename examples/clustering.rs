@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release --example clustering`
 
 use brahma::{Database, NewObject, PartitionId, PhysAddr, StoreConfig};
-use ira::{incremental_reorganize, IraConfig, RelocationPlan};
+use ira::{RelocationPlan, Reorg};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -90,23 +90,20 @@ fn main() {
 
     // Evacuate to p2: IRA migrates in traversal order, which follows each
     // chain, so consecutive chain objects are allocated adjacently.
-    let report = incremental_reorganize(
-        &db,
-        p1,
-        RelocationPlan::EvacuateTo(p2),
-        &IraConfig::default(),
-    )
-    .unwrap();
+    let outcome = Reorg::on(&db, p1)
+        .plan(RelocationPlan::EvacuateTo(p2))
+        .run()
+        .unwrap();
     let after = locality(&db, p2);
     println!(
         "locality after clustering:  {:.1}% ({} objects moved to {p2})",
         after * 100.0,
-        report.migrated()
+        outcome.migrated()
     );
     assert!(
         after > before,
         "clustering must improve locality ({before:.3} -> {after:.3})"
     );
-    ira::verify::assert_reorganization_clean(&db, &report);
+    ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
     println!("verification passed.");
 }

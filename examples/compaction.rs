@@ -14,7 +14,7 @@
 //! Run with: `cargo run --release --example compaction`
 
 use brahma::{Database, LockMode, NewObject, StoreConfig};
-use ira::{incremental_reorganize, IraConfig, RelocationPlan};
+use ira::Reorg;
 use std::sync::Arc;
 use workload::{build_graph, start_workload, WorkloadParams};
 
@@ -66,15 +66,14 @@ fn main() {
         before.live_objects, before.pages, before.free_extents, before.free_extent_bytes
     );
 
-    // Compact on-line: the workload keeps running the whole time.
+    // Compact on-line: the workload keeps running the whole time, and four
+    // migrator workers drain conflict-disjoint waves of the queue.
     let handle = start_workload(Arc::clone(&db), Arc::clone(&info), &params);
-    let report = incremental_reorganize(
-        &db,
-        target,
-        RelocationPlan::CompactInPlace,
-        &IraConfig::default(),
-    )
-    .expect("compaction completes under load");
+    let outcome = Reorg::on(&db, target)
+        .workers(4)
+        .batch(8)
+        .run()
+        .expect("compaction completes under load");
     let metrics = handle.stop_and_join().summarize();
 
     let after = db.partition(target).unwrap().space_stats();
@@ -82,11 +81,14 @@ fn main() {
         "after compaction:  {} live objects, {} pages, {} free extents ({} free bytes)",
         after.live_objects, after.pages, after.free_extents, after.free_extent_bytes
     );
+    let report = outcome.ira.as_ref().unwrap();
     println!(
-        "  {} objects migrated in {:.2?}; workload committed {} transactions meanwhile \
-         (avg response {:.1} ms)",
-        report.migrated(),
-        report.duration,
+        "  {} objects migrated in {:.2?} across {} waves by {} workers; \
+         workload committed {} transactions meanwhile (avg response {:.1} ms)",
+        outcome.migrated(),
+        outcome.duration,
+        report.waves,
+        report.workers,
         metrics.committed,
         metrics.avg_ms
     );
@@ -97,6 +99,6 @@ fn main() {
         before.free_extents,
         after.free_extents
     );
-    ira::verify::assert_reorganization_clean(&db, &report);
+    ira::verify::assert_reorganization_clean(&db, report);
     println!("verification passed.");
 }

@@ -10,10 +10,7 @@
 //! Run with: `cargo run --example crash_recovery`
 
 use brahma::{recover, Database, NewObject, StoreConfig};
-use ira::{
-    incremental_reorganize, resume_reorganization, IraCheckpoint, IraConfig, IraError,
-    RelocationPlan,
-};
+use ira::{IraCheckpoint, IraError, Reorg};
 
 fn main() {
     let db = Database::new(StoreConfig::default());
@@ -40,11 +37,9 @@ fn main() {
     let store_ckpt = db.checkpoint(1);
 
     // Run IRA with fault injection: "crash" after 12 migrations.
-    let config = IraConfig {
-        crash_after_migrations: Some(12),
-        ..IraConfig::default()
-    };
-    let err = incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config)
+    let err = Reorg::on(&db, p1)
+        .crash_after_migrations(12)
+        .run()
         .expect_err("fault injection fires");
     let IraError::SimulatedCrash(ira_ckpt) = err else {
         panic!("expected a simulated crash");
@@ -85,14 +80,15 @@ fn main() {
     // Resume: the TRT is rebuilt from the log, traversal state comes from
     // the decoded reorganizer checkpoint, and the remaining objects
     // migrate.
-    let report =
-        resume_reorganization(&db, recovered_ckpt, &pre_crash_log, &IraConfig::default())
-            .expect("resume completes");
+    let outcome = Reorg::on(&db, p1)
+        .resume_from(recovered_ckpt, &pre_crash_log)
+        .run()
+        .expect("resume completes");
     println!(
         "resume migrated the remaining objects; total mapping now covers {} objects",
-        report.migrated()
+        outcome.migrated()
     );
-    assert_eq!(report.migrated(), 30);
+    assert_eq!(outcome.migrated(), 30);
 
     // The whole chain is reachable and intact.
     let mut cur = db.raw_read(anchor).unwrap().refs[0];
@@ -106,6 +102,6 @@ fn main() {
         }
     }
     assert_eq!(count, 30);
-    ira::verify::assert_reorganization_clean(&db, &report);
+    ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
     println!("verification passed: chain of 30 intact after crash + resume.");
 }

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use brahma::{Database, LockMode, NewObject, StoreConfig};
-use ira::{incremental_reorganize, IraConfig, RelocationPlan};
+use ira::Reorg;
 
 fn main() {
     // A database with two partitions: external parents live in p0, the
@@ -39,13 +39,12 @@ fn main() {
 
     // Reorganize p1 on-line: every live object moves; parents (wherever
     // they are) get their references rewritten; at most the parents of one
-    // object are locked at a time.
-    let report =
-        incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &IraConfig::default())
-            .unwrap();
+    // object are locked at a time. `Reorg::on` defaults to incremental
+    // (basic IRA), compacting in place, one worker.
+    let outcome = Reorg::on(&db, p1).run().unwrap();
 
-    println!("\nafter IRA ({} objects migrated):", report.migrated());
-    for (old, new) in &report.mapping {
+    println!("\nafter IRA ({} objects migrated):", outcome.migrated());
+    for (old, new) in &outcome.mapping {
         println!("  {old} -> {new}");
     }
 
@@ -55,9 +54,9 @@ fn main() {
     let refs = txn.read_refs(parent).unwrap();
     txn.commit().unwrap();
     println!("  parent now references {}", refs[0]);
-    assert_eq!(refs[0], report.mapping[&mid]);
+    assert_eq!(refs[0], outcome.mapping[&mid]);
 
     // Full verification: no dangling references anywhere, ERTs exact.
-    ira::verify::assert_reorganization_clean(&db, &report);
+    ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
     println!("\nverification passed: no dangling references, ERTs exact.");
 }

@@ -11,7 +11,7 @@
 //! Run with: `cargo run --example schema_evolution`
 
 use brahma::{Database, Error, LockMode, NewObject, ObjectView, StoreConfig};
-use ira::{incremental_reorganize, IraConfig, RelocationPlan};
+use ira::Reorg;
 
 /// Schema v2: payload gains a 32-byte field, tag bumps to 2.
 fn evolve(mut view: ObjectView) -> ObjectView {
@@ -58,16 +58,11 @@ fn main() {
 
     // Evolve the whole partition on-line: IRA migrates every object and the
     // transform rewrites it to schema v2 as it moves.
-    let config = IraConfig {
-        transform: Some(evolve),
-        ..IraConfig::default()
-    };
-    let report =
-        incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config).unwrap();
+    let outcome = Reorg::on(&db, p1).transform(evolve).run().unwrap();
     println!(
         "schema evolution migrated {} objects in {:.2?}",
-        report.migrated(),
-        report.duration
+        outcome.migrated(),
+        outcome.duration
     );
 
     // Every object now carries the v2 tag, the extra field, and room to
@@ -94,6 +89,6 @@ fn main() {
     txn.set_payload(first, &[1u8; 60]).unwrap();
     txn.commit().unwrap();
 
-    ira::verify::assert_reorganization_clean(&db, &report);
+    ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
     println!("verification passed: all 50 objects evolved to schema v2.");
 }

@@ -3,10 +3,7 @@
 //! quiescent points.
 
 use brahma::{Database, StoreConfig};
-use ira::{
-    incremental_reorganize, offline_reorganize, partition_quiesce_reorganize, IraConfig,
-    IraVariant, RelocationPlan,
-};
+use ira::{IraVariant, RelocationPlan, Reorg, Strategy};
 use std::sync::Arc;
 use std::time::Duration;
 use workload::{build_graph, start_workload, WorkloadParams};
@@ -39,36 +36,34 @@ fn run_under_load(
 #[test]
 fn ira_basic_under_churning_load() {
     run_under_load(StoreConfig::default(), small_params(), |db, p| {
-        let report =
-            incremental_reorganize(db, p, RelocationPlan::CompactInPlace, &IraConfig::default())
-                .unwrap();
-        assert_eq!(report.migrated(), 170);
+        let outcome = Reorg::on(db, p).run().unwrap();
+        assert_eq!(outcome.migrated(), 170);
     });
 }
 
 #[test]
 fn ira_two_lock_under_churning_load() {
-    let config = IraConfig {
-        variant: IraVariant::TwoLock,
-        ..IraConfig::default()
-    };
     run_under_load(StoreConfig::default(), small_params(), |db, p| {
-        let report =
-            incremental_reorganize(db, p, RelocationPlan::CompactInPlace, &config).unwrap();
-        assert_eq!(report.migrated(), 170);
+        let outcome = Reorg::on(db, p).variant(IraVariant::TwoLock).run().unwrap();
+        assert_eq!(outcome.migrated(), 170);
     });
 }
 
 #[test]
 fn ira_batched_under_churning_load() {
-    let config = IraConfig {
-        batch_size: 16,
-        ..IraConfig::default()
-    };
     run_under_load(StoreConfig::default(), small_params(), |db, p| {
-        let report =
-            incremental_reorganize(db, p, RelocationPlan::CompactInPlace, &config).unwrap();
-        assert_eq!(report.migrated(), 170);
+        let outcome = Reorg::on(db, p).batch(16).run().unwrap();
+        assert_eq!(outcome.migrated(), 170);
+    });
+}
+
+#[test]
+fn ira_parallel_under_churning_load() {
+    run_under_load(StoreConfig::default(), small_params(), |db, p| {
+        let outcome = Reorg::on(db, p).workers(4).batch(4).run().unwrap();
+        assert_eq!(outcome.migrated(), 170);
+        let report = outcome.ira.unwrap();
+        assert_eq!(report.workers, 4);
     });
 }
 
@@ -79,10 +74,8 @@ fn ira_with_relaxed_2pl_workload() {
         ..StoreConfig::default()
     };
     run_under_load(store, small_params(), |db, p| {
-        let report =
-            incremental_reorganize(db, p, RelocationPlan::CompactInPlace, &IraConfig::default())
-                .unwrap();
-        assert_eq!(report.migrated(), 170);
+        let outcome = Reorg::on(db, p).run().unwrap();
+        assert_eq!(outcome.migrated(), 170);
     });
 }
 
@@ -93,10 +86,8 @@ fn ira_with_log_analyzer_maintenance() {
         ..StoreConfig::default()
     };
     run_under_load(store, small_params(), |db, p| {
-        let report =
-            incremental_reorganize(db, p, RelocationPlan::CompactInPlace, &IraConfig::default())
-                .unwrap();
-        assert_eq!(report.migrated(), 170);
+        let outcome = Reorg::on(db, p).run().unwrap();
+        assert_eq!(outcome.migrated(), 170);
     });
 }
 
@@ -107,15 +98,12 @@ fn ira_evacuation_under_load() {
     let info = Arc::new(build_graph(&db, &params).unwrap());
     let target = db.create_partition();
     let handle = start_workload(Arc::clone(&db), Arc::clone(&info), &params);
-    let report = incremental_reorganize(
-        &db,
-        info.data_partitions[1],
-        RelocationPlan::EvacuateTo(target),
-        &IraConfig::default(),
-    )
-    .unwrap();
+    let outcome = Reorg::on(&db, info.data_partitions[1])
+        .plan(RelocationPlan::EvacuateTo(target))
+        .run()
+        .unwrap();
     handle.stop_and_join();
-    assert_eq!(report.migrated(), 170);
+    assert_eq!(outcome.migrated(), 170);
     assert_eq!(db.partition(info.data_partitions[1]).unwrap().object_count(), 0);
     assert_eq!(db.partition(target).unwrap().object_count(), 170);
     brahma::sweep::assert_database_consistent(&db);
@@ -124,8 +112,11 @@ fn ira_evacuation_under_load() {
 #[test]
 fn pqr_under_churning_load() {
     run_under_load(StoreConfig::default(), small_params(), |db, p| {
-        let report = partition_quiesce_reorganize(db, p, RelocationPlan::CompactInPlace).unwrap();
-        assert_eq!(report.mapping.len(), 170);
+        let outcome = Reorg::on(db, p)
+            .strategy(Strategy::PartitionQuiesce)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.mapping.len(), 170);
     });
 }
 
@@ -138,10 +129,8 @@ fn successive_reorganizations_of_all_partitions() {
     let info = Arc::new(build_graph(&db, &params).unwrap());
     let handle = start_workload(Arc::clone(&db), Arc::clone(&info), &params);
     for &p in &info.data_partitions {
-        let report =
-            incremental_reorganize(&db, p, RelocationPlan::CompactInPlace, &IraConfig::default())
-                .unwrap();
-        assert_eq!(report.migrated(), 170, "partition {p}");
+        let outcome = Reorg::on(&db, p).run().unwrap();
+        assert_eq!(outcome.migrated(), 170, "partition {p}");
     }
     handle.stop_and_join();
     brahma::sweep::assert_database_consistent(&db);
@@ -167,9 +156,11 @@ fn reorganizing_the_root_partition_offline() {
     };
     let info = build_graph(&db, &params).unwrap();
     let before_roots = db.roots();
-    let mapping = offline_reorganize(&db, info.root_partition, RelocationPlan::CompactInPlace)
+    let outcome = Reorg::on(&db, info.root_partition)
+        .strategy(Strategy::Offline)
+        .run()
         .unwrap();
-    assert_eq!(mapping.len(), before_roots.len());
+    assert_eq!(outcome.mapping.len(), before_roots.len());
     for r in db.roots() {
         assert!(db.raw_read(r).is_ok(), "root {r} must be live");
     }
@@ -215,21 +206,13 @@ fn trt_pointer_delete_hazard_figure_2() {
     // IRA runs concurrently (in this thread, with T's locks outstanding it
     // would block; so run it from another thread and abort T under it).
     let db2 = Arc::clone(&db);
-    let reorg = std::thread::spawn(move || {
-        incremental_reorganize(
-            &db2,
-            p1,
-            RelocationPlan::CompactInPlace,
-            &IraConfig::default(),
-        )
-        .unwrap()
-    });
+    let reorg = std::thread::spawn(move || Reorg::on(&db2, p1).run().unwrap());
     std::thread::sleep(Duration::from_millis(100));
     // T aborts: the reference to O reappears.
     t_handle.abort();
-    let report = reorg.join().unwrap();
-    assert_eq!(report.migrated(), 1);
-    let new_o = report.mapping[&o];
+    let outcome = reorg.join().unwrap();
+    assert_eq!(outcome.migrated(), 1);
+    let new_o = outcome.mapping[&o];
     assert_eq!(
         db.raw_read(o1).unwrap().refs,
         vec![new_o],
@@ -278,15 +261,9 @@ fn external_parent_grouping_reduces_lock_acquisitions() {
                 .unwrap();
         }
         txn.commit().unwrap();
-        let config = IraConfig {
-            batch_size: 8,
-            order,
-            ..IraConfig::default()
-        };
-        let report =
-            incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config).unwrap();
+        let outcome = Reorg::on(&db, p1).batch(8).order(order).run().unwrap();
         brahma::sweep::assert_database_consistent(&db);
-        report.external_parent_locks
+        outcome.ira.unwrap().external_parent_locks
     };
     let traversal = build(ira::MigrationOrder::Traversal);
     let grouped = build(ira::MigrationOrder::GroupByExternalParent);
@@ -310,21 +287,11 @@ fn concurrent_reorganizations_of_two_partitions() {
     let threads: Vec<_> = dbs
         .into_iter()
         .zip(parts)
-        .map(|(db, p)| {
-            std::thread::spawn(move || {
-                incremental_reorganize(
-                    &db,
-                    p,
-                    RelocationPlan::CompactInPlace,
-                    &IraConfig::default(),
-                )
-                .unwrap()
-            })
-        })
+        .map(|(db, p)| std::thread::spawn(move || Reorg::on(&db, p).run().unwrap()))
         .collect();
     for t in threads {
-        let report = t.join().unwrap();
-        assert_eq!(report.migrated(), 170);
+        let outcome = t.join().unwrap();
+        assert_eq!(outcome.migrated(), 170);
     }
     handle.stop_and_join();
     brahma::sweep::assert_database_consistent(&db);

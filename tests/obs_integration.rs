@@ -10,10 +10,7 @@ use brahma::{
     fault::site, Database, FaultAction, FaultPlan, FaultRule, LockMode, NewObject, PartitionId,
     PhysAddr, StoreConfig,
 };
-use ira::{
-    incremental_reorganize, partition_quiesce_reorganize, IraConfig, RelocationPlan,
-    ThrottleConfig,
-};
+use ira::{Reorg, Strategy, ThrottleConfig};
 use obs::Snapshot;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -80,10 +77,13 @@ fn pqr_locks_at_least_the_erts_distinct_parents() {
     assert!(!distinct_parents.is_empty(), "graph has external parents");
 
     let handle = start_workload(Arc::clone(&db), Arc::clone(&info), &params);
-    let report =
-        partition_quiesce_reorganize(&db, target, RelocationPlan::CompactInPlace).unwrap();
+    let outcome = Reorg::on(&db, target)
+        .strategy(Strategy::PartitionQuiesce)
+        .run()
+        .unwrap();
     handle.stop_and_join();
 
+    let report = outcome.pqr.unwrap();
     assert!(
         report.quiesce_locks >= distinct_parents.len(),
         "PQR held {} quiesce locks but the ERT had {} distinct parents",
@@ -95,16 +95,16 @@ fn pqr_locks_at_least_the_erts_distinct_parents() {
 #[test]
 fn ira_keeps_fewer_threads_blocked_than_pqr() {
     let (ira_diff, ira_window_us) = counters_under_load(|db, p| {
-        let report =
-            incremental_reorganize(db, p, RelocationPlan::CompactInPlace, &IraConfig::default())
-                .unwrap();
-        assert_eq!(report.migrated(), 170);
+        let outcome = Reorg::on(db, p).run().unwrap();
+        assert_eq!(outcome.migrated(), 170);
     });
     let (pqr_diff, pqr_window_us) = counters_under_load(|db, p| {
-        let report =
-            partition_quiesce_reorganize(db, p, RelocationPlan::CompactInPlace).unwrap();
-        assert_eq!(report.mapping.len(), 170);
-        assert!(report.quiesce_locks > 0);
+        let outcome = Reorg::on(db, p)
+            .strategy(Strategy::PartitionQuiesce)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.mapping.len(), 170);
+        assert!(outcome.pqr.unwrap().quiesce_locks > 0);
     });
 
     // PQR holds the partition's entry points exclusively for the whole
@@ -173,15 +173,16 @@ fn injected_transient_faults_are_retried_to_completion() {
             )),
     );
     let before = db.obs_snapshot();
-    let report =
-        incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &IraConfig::default())
-            .expect("transient faults must not kill the reorganization");
+    let outcome = Reorg::on(&db, p1)
+        .run()
+        .expect("transient faults must not kill the reorganization");
     db.fault.disarm();
+    let report = outcome.ira.as_ref().unwrap();
     let mut after = db.obs_snapshot();
     report.export(&mut after);
     let diff = after.diff(&before);
 
-    assert_eq!(report.migrated(), 6);
+    assert_eq!(outcome.migrated(), 6);
     assert!(
         diff.get("retry.attempts") > 0,
         "injected faults must be retried: {diff}"
@@ -193,7 +194,7 @@ fn injected_transient_faults_are_retried_to_completion() {
     );
     assert!(diff.get("fault.fired.lock.acquire") >= 3, "{diff}");
     assert!(diff.get("fault.fired.wal.commit_flush") >= 2, "{diff}");
-    ira::verify::assert_reorganization_clean(&db, &report);
+    ira::verify::assert_reorganization_clean(&db, report);
 }
 
 /// A contention spike — a stream of walker lock timeouts — makes the
@@ -222,27 +223,26 @@ fn contention_spike_triggers_migration_throttle() {
     });
     held_rx.recv().unwrap();
 
-    let config = IraConfig {
-        throttle: Some(ThrottleConfig {
+    let before = db.obs_snapshot();
+    let outcome = Reorg::on(&db, p1)
+        .throttle(ThrottleConfig {
             window: 1,
             timeout_threshold: 1,
             pause: Duration::from_millis(2),
             max_pauses: 8,
-        }),
+        })
         // The blocker stays open past the start; don't wait the full
         // quiesce period for it.
-        quiesce_wait: Duration::from_millis(30),
-        ..IraConfig::default()
-    };
-    let before = db.obs_snapshot();
-    let report = incremental_reorganize(&db, p1, RelocationPlan::CompactInPlace, &config)
+        .quiesce_wait(Duration::from_millis(30))
+        .run()
         .expect("throttled run must still complete");
     blocker.join().unwrap();
+    let report = outcome.ira.as_ref().unwrap();
     let mut after = db.obs_snapshot();
     report.export(&mut after);
     let diff = after.diff(&before);
 
-    assert_eq!(report.migrated(), 6);
+    assert_eq!(outcome.migrated(), 6);
     assert!(
         report.throttle_pauses >= 1,
         "the spike must trigger at least one pause"
