@@ -1,7 +1,10 @@
 #!/bin/sh
-# Tier-1 gate: release build, full test suite, clippy clean.
+# Tier-1 gate: release build, full test suite, lint + lockdep, clippy clean.
 set -eux
 
+# Static lint pass (DESIGN.md §11): fails on any violation not frozen in
+# lint-baseline.toml, printing file:line diagnostics.
+cargo run -p lint
 cargo build --release
 cargo test -q
 cargo test --workspace -q
@@ -12,4 +15,9 @@ CHAOS_QUICK=1 cargo test -q -p ira --test chaos_sweep
 # Parallel wave-executor smoke: isomorphism vs serial and mid-wave
 # crash/resume at the reduced PAR_QUICK sizes.
 PAR_QUICK=1 cargo test -q -p ira --test parallel_exec
+# Runtime lock-order checker in its release configuration (DESIGN.md §11):
+# debug/test builds above already run with lockdep armed via
+# debug_assertions; this pass proves the `lockdep` feature also composes
+# with optimized code, where violations count instead of panicking.
+cargo test --release --features lockdep -q -p brahma -p ira
 cargo clippy --workspace --all-targets -- -D warnings

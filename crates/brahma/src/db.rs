@@ -14,6 +14,7 @@ use crate::config::{RefTableMaintenance, StoreConfig};
 use crate::error::{Error, Result};
 use crate::fault::{site, FaultInjector};
 use crate::lock::LockManager;
+use crate::lockdep::{LockClass, Mutex, RwLock};
 use crate::retry::RetryStats;
 use crate::object::{self, ObjectView};
 use crate::partition::Partition;
@@ -21,7 +22,6 @@ use crate::trt::{RefAction, Trt};
 use crate::txn::{TxnId, TxnManager};
 use crate::wal::analyzer::LogAnalyzer;
 use crate::wal::{LogPayload, Wal};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -117,16 +117,16 @@ impl Database {
             locks: LockManager::new(config.lock_shards, config.lock_timeout),
             txns: TxnManager::new(),
             wal: Wal::new(config.wal_retain, config.commit_flush_latency),
-            reorg_tables: RwLock::new(HashMap::new()),
-            reorg_pins: Mutex::new(HashMap::new()),
-            reorg_checkpoints: Mutex::new(HashMap::new()),
+            reorg_tables: RwLock::new(LockClass::DbReorgTables, 0, HashMap::new()),
+            reorg_pins: Mutex::new(LockClass::DbReorgPins, 0, HashMap::new()),
+            reorg_checkpoints: Mutex::new(LockClass::DbReorgCkpt, 0, HashMap::new()),
             analyzer: LogAnalyzer::new(0),
-            roots: Mutex::new(Vec::new()),
-            cpu: RwLock::new(None),
+            roots: Mutex::new(LockClass::DbRoots, 0, Vec::new()),
+            cpu: RwLock::new(LockClass::DbCpu, 0, None),
             stats: DbStats::default(),
             fault: FaultInjector::new(),
             retry_stats: RetryStats::default(),
-            partitions: RwLock::new(Vec::new()),
+            partitions: RwLock::new(LockClass::DbPartitions, 0, Vec::new()),
             config,
         }
     }
@@ -471,6 +471,7 @@ impl Database {
         snap.set("trt.tuples", trt_tuples);
         self.retry_stats.export(&mut snap);
         self.fault.export(&mut snap);
+        snap.set("lockdep.violations", crate::lockdep::violations());
         snap
     }
 

@@ -14,8 +14,8 @@
 
 use crate::addr::{PartitionId, PhysAddr};
 use crate::exthash::ExtHash;
+use crate::lockdep::{LockClass, Mutex};
 use obs::Counter;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// A persistent-table snapshot of an ERT, used by checkpointing.
@@ -52,7 +52,7 @@ impl Ert {
     pub fn new(partition: PartitionId) -> Self {
         Ert {
             partition,
-            inner: Mutex::new(ExtHash::new()),
+            inner: Mutex::new(LockClass::ErtInner, partition.0 as u64, ExtHash::new()),
             stats: ErtStats::default(),
         }
     }

@@ -192,7 +192,7 @@ impl<K: Hash + Eq, V> ExtHash<K, V> {
             let hash = hash_of(&key);
             self.insert_new(hash, key.clone(), default());
         }
-        self.get_mut(&key).expect("just ensured present")
+        self.get_mut(&key).expect("invariant: key inserted above")
     }
 
     fn insert_new(&mut self, hash: u64, key: K, value: V) {
@@ -353,7 +353,7 @@ impl<K: Hash + Eq, V> ExtHash<K, V> {
                 .dir
                 .iter()
                 .position(|&x| x as usize == b)
-                .expect("bucket referenced");
+                .expect("invariant: every bucket is referenced by the directory");
             let mask = (1usize << l) - 1;
             assert_eq!(slot & mask, canonical & mask, "inconsistent slot aliasing");
         }
@@ -365,7 +365,8 @@ impl<K: Hash + Eq, V> ExtHash<K, V> {
                 "bucket {i} has wrong reference count"
             );
             let mask = (1u64 << b.local_depth) - 1;
-            let canonical = self.dir.iter().position(|&x| x as usize == i).unwrap();
+            let canonical = self.dir.iter().position(|&x| x as usize == i)
+                .expect("invariant: every bucket is referenced by the directory");
             for (k, _) in &b.entries {
                 assert_eq!(
                     hash_of(k) & mask,

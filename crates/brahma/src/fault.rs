@@ -27,7 +27,7 @@
 //!   migration transactions (Section 4.4 of the paper).
 
 use crate::error::{Error, Result};
-use parking_lot::Mutex;
+use crate::lockdep::{LockClass, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -180,7 +180,7 @@ impl FaultInjector {
         FaultInjector {
             armed: AtomicBool::new(false),
             crash_requested: AtomicBool::new(false),
-            state: Mutex::new(InjectorState::default()),
+            state: Mutex::new(LockClass::FaultState, 0, InjectorState::default()),
         }
     }
 

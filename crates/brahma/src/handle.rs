@@ -543,7 +543,7 @@ impl<'db> Txn<'db> {
         for op in undo.into_iter().rev() {
             // Rollback of operations on objects we hold X locks on cannot
             // fail; failures here indicate storage corruption.
-            self.apply_undo(op).expect("rollback must succeed");
+            self.apply_undo(op).expect("invariant: rollback under held X locks cannot fail");
         }
         self.db.wal.append(self.id, LogPayload::Abort);
         self.db

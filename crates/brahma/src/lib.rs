@@ -58,6 +58,7 @@ pub mod exthash;
 pub mod fault;
 pub mod handle;
 pub mod lock;
+pub mod lockdep;
 pub mod object;
 pub mod page;
 pub mod partition;

@@ -16,9 +16,9 @@
 
 use crate::addr::PhysAddr;
 use crate::error::{Error, Result};
+use crate::lockdep::{self, Condvar, LockClass, Mutex};
 use crate::txn::TxnId;
 use obs::{Counter, Gauge, Histogram};
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -148,8 +148,10 @@ impl LockManager {
     pub fn new(shards: usize, default_timeout: Duration) -> Self {
         LockManager {
             shards: (0..shards.max(1))
-                .map(|_| Shard {
-                    table: Mutex::new(HashMap::new()),
+                .map(|i| Shard {
+                    // The shard index is the lockdep order key: any code
+                    // path nesting two shards must take them in index order.
+                    table: Mutex::new(LockClass::LockTableShard, i as u64, HashMap::new()),
                     cv: Condvar::new(),
                 })
                 .collect(),
@@ -285,6 +287,9 @@ impl LockManager {
             // be grantable.
             shard.cv.notify_all();
         }
+        if result.is_ok() {
+            lockdep::txn_lock_acquired(addr.to_raw());
+        }
         result
     }
 
@@ -299,6 +304,7 @@ impl LockManager {
                 state.ever_held.push(tid);
             }
             self.stats.acquisitions.inc();
+            lockdep::txn_lock_acquired(addr.to_raw());
             true
         } else {
             false
@@ -316,6 +322,7 @@ impl LockManager {
             }
         }
         shard.cv.notify_all();
+        lockdep::txn_lock_released(addr.to_raw());
     }
 
     /// The mode `tid` currently holds on `addr`, if any.
@@ -556,6 +563,26 @@ mod tests {
         m.unlock(TxnId(2), addr(9));
         // With the X granted and released, shared requests flow again.
         m.lock(TxnId(3), addr(9), LockMode::Shared).unwrap();
+    }
+
+    /// The lockdep same-class rule catches an ABBA inversion across two
+    /// shards of the lock table: shards must be taken in index order, so
+    /// whichever thread takes them backwards is flagged deterministically —
+    /// no second thread and no actual deadlock needed.
+    #[cfg(any(debug_assertions, feature = "lockdep"))]
+    #[test]
+    fn abba_across_lock_shards_is_detected() {
+        let m = mgr();
+        let (_, raised) = lockdep::tolerate(|| {
+            let _high = m.shards[3].table.lock();
+            let _low = m.shards[1].table.lock();
+        });
+        assert_eq!(raised, 1, "shard 3 then shard 1 is an ordering violation");
+        let (_, raised) = lockdep::tolerate(|| {
+            let _low = m.shards[1].table.lock();
+            let _high = m.shards[3].table.lock();
+        });
+        assert_eq!(raised, 0, "index order is the sanctioned order");
     }
 
     #[test]

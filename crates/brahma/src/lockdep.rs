@@ -1,0 +1,1051 @@
+//! Runtime lock-order checking ("lockdep") for the substrate.
+//!
+//! Every mutex, rwlock-latch, and condvar in `brahma` (and the sharded
+//! structures in `ira`) is wrapped by the types in this module. Each wrapper
+//! carries a [`LockClass`] — a *type* of lock, not an instance — plus an
+//! `order_key` distinguishing instances inside a class (shard index,
+//! partition id). On every acquisition the checker:
+//!
+//! 1. records a **held-before edge** `C_held -> C_new` in a global class
+//!    graph for every class currently held by the acquiring thread, and
+//!    detects cycles at edge-insert time (a cycle means two threads can
+//!    acquire the same two classes in opposite orders — a potential
+//!    deadlock, reported even if it never deadlocks in this run);
+//! 2. enforces the **same-class instance order**: nested acquisitions inside
+//!    one class must take strictly increasing `order_key`s, which catches
+//!    ABBA inversions between two shards of the same structure that the
+//!    class graph (one node per class) cannot see.
+//!
+//! On top of the ordering graph, the module tracks the *logical* lock
+//! footprint of the running thread — the set of object addresses it holds
+//! through the lock manager — and exposes the paper's per-variant invariants
+//! as assertions: fuzzy traversal holds no locks ([`fuzzy_region`]), the
+//! two-lock variant never exceeds two distinct objects ([`two_lock_region`],
+//! with `O_old`/`O_new` aliased as one object), basic IRA holds only the
+//! batch's confirmed parent set ([`assert_txn_locks_subset`]), and wave
+//! workers are lock-free at batch boundaries ([`assert_no_txn_locks`]).
+//!
+//! A violation **panics** in debug builds (tests fail loudly) and is
+//! otherwise **counted** in the `lockdep.violations` counter that
+//! `Database::obs_snapshot` exports. Diagnostics include both class chains:
+//! the acquiring thread's current stack and the chain recorded when the
+//! conflicting edge was first inserted.
+//!
+//! The checker is active when `debug_assertions` are on or the `lockdep`
+//! cargo feature is enabled. Otherwise every wrapper is a transparent
+//! `#[inline]` pass-through to `parking_lot` — no graph, no thread-locals,
+//! no atomics on the acquire path.
+
+/// A type of lock. One node in the held-before graph.
+///
+/// Keep this list in sync with DESIGN.md §11 (the lint pass cross-checks the
+/// catalog there). At most 32 classes: the edge set is a `u32` bitmask per
+/// class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum LockClass {
+    /// One shard of the lock manager's hash table (`lock::Shard::table`).
+    LockTableShard = 0,
+    /// A page latch (`page::PageRef`'s `RwLock<Page>`).
+    PageLatch,
+    /// The WAL's record buffer (`Wal::inner`).
+    WalInner,
+    /// The WAL's truncation-pin table (`Wal::pins`).
+    WalPins,
+    /// The WAL group-commit leader flag (`Wal::flush_leader`).
+    WalFlushLeader,
+    /// The log analyzer's cursor state (`LogAnalyzer::state`).
+    AnalyzerCursor,
+    /// A Temporary Reference Table (`Trt::inner`).
+    TrtInner,
+    /// An External Reference Table (`Ert::inner`).
+    ErtInner,
+    /// A partition's allocator state (`Partition::alloc`).
+    PartitionAlloc,
+    /// A partition's page vector (`Partition::pages`).
+    PartitionPages,
+    /// The active-transaction registry (`TxnManager::active`).
+    TxnRegistry,
+    /// The database's partition vector (`Database::partitions`).
+    DbPartitions,
+    /// The persistent-root registry (`Database::roots`).
+    DbRoots,
+    /// The open-reorganization TRT map (`Database::reorg_tables`).
+    DbReorgTables,
+    /// The reorganization truncation pins (`Database::reorg_pins`).
+    DbReorgPins,
+    /// The reorganization checkpoint blobs (`Database::reorg_checkpoints`).
+    DbReorgCkpt,
+    /// The virtual-CPU model hook (`Database::cpu`).
+    DbCpu,
+    /// The fault injector's rule state (`FaultInjector::state`).
+    FaultState,
+    /// One shard of the shared migration map (`ira::MigrationMap`).
+    MigrationShard,
+    /// One shard of the shared parent map (`ira::traversal::ParentMap`).
+    TraversalShard,
+    /// The parallel executor's deferred-chunk list (`ira::driver`).
+    WaveDeferred,
+    /// Reserved for lockdep's own tests.
+    TestA,
+    /// Reserved for lockdep's own tests.
+    TestB,
+}
+
+impl LockClass {
+    // Referenced only while the checker is armed; dead in plain release builds.
+    #[cfg_attr(not(any(debug_assertions, feature = "lockdep")), allow(dead_code))]
+    pub(crate) const COUNT: usize = LockClass::TestB as usize + 1;
+}
+
+#[cfg(any(debug_assertions, feature = "lockdep"))]
+mod imp {
+    use super::LockClass;
+    use std::cell::{Cell, RefCell};
+    use std::collections::BTreeMap;
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+    use std::time::{Duration, Instant};
+
+    pub use parking_lot::WaitTimeoutResult;
+
+    const N: usize = LockClass::COUNT;
+
+    /// `EDGES[a] & (1 << b)` means "a was held while b was acquired".
+    static EDGES: [AtomicU32; N] = [const { AtomicU32::new(0) }; N];
+    /// Total violations, process-wide (exported as `lockdep.violations`).
+    static VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+    /// For each recorded edge, the class chain of the thread that inserted
+    /// it — the "other stack" half of a cycle diagnostic. Also serializes
+    /// first-time edge inserts so concurrent inserts cannot close a cycle
+    /// undetected. lockdep's own state uses `std::sync` so the checker never
+    /// instruments itself.
+    static PROVENANCE: std::sync::Mutex<BTreeMap<(u8, u8), String>> =
+        std::sync::Mutex::new(BTreeMap::new());
+
+    struct HeldEntry {
+        class: LockClass,
+        order_key: u64,
+        id: u64,
+        /// Shared (read) acquisition: read-read recursion on one class is
+        /// exempt from the same-class order rule, since readers never block
+        /// each other. Cross-class edges are recorded regardless of mode.
+        shared: bool,
+    }
+
+    #[derive(Default)]
+    struct TwoLockState {
+        depth: u32,
+        /// (a, b) pairs counted as one logical object (`O_old`/`O_new`).
+        aliases: Vec<(u64, u64)>,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<HeldEntry>> = const { RefCell::new(Vec::new()) };
+        static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+        /// Depth of `tolerate` scopes: violations are counted, not panicked.
+        static TOLERATE: Cell<u32> = const { Cell::new(0) };
+        /// Violations raised by *this thread* (so tests can measure deltas
+        /// without interference from parallel tests).
+        static TL_VIOLATIONS: Cell<u64> = const { Cell::new(0) };
+        /// Object addresses this thread holds through the lock manager
+        /// (a set: re-grants and upgrades of a held address do not stack,
+        /// mirroring `Txn`'s single release per address at completion).
+        static TXN_LOCKS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+        static FUZZY_DEPTH: Cell<u32> = const { Cell::new(0) };
+        static TWO_LOCK: RefCell<TwoLockState> =
+            const { RefCell::new(TwoLockState { depth: 0, aliases: Vec::new() }) };
+    }
+
+    // ------------------------------------------------------------ engine --
+
+    fn violation(msg: &str) {
+        VIOLATIONS.fetch_add(1, Ordering::Relaxed);
+        TL_VIOLATIONS.with(|c| c.set(c.get() + 1));
+        let tolerated = TOLERATE.with(|t| t.get()) > 0;
+        if !tolerated && cfg!(debug_assertions) {
+            panic!("lockdep: {msg}");
+        }
+    }
+
+    fn chain_str(held: &[HeldEntry]) -> String {
+        if held.is_empty() {
+            return "<none>".to_string();
+        }
+        held.iter()
+            .map(|e| format!("{:?}#{}", e.class, e.order_key))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+
+    /// Is `to` reachable from `from` in the edge graph?
+    fn reachable(from: LockClass, to: LockClass) -> bool {
+        let mut visited = 0u32;
+        let mut stack = vec![from as usize];
+        while let Some(n) = stack.pop() {
+            if n == to as usize {
+                return true;
+            }
+            if visited & (1 << n) != 0 {
+                continue;
+            }
+            visited |= 1 << n;
+            let mut succ = EDGES[n].load(Ordering::Relaxed);
+            while succ != 0 {
+                let b = succ.trailing_zeros() as usize;
+                succ &= succ - 1;
+                stack.push(b);
+            }
+        }
+        false
+    }
+
+    /// One path `from -> .. -> to` (exists when `reachable(from, to)`).
+    fn find_path(from: LockClass, to: LockClass) -> Vec<u8> {
+        let mut prev = [u8::MAX; N];
+        let mut visited = 0u32;
+        let mut stack = vec![from as usize];
+        visited |= 1 << (from as usize);
+        while let Some(n) = stack.pop() {
+            if n == to as usize {
+                break;
+            }
+            let mut succ = EDGES[n].load(Ordering::Relaxed);
+            while succ != 0 {
+                let b = succ.trailing_zeros() as usize;
+                succ &= succ - 1;
+                if visited & (1 << b) == 0 {
+                    visited |= 1 << b;
+                    prev[b] = n as u8;
+                    stack.push(b);
+                }
+            }
+        }
+        let mut path = vec![to as u8];
+        let mut cur = to as u8;
+        while cur != from as u8 {
+            cur = prev[cur as usize];
+            if cur == u8::MAX {
+                return Vec::new(); // raced away; diagnostics only
+            }
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    const CLASS_NAMES: [&str; N] = [
+        "LockTableShard",
+        "PageLatch",
+        "WalInner",
+        "WalPins",
+        "WalFlushLeader",
+        "AnalyzerCursor",
+        "TrtInner",
+        "ErtInner",
+        "PartitionAlloc",
+        "PartitionPages",
+        "TxnRegistry",
+        "DbPartitions",
+        "DbRoots",
+        "DbReorgTables",
+        "DbReorgPins",
+        "DbReorgCkpt",
+        "DbCpu",
+        "FaultState",
+        "MigrationShard",
+        "TraversalShard",
+        "WaveDeferred",
+        "TestA",
+        "TestB",
+    ];
+
+    fn record_edge(from: LockClass, to: LockClass, held: &[HeldEntry]) {
+        let bit = 1u32 << (to as u8);
+        if EDGES[from as usize].load(Ordering::Relaxed) & bit != 0 {
+            return; // known edge: lock-free fast path
+        }
+        let mut prov = PROVENANCE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if EDGES[from as usize].load(Ordering::Relaxed) & bit != 0 {
+            return;
+        }
+        if reachable(to, from) {
+            // Inserting from->to would close a cycle to -> .. -> from -> to.
+            let path = find_path(to, from);
+            let mut other = String::new();
+            for w in path.windows(2) {
+                let name_a = CLASS_NAMES[w[0] as usize];
+                let name_b = CLASS_NAMES[w[1] as usize];
+                let rec = prov
+                    .get(&(w[0], w[1]))
+                    .map(String::as_str)
+                    .unwrap_or("<unrecorded>");
+                other.push_str(&format!("\n    {name_a} -> {name_b} recorded with chain: {rec}"));
+            }
+            drop(prov);
+            violation(&format!(
+                "lock-order cycle: acquiring {to:?} while holding {from:?}, \
+                 but {from:?} is already ordered after {to:?}\n  \
+                 this thread's chain: {}\n  conflicting edges:{other}",
+                chain_str(held),
+            ));
+            return; // keep the graph acyclic: one bug, one report
+        }
+        EDGES[from as usize].fetch_or(bit, Ordering::Relaxed);
+        prov.insert((from as u8, to as u8), chain_str(held));
+    }
+
+    /// Register an acquisition; returns the held-stack entry id.
+    fn acquire(class: LockClass, order_key: u64, shared: bool) -> u64 {
+        let id = NEXT_ID.with(|n| {
+            let id = n.get();
+            n.set(id + 1);
+            id
+        });
+        let mut order_msg: Option<String> = None;
+        HELD.with(|h| {
+            let held = h.borrow();
+            for e in held.iter() {
+                if e.class == class {
+                    if order_key <= e.order_key && !(shared && e.shared) && order_msg.is_none() {
+                        order_msg = Some(format!(
+                            "same-class order violation: acquiring {:?}#{} while \
+                             holding {:?}#{} (instances of one class must be taken \
+                             in increasing order)\n  this thread's chain: {}",
+                            class,
+                            order_key,
+                            e.class,
+                            e.order_key,
+                            chain_str(&held),
+                        ));
+                    }
+                } else {
+                    record_edge(e.class, class, &held);
+                }
+            }
+        });
+        if let Some(msg) = order_msg {
+            violation(&msg);
+        }
+        HELD.with(|h| {
+            h.borrow_mut().push(HeldEntry {
+                class,
+                order_key,
+                id,
+                shared,
+            })
+        });
+        id
+    }
+
+    fn release(id: u64) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|e| e.id == id) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    // ----------------------------------------------------------- wrappers --
+
+    /// A class-tagged mutex.
+    pub struct Mutex<T: ?Sized> {
+        class: LockClass,
+        order_key: u64,
+        inner: parking_lot::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(class: LockClass, order_key: u64, value: T) -> Self {
+            Self {
+                class,
+                order_key,
+                inner: parking_lot::Mutex::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            // Check before blocking: a would-be deadlock is reported even if
+            // this acquisition happens to succeed.
+            let id = acquire(self.class, self.order_key, false);
+            MutexGuard {
+                class: self.class,
+                order_key: self.order_key,
+                id,
+                inner: self.inner.lock(),
+            }
+        }
+
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            let inner = self.inner.try_lock()?;
+            let id = acquire(self.class, self.order_key, false);
+            Some(MutexGuard {
+                class: self.class,
+                order_key: self.order_key,
+                id,
+                inner,
+            })
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    pub struct MutexGuard<'a, T: ?Sized> {
+        class: LockClass,
+        order_key: u64,
+        id: u64,
+        inner: parking_lot::MutexGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            release(self.id);
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            (**self).fmt(f)
+        }
+    }
+
+    /// A class-tagged reader-writer lock. Readers and writers run the same
+    /// ordering checks: read/write cycles deadlock just as well.
+    pub struct RwLock<T: ?Sized> {
+        class: LockClass,
+        order_key: u64,
+        inner: parking_lot::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        pub fn new(class: LockClass, order_key: u64, value: T) -> Self {
+            Self {
+                class,
+                order_key,
+                inner: parking_lot::RwLock::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            let id = acquire(self.class, self.order_key, true);
+            RwLockReadGuard {
+                id,
+                inner: self.inner.read(),
+            }
+        }
+
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            let id = acquire(self.class, self.order_key, false);
+            RwLockWriteGuard {
+                id,
+                inner: self.inner.write(),
+            }
+        }
+
+        pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+            let inner = self.inner.try_read()?;
+            let id = acquire(self.class, self.order_key, true);
+            Some(RwLockReadGuard { id, inner })
+        }
+
+        pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+            let inner = self.inner.try_write()?;
+            let id = acquire(self.class, self.order_key, false);
+            Some(RwLockWriteGuard { id, inner })
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        id: u64,
+        inner: parking_lot::RwLockReadGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            release(self.id);
+        }
+    }
+
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        id: u64,
+        inner: parking_lot::RwLockWriteGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            release(self.id);
+        }
+    }
+
+    /// A condvar over [`Mutex`]. The wait releases the mutex, so the held
+    /// entry is popped for the duration and re-registered (with full checks)
+    /// on wake-up.
+    #[derive(Default)]
+    pub struct Condvar {
+        inner: parking_lot::Condvar,
+    }
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            release(guard.id);
+            self.inner.wait(&mut guard.inner);
+            guard.id = acquire(guard.class, guard.order_key, false);
+        }
+
+        pub fn wait_for<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            timeout: Duration,
+        ) -> WaitTimeoutResult {
+            release(guard.id);
+            let r = self.inner.wait_for(&mut guard.inner, timeout);
+            guard.id = acquire(guard.class, guard.order_key, false);
+            r
+        }
+
+        pub fn wait_until<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            deadline: Instant,
+        ) -> WaitTimeoutResult {
+            release(guard.id);
+            let r = self.inner.wait_until(&mut guard.inner, deadline);
+            guard.id = acquire(guard.class, guard.order_key, false);
+            r
+        }
+
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+    }
+
+    // -------------------------------------------------- logical footprint --
+
+    /// Total lock-order/invariant violations observed process-wide.
+    pub fn violations() -> u64 {
+        VIOLATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Run `f` with violations counted instead of panicking; returns `f`'s
+    /// result and the number of violations this thread raised inside the
+    /// scope. Used by tests that seed deliberate violations.
+    pub fn tolerate<R>(f: impl FnOnce() -> R) -> (R, u64) {
+        TOLERATE.with(|t| t.set(t.get() + 1));
+        let before = TL_VIOLATIONS.with(|c| c.get());
+        let out = f();
+        let after = TL_VIOLATIONS.with(|c| c.get());
+        TOLERATE.with(|t| t.set(t.get() - 1));
+        (out, after - before)
+    }
+
+    /// The lock manager granted this thread a lock on object `addr`.
+    pub fn txn_lock_acquired(addr: u64) {
+        if FUZZY_DEPTH.with(|d| d.get()) > 0 {
+            violation(&format!(
+                "fuzzy traversal acquired a transaction lock on {addr:#x} \
+                 (the traversal must run under latches only)"
+            ));
+        }
+        TXN_LOCKS.with(|l| {
+            let mut locks = l.borrow_mut();
+            if !locks.contains(&addr) {
+                locks.push(addr);
+            }
+        });
+        TWO_LOCK.with(|t| {
+            let t = t.borrow();
+            if t.depth == 0 {
+                return;
+            }
+            let distinct = TXN_LOCKS.with(|l| {
+                let locks = l.borrow();
+                let mut canon: Vec<u64> =
+                    locks.iter().map(|&a| canonical(&t.aliases, a)).collect();
+                canon.sort_unstable();
+                canon.dedup();
+                canon.len()
+            });
+            if distinct > 2 {
+                violation(&format!(
+                    "two-lock variant exceeded its footprint: {distinct} distinct \
+                     objects locked (acquiring {addr:#x})"
+                ));
+            }
+        });
+    }
+
+    /// The lock manager released this thread's lock on object `addr`.
+    /// Tolerant: releases of locks acquired before tracking (or by another
+    /// thread) are ignored.
+    pub fn txn_lock_released(addr: u64) {
+        TXN_LOCKS.with(|l| {
+            let mut locks = l.borrow_mut();
+            if let Some(pos) = locks.iter().rposition(|&a| a == addr) {
+                locks.remove(pos);
+            }
+        });
+    }
+
+    fn canonical(aliases: &[(u64, u64)], addr: u64) -> u64 {
+        for &(a, b) in aliases {
+            if addr == b {
+                return a;
+            }
+        }
+        addr
+    }
+
+    /// Assert this thread holds no transaction locks.
+    pub fn assert_no_txn_locks(context: &str) {
+        let held: Vec<u64> = TXN_LOCKS.with(|l| l.borrow().clone());
+        if !held.is_empty() {
+            violation(&format!(
+                "{context}: thread still holds {} transaction lock(s): {:x?}",
+                held.len(),
+                held
+            ));
+        }
+    }
+
+    /// Assert every transaction lock this thread holds is in `allowed`
+    /// (basic IRA: the batch's confirmed parents plus the object itself).
+    pub fn assert_txn_locks_subset(allowed: &[u64], context: &str) {
+        let stray: Vec<u64> = TXN_LOCKS.with(|l| {
+            l.borrow()
+                .iter()
+                .copied()
+                .filter(|a| !allowed.contains(a))
+                .collect()
+        });
+        if !stray.is_empty() {
+            violation(&format!(
+                "{context}: thread holds lock(s) outside the allowed set: {stray:x?}"
+            ));
+        }
+    }
+
+    /// RAII scope: fuzzy traversal must *acquire* no transaction locks.
+    /// Locks already held when the region opens are not flagged — tests
+    /// legitimately run workload transactions and the reorganizer on one
+    /// thread; the paper's invariant is that the traversal itself
+    /// synchronizes through latches only.
+    pub struct FuzzyRegion(());
+
+    pub fn fuzzy_region() -> FuzzyRegion {
+        FUZZY_DEPTH.with(|d| d.set(d.get() + 1));
+        FuzzyRegion(())
+    }
+
+    impl Drop for FuzzyRegion {
+        fn drop(&mut self) {
+            FUZZY_DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+
+    /// RAII scope: the §4.2 two-lock variant holds at most two distinct
+    /// objects. Register `O_old`/`O_new` with [`two_lock_alias`] so the pair
+    /// counts as one object (the paper's footprint counts the migrating
+    /// object once).
+    pub struct TwoLockRegion(());
+
+    pub fn two_lock_region() -> TwoLockRegion {
+        TWO_LOCK.with(|t| t.borrow_mut().depth += 1);
+        TwoLockRegion(())
+    }
+
+    impl Drop for TwoLockRegion {
+        fn drop(&mut self) {
+            TWO_LOCK.with(|t| {
+                let mut t = t.borrow_mut();
+                t.depth -= 1;
+                if t.depth == 0 {
+                    t.aliases.clear();
+                }
+            });
+        }
+    }
+
+    /// Count `b` as the same logical object as `a` inside the enclosing
+    /// two-lock region.
+    pub fn two_lock_alias(a: u64, b: u64) {
+        TWO_LOCK.with(|t| t.borrow_mut().aliases.push((a, b)));
+    }
+}
+
+#[cfg(not(any(debug_assertions, feature = "lockdep")))]
+mod imp {
+    //! Disabled build: transparent pass-throughs. No graph, no
+    //! thread-locals, no atomics — the class tag is discarded at
+    //! construction and every call inlines to the parking_lot primitive.
+
+    use super::LockClass;
+    use std::fmt;
+    use std::time::{Duration, Instant};
+
+    pub use parking_lot::WaitTimeoutResult;
+    pub use parking_lot::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+    pub struct Mutex<T: ?Sized>(parking_lot::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        #[inline(always)]
+        pub fn new(_class: LockClass, _order_key: u64, value: T) -> Self {
+            Self(parking_lot::Mutex::new(value))
+        }
+
+        #[inline(always)]
+        pub fn into_inner(self) -> T {
+            self.0.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        #[inline(always)]
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock()
+        }
+
+        #[inline(always)]
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            self.0.try_lock()
+        }
+
+        #[inline(always)]
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut()
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+
+    pub struct RwLock<T: ?Sized>(parking_lot::RwLock<T>);
+
+    impl<T> RwLock<T> {
+        #[inline(always)]
+        pub fn new(_class: LockClass, _order_key: u64, value: T) -> Self {
+            Self(parking_lot::RwLock::new(value))
+        }
+
+        #[inline(always)]
+        pub fn into_inner(self) -> T {
+            self.0.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        #[inline(always)]
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            self.0.read()
+        }
+
+        #[inline(always)]
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            self.0.write()
+        }
+
+        #[inline(always)]
+        pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+            self.0.try_read()
+        }
+
+        #[inline(always)]
+        pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+            self.0.try_write()
+        }
+
+        #[inline(always)]
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut()
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+
+    #[derive(Default)]
+    pub struct Condvar(parking_lot::Condvar);
+
+    impl Condvar {
+        #[inline(always)]
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        #[inline(always)]
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            self.0.wait(guard);
+        }
+
+        #[inline(always)]
+        pub fn wait_for<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            timeout: Duration,
+        ) -> WaitTimeoutResult {
+            self.0.wait_for(guard, timeout)
+        }
+
+        #[inline(always)]
+        pub fn wait_until<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            deadline: Instant,
+        ) -> WaitTimeoutResult {
+            self.0.wait_until(guard, deadline)
+        }
+
+        #[inline(always)]
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        #[inline(always)]
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+
+    #[inline(always)]
+    pub fn violations() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn tolerate<R>(f: impl FnOnce() -> R) -> (R, u64) {
+        (f(), 0)
+    }
+
+    #[inline(always)]
+    pub fn txn_lock_acquired(_addr: u64) {}
+
+    #[inline(always)]
+    pub fn txn_lock_released(_addr: u64) {}
+
+    #[inline(always)]
+    pub fn assert_no_txn_locks(_context: &str) {}
+
+    #[inline(always)]
+    pub fn assert_txn_locks_subset(_allowed: &[u64], _context: &str) {}
+
+    pub struct FuzzyRegion(());
+
+    #[inline(always)]
+    pub fn fuzzy_region() -> FuzzyRegion {
+        FuzzyRegion(())
+    }
+
+    pub struct TwoLockRegion(());
+
+    #[inline(always)]
+    pub fn two_lock_region() -> TwoLockRegion {
+        TwoLockRegion(())
+    }
+
+    #[inline(always)]
+    pub fn two_lock_alias(_a: u64, _b: u64) {}
+}
+
+pub use imp::{
+    assert_no_txn_locks, assert_txn_locks_subset, fuzzy_region, tolerate, two_lock_alias,
+    two_lock_region, txn_lock_acquired, txn_lock_released, violations, Condvar, FuzzyRegion,
+    Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, TwoLockRegion,
+    WaitTimeoutResult,
+};
+
+#[cfg(all(test, any(debug_assertions, feature = "lockdep")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_class_cycle_is_detected() {
+        let a = Mutex::new(LockClass::TestA, 0, ());
+        let b = Mutex::new(LockClass::TestB, 0, ());
+        // Establish TestA -> TestB.
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        // The reverse order closes a cycle at edge-insert time, before any
+        // thread actually deadlocks.
+        let (_, raised) = tolerate(|| {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        });
+        assert_eq!(raised, 1, "B-then-A after A-then-B must be a violation");
+        // The cycle edge was rejected, so repeating the good order is clean.
+        let (_, raised) = tolerate(|| {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        });
+        assert_eq!(raised, 0);
+    }
+
+    #[test]
+    fn same_class_requires_increasing_order_keys() {
+        let s0 = Mutex::new(LockClass::TestA, 0, ());
+        let s1 = Mutex::new(LockClass::TestA, 1, ());
+        // Increasing order: fine (no graph edge involved).
+        let (_, raised) = tolerate(|| {
+            let _g0 = s0.lock();
+            let _g1 = s1.lock();
+        });
+        assert_eq!(raised, 0);
+        // Decreasing order: flagged statelessly.
+        let (_, raised) = tolerate(|| {
+            let _g1 = s1.lock();
+            let _g0 = s0.lock();
+        });
+        assert_eq!(raised, 1);
+    }
+
+    #[test]
+    fn condvar_wait_releases_and_reacquires_the_entry() {
+        use std::time::{Duration, Instant};
+        let m = Mutex::new(LockClass::TestB, 7, ());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(5));
+        assert!(r.timed_out());
+        // Re-registration keeps the stack balanced: another acquisition of
+        // the same class with a smaller key is still caught.
+        let low = Mutex::new(LockClass::TestB, 3, ());
+        let (_, raised) = tolerate(|| {
+            let _gl = low.lock();
+        });
+        assert_eq!(raised, 1);
+        drop(g);
+    }
+
+    #[test]
+    fn fuzzy_region_forbids_txn_locks() {
+        let (_, raised) = tolerate(|| {
+            let _r = fuzzy_region();
+            txn_lock_acquired(0xabc);
+        });
+        assert_eq!(raised, 1);
+        txn_lock_released(0xabc);
+    }
+
+    #[test]
+    fn two_lock_region_allows_two_and_trips_on_three() {
+        let (_, raised) = tolerate(|| {
+            let _r = two_lock_region();
+            two_lock_alias(0x10, 0x20); // O_old / O_new are one object
+            txn_lock_acquired(0x10);
+            txn_lock_acquired(0x20);
+            txn_lock_acquired(0x30); // one parent: footprint = 2, fine
+        });
+        assert_eq!(raised, 0);
+        let (_, raised) = tolerate(|| txn_lock_acquired(0x40));
+        assert_eq!(raised, 0, "outside the region nothing is enforced");
+        for a in [0x10u64, 0x20, 0x30, 0x40] {
+            txn_lock_released(a);
+        }
+        let (_, raised) = tolerate(|| {
+            let _r = two_lock_region();
+            txn_lock_acquired(0x1);
+            txn_lock_acquired(0x2);
+            txn_lock_acquired(0x3);
+        });
+        assert_eq!(raised, 1, "three distinct objects must trip the invariant");
+        for a in [0x1u64, 0x2, 0x3] {
+            txn_lock_released(a);
+        }
+    }
+
+    #[test]
+    fn subset_and_empty_assertions() {
+        txn_lock_acquired(0x5);
+        let (_, raised) = tolerate(|| assert_txn_locks_subset(&[0x5, 0x6], "test"));
+        assert_eq!(raised, 0);
+        let (_, raised) = tolerate(|| assert_txn_locks_subset(&[0x6], "test"));
+        assert_eq!(raised, 1);
+        let (_, raised) = tolerate(|| assert_no_txn_locks("test"));
+        assert_eq!(raised, 1);
+        txn_lock_released(0x5);
+        let (_, raised) = tolerate(|| assert_no_txn_locks("test"));
+        assert_eq!(raised, 0);
+    }
+}

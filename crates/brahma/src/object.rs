@@ -88,7 +88,7 @@ fn wr_u16(buf: &mut [u8], at: usize, v: u16) {
 
 #[inline]
 fn rd_u64(buf: &[u8], at: usize) -> u64 {
-    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8-byte slice"))
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("invariant: fixed-width field slice"))
 }
 
 #[inline]

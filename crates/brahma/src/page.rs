@@ -7,7 +7,7 @@
 //! reads objects under these latches and under nothing else.
 
 use crate::config::PAGE_SIZE;
-use parking_lot::RwLock;
+use crate::lockdep::{LockClass, RwLock};
 use std::sync::Arc;
 
 /// A fixed-size page of object storage.
@@ -58,7 +58,7 @@ pub type PageRef = Arc<RwLock<Page>>;
 
 /// Create a fresh latch-protected page.
 pub fn new_page() -> PageRef {
-    Arc::new(RwLock::new(Page::new()))
+    Arc::new(RwLock::new(LockClass::PageLatch, 0, Page::new()))
 }
 
 #[cfg(test)]

@@ -18,8 +18,8 @@ use crate::addr::{PartitionId, PhysAddr};
 use crate::config::PAGE_SIZE;
 use crate::error::{Error, Result};
 use crate::ert::Ert;
+use crate::lockdep::{LockClass, Mutex, RwLock};
 use crate::page::{new_page, PageRef};
-use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -90,6 +90,10 @@ fn insert_free_coalescing(free: &mut BTreeMap<(u32, u16), u32>, page: u32, off: 
 }
 
 /// One database partition.
+///
+/// Lock hierarchy (enforced by [`crate::lockdep`]): `alloc` before `pages`
+/// before any page latch. `allocate`/`alloc_at` hold `alloc` across the
+/// page-vector push so no address into a not-yet-published page can exist.
 pub struct Partition {
     id: PartitionId,
     pages: RwLock<Vec<PageRef>>,
@@ -103,8 +107,8 @@ impl Partition {
     pub fn new(id: PartitionId) -> Self {
         Partition {
             id,
-            pages: RwLock::new(Vec::new()),
-            alloc: Mutex::new(AllocState::new()),
+            pages: RwLock::new(LockClass::PartitionPages, id.0 as u64, Vec::new()),
+            alloc: Mutex::new(LockClass::PartitionAlloc, id.0 as u64, AllocState::new()),
             ert: Ert::new(id),
         }
     }
@@ -338,10 +342,18 @@ impl Partition {
 
     /// Deep snapshot for checkpointing (taken at a quiescent point).
     pub fn snapshot(&self) -> PartitionSnapshot {
-        let pages = self.pages.read();
+        // Copy the page images and release the page-vector lock *before*
+        // taking `alloc`: `allocate`/`alloc_at` acquire alloc -> pages, so
+        // holding pages across the alloc acquisition would invert the
+        // partition's lock order (an ABBA deadlock with a concurrent
+        // allocation; found by lockdep).
+        let page_images: Vec<Vec<u8>> = {
+            let pages = self.pages.read();
+            pages.iter().map(|p| p.read().snapshot()).collect()
+        };
         PartitionSnapshot {
             id: self.id,
-            pages: pages.iter().map(|p| p.read().snapshot()).collect(),
+            pages: page_images,
             alloc: self.alloc.lock().clone(),
             ert: self.ert.snapshot(),
         }
@@ -446,6 +458,21 @@ mod tests {
         let b = p.allocate(64).unwrap();
         p.free(a).unwrap();
         assert_eq!(p.live_objects(), vec![b]);
+    }
+
+    #[cfg(any(debug_assertions, feature = "lockdep"))]
+    #[test]
+    fn snapshot_respects_alloc_before_pages_order() {
+        // allocate() establishes the alloc -> pages held-before edge. The
+        // old snapshot() held pages while taking alloc, closing an ABBA
+        // cycle with any concurrent allocation; lockdep must stay silent on
+        // the fixed ordering even with both orders exercised back-to-back.
+        let p = part();
+        p.allocate(100).unwrap();
+        let before = crate::lockdep::violations();
+        let _snap = p.snapshot();
+        p.allocate(100).unwrap();
+        assert_eq!(crate::lockdep::violations(), before);
     }
 
     #[test]

@@ -75,7 +75,7 @@ impl Database {
         let partitions = self
             .partition_ids()
             .into_iter()
-            .map(|p| self.partition(p).expect("listed partition").snapshot())
+            .map(|p| self.partition(p).expect("invariant: partition_ids lists live partitions").snapshot())
             .collect();
         Checkpoint {
             id,

@@ -28,7 +28,7 @@ pub fn sweep_objects(db: &Database, partition: PartitionId) -> Vec<(PhysAddr, Ob
 /// the stored tables. Returns the number of edges installed.
 pub fn rebuild_erts_by_sweep(db: &Database) -> usize {
     for pid in db.partition_ids() {
-        db.partition(pid).expect("listed").ert.clear();
+        db.partition(pid).expect("invariant: partition_ids lists live partitions").ert.clear();
     }
     let mut edges = 0;
     for pid in db.partition_ids() {
@@ -36,7 +36,7 @@ pub fn rebuild_erts_by_sweep(db: &Database) -> usize {
             for child in view.refs {
                 if child.partition() != addr.partition() {
                     db.partition(child.partition())
-                        .expect("ref to live partition")
+                        .expect("invariant: references point at live partitions")
                         .ert
                         .insert(child, addr);
                     edges += 1;

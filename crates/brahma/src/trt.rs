@@ -19,7 +19,7 @@ use crate::addr::{PartitionId, PhysAddr};
 use crate::exthash::ExtHash;
 use crate::txn::TxnId;
 use obs::Counter;
-use parking_lot::Mutex;
+use crate::lockdep::{LockClass, Mutex};
 use serde::{Deserialize, Serialize};
 
 /// Whether a TRT tuple records an insertion or a deletion of a reference.
@@ -67,7 +67,7 @@ impl Trt {
     pub fn new(partition: PartitionId) -> Self {
         Trt {
             partition,
-            inner: Mutex::new(ExtHash::new()),
+            inner: Mutex::new(LockClass::TrtInner, partition.0 as u64, ExtHash::new()),
             stats: TrtStats::default(),
         }
     }

@@ -8,7 +8,7 @@
 //! traversal") and the relaxed-2PL wait on every transaction that ever
 //! locked an object.
 
-use parking_lot::{Condvar, Mutex};
+use crate::lockdep::{Condvar, LockClass, Mutex};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
@@ -43,7 +43,7 @@ impl TxnManager {
     pub fn new() -> Self {
         TxnManager {
             next: AtomicU64::new(1),
-            active: Mutex::new(HashSet::new()),
+            active: Mutex::new(LockClass::TxnRegistry, 0, HashSet::new()),
             cv: Condvar::new(),
         }
     }

@@ -20,8 +20,8 @@
 use crate::addr::{PartitionId, PhysAddr};
 use crate::trt::{RefAction, Trt};
 use crate::txn::TxnId;
+use crate::lockdep::{LockClass, Mutex};
 use crate::wal::{LogPayload, LogRecord, Lsn, PinId, Wal};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -53,13 +53,17 @@ impl LogAnalyzer {
     /// Create an analyzer that starts scanning at `from`.
     pub fn new(from: Lsn) -> Self {
         LogAnalyzer {
-            state: Mutex::new(AnalyzerState {
-                cursor: from,
-                pin: None,
-                txn_deletes: HashMap::new(),
-                reorg_txns: HashMap::new(),
-                active: std::collections::HashSet::new(),
-            }),
+            state: Mutex::new(
+                LockClass::AnalyzerCursor,
+                0,
+                AnalyzerState {
+                    cursor: from,
+                    pin: None,
+                    txn_deletes: HashMap::new(),
+                    reorg_txns: HashMap::new(),
+                    active: std::collections::HashSet::new(),
+                },
+            ),
         }
     }
 
@@ -242,7 +246,7 @@ pub fn rebuild_trt_seeded(
         );
     }
     drop(trts);
-    Arc::try_unwrap(trt).expect("sole owner after scan")
+    Arc::try_unwrap(trt).expect("invariant: sole Arc owner after scan")
 }
 
 #[cfg(test)]

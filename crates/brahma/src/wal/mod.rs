@@ -19,10 +19,10 @@
 pub mod analyzer;
 
 use crate::addr::{PartitionId, PhysAddr};
+use crate::lockdep::{Condvar, LockClass, Mutex};
 use crate::object::ObjectView;
 use crate::txn::TxnId;
 use obs::{Counter, Histogram};
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -197,15 +197,15 @@ impl Wal {
     /// exceeds an internal watermark (long benchmark runs).
     pub fn new(retain: bool, flush_latency: Duration) -> Self {
         Wal {
-            inner: Mutex::new(WalInner::default()),
+            inner: Mutex::new(LockClass::WalInner, 0, WalInner::default()),
             retain,
             flush_latency,
             flushed_lsn: AtomicU64::new(0),
-            pins: Mutex::new(std::collections::HashMap::new()),
+            pins: Mutex::new(LockClass::WalPins, 0, std::collections::HashMap::new()),
             next_pin: AtomicU64::new(1),
             pinned_lsn: AtomicU64::new(u64::MAX),
             truncate_watermark: 1 << 16,
-            flush_leader: Mutex::new(false),
+            flush_leader: Mutex::new(LockClass::WalFlushLeader, 0, false),
             flush_cv: Condvar::new(),
             stats: WalStats::default(),
         }
@@ -387,15 +387,15 @@ mod tests {
     #[test]
     fn truncation_respects_pin() {
         let wal = Wal {
-            inner: Mutex::new(WalInner::default()),
+            inner: Mutex::new(LockClass::WalInner, 0, WalInner::default()),
             retain: false,
             flush_latency: Duration::ZERO,
             flushed_lsn: AtomicU64::new(0),
-            pins: Mutex::new(std::collections::HashMap::new()),
+            pins: Mutex::new(LockClass::WalPins, 0, std::collections::HashMap::new()),
             next_pin: AtomicU64::new(1),
             pinned_lsn: AtomicU64::new(u64::MAX),
             truncate_watermark: 10,
-            flush_leader: Mutex::new(false),
+            flush_leader: Mutex::new(LockClass::WalFlushLeader, 0, false),
             flush_cv: Condvar::new(),
             stats: WalStats::default(),
         };

@@ -20,7 +20,7 @@ use brahma::{Database, PartitionId};
 /// live objects in discovery order plus approximate parent lists.
 pub fn find_objects_and_approx_parents(db: &Database, partition: PartitionId) -> TraversalState {
     let mut state = TraversalState::default();
-    let part = db.partition(partition).expect("partition under reorg exists");
+    let part = db.partition(partition).expect("invariant: reorg partition exists (validated by start_reorg)");
 
     // L1: traverse from the ERT's referenced objects, plus any persistent
     // roots that live in this partition (the paper keeps roots in their own
@@ -67,7 +67,7 @@ pub fn merge_ert_parents(
     state: &mut TraversalState,
     from: usize,
 ) {
-    let part = db.partition(partition).expect("partition exists");
+    let part = db.partition(partition).expect("invariant: reorg partition exists (validated by start_reorg)");
     for i in from..state.order.len() {
         let obj = state.order[i];
         for parent in part.ert.parents_of(obj) {

@@ -204,11 +204,11 @@ impl Reader<'_> {
     }
 
     fn u16(&mut self) -> Result<u16, StoreError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("invariant: take(n) yields exactly n bytes")))
     }
 
     fn u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("invariant: take(n) yields exactly n bytes")))
     }
 
     fn addr(&mut self) -> Result<PhysAddr, StoreError> {

@@ -14,8 +14,8 @@ use crate::order::{order_queue, MigrationOrder};
 use crate::plan::RelocationPlan;
 use crate::shared::{MigrationMap, OwnerId};
 use crate::traversal::TraversalState;
+use brahma::lockdep::{self, LockClass, Mutex};
 use brahma::{Database, Error as StoreError, LockMode, PartitionId, PhysAddr, RetryPolicy};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::collections::HashSet;
 use std::fmt;
@@ -458,6 +458,19 @@ impl<'a> WorkerCtx<'a> {
             let step = find_exact_parents(self.db, &mut txn, oold, self.state, &keep)
                 .and_then(|parents| {
                     self.stats.exact_time += exact_start.elapsed();
+                    // Basic-IRA footprint invariant (Section 3.5): after
+                    // Find_Exact_Parents the batch transaction holds locks
+                    // only on confirmed parents — the current object's and
+                    // the kept set from earlier objects in this batch.
+                    let allowed: Vec<u64> = keep
+                        .iter()
+                        .chain(parents.iter())
+                        .map(|a| a.to_raw())
+                        .collect();
+                    lockdep::assert_txn_locks_subset(
+                        &allowed,
+                        "basic IRA after Find_Exact_Parents",
+                    );
                     let migrate_start = Instant::now();
                     let onew = move_object_and_update_refs(
                         self.db,
@@ -697,6 +710,9 @@ impl ReorgRun<'_> {
                 }
             }
             pos = batch_end;
+            // Every batch transaction committed or rolled back: the driver
+            // thread must hold no lock-manager locks between batches.
+            lockdep::assert_no_txn_locks("IRA serial driver at batch boundary");
             self.db.fault.observe(ira_site::BATCH);
             if let Some(t) = &self.config.throttle {
                 window_batches += 1;
@@ -745,8 +761,9 @@ impl ReorgRun<'_> {
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         let crash = AtomicBool::new(false);
-        let fatal: Mutex<Option<StoreError>> = Mutex::new(None);
-        let deferred: Mutex<Vec<PhysAddr>> = Mutex::new(Vec::new());
+        let fatal: Mutex<Option<StoreError>> = Mutex::new(LockClass::WaveDeferred, 0, None);
+        let deferred: Mutex<Vec<PhysAddr>> =
+            Mutex::new(LockClass::WaveDeferred, 1, Vec::new());
         let pauses = AtomicUsize::new(self.throttle_pauses);
 
         let db = self.db;
@@ -798,6 +815,11 @@ impl ReorgRun<'_> {
                                         break 'claim;
                                     }
                                 }
+                                // Workers may not carry locks across a batch
+                                // boundary (crash consistency depends on it).
+                                lockdep::assert_no_txn_locks(
+                                    "wave worker at batch boundary",
+                                );
                                 db.fault.observe(ira_site::BATCH);
                                 db.stats.reorg_wave_batches.fetch_add(1, AtomicOrd::Relaxed);
                                 if let Some(t) = &config.throttle {
@@ -828,7 +850,16 @@ impl ReorgRun<'_> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(stats) => stats,
+                    // Surface a worker panic (e.g. a lockdep violation in a
+                    // debug build) on the driver thread instead of dying
+                    // with a generic scope error.
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
         });
         for stats in worker_stats {
             self.absorb(stats);

@@ -19,8 +19,8 @@
 //! inserts `InFlight` before it snapshots the child's parents, so exactly
 //! one of the two workers observes the other.
 
+use brahma::lockdep::{LockClass, Mutex};
 use brahma::{Error as StoreError, PhysAddr, Result};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 
 /// Shard count; a small power of two spreads workers across locks.
@@ -60,7 +60,9 @@ pub struct MigrationMap {
 impl Default for MigrationMap {
     fn default() -> Self {
         MigrationMap {
-            shards: (0..MAP_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..MAP_SHARDS)
+                .map(|i| Mutex::new(LockClass::MigrationShard, i as u64, HashMap::new()))
+                .collect(),
         }
     }
 }

@@ -13,8 +13,8 @@
 //! referenced objects that have not been visited yet (line L2 of Figure 3),
 //! so no live object is missed (Lemma 3.1).
 
+use brahma::lockdep::{LockClass, Mutex};
 use brahma::{Database, PartitionId, PhysAddr};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -103,7 +103,9 @@ impl ParentMap {
 impl Default for ParentMap {
     fn default() -> Self {
         ParentMap {
-            shards: (0..PARENT_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..PARENT_SHARDS)
+                .map(|i| Mutex::new(LockClass::TraversalShard, i as u64, HashMap::new()))
+                .collect(),
         }
     }
 }
@@ -112,9 +114,17 @@ impl Clone for ParentMap {
     fn clone(&self) -> Self {
         let out = ParentMap::default();
         for shard in &self.shards {
-            for (child, ps) in shard.lock().iter() {
-                for &p in ps {
-                    out.add(*child, p);
+            // Snapshot the shard, then insert with its lock released:
+            // holding a source shard across `out.add` would nest two
+            // TraversalShard locks with unordered indices.
+            let entries: Vec<(PhysAddr, Vec<PhysAddr>)> = shard
+                .lock()
+                .iter()
+                .map(|(c, ps)| (*c, ps.iter().copied().collect()))
+                .collect();
+            for (child, ps) in entries {
+                for p in ps {
+                    out.add(child, p);
                 }
             }
         }
@@ -187,6 +197,10 @@ pub fn fuzzy_traversal(
     seeds: impl IntoIterator<Item = PhysAddr>,
     state: &mut TraversalState,
 ) {
+    // Section 3.4's core invariant: the traversal synchronizes through page
+    // latches only. The region guard makes any lock-manager acquisition on
+    // this thread a lockdep violation until the traversal returns.
+    let _fuzzy = brahma::lockdep::fuzzy_region();
     let mut stack: Vec<PhysAddr> = seeds
         .into_iter()
         .filter(|a| a.partition() == partition && !state.visited.contains(a))

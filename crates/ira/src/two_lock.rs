@@ -53,6 +53,11 @@ pub fn migrate_two_lock(
 ) -> Result<PhysAddr> {
     let partition = oold.partition();
 
+    // Section 4.2's defining claim, checked at runtime: within this region
+    // the reorganizer never holds locks on more than two distinct objects
+    // (O_old/O_new alias to one once the copy exists).
+    let _two_lock = brahma::lockdep::two_lock_region();
+
     // Guard transaction: holds O_old (and soon O_new) for the whole
     // migration.
     let mut guard = db.begin_reorg(partition);
@@ -104,6 +109,7 @@ pub fn migrate_two_lock(
         }
     }
     creator.commit()?;
+    brahma::lockdep::two_lock_alias(oold.to_raw(), onew.to_raw());
     guard.lock(onew, LockMode::Exclusive)?;
 
     // Repoint parents one at a time. The approximate list seeds the work;
@@ -270,6 +276,45 @@ mod tests {
         assert!(db.raw_read(o).is_err());
         assert_eq!(mapping.committed(o), Some(onew));
         brahma::sweep::assert_database_consistent(&db);
+    }
+
+    /// Integration-level footprint check: a real migration stays within the
+    /// two-lock budget, and a seeded third distinct lock inside the region
+    /// trips lockdep. (The unit-level variant lives in `brahma::lockdep`.)
+    #[test]
+    #[cfg(any(debug_assertions, feature = "lockdep"))]
+    fn migration_is_clean_and_seeded_third_lock_trips() {
+        let db = Database::new(StoreConfig::default());
+        let p0 = db.create_partition();
+        let p1 = db.create_partition();
+        let o = mk(&db, p1, vec![]);
+        let e1 = mk(&db, p0, vec![o]);
+
+        db.start_reorg(p1).unwrap();
+        let state = find_objects_and_approx_parents(&db, p1);
+        let mapping = MigrationMap::new();
+        let (onew, raised) = brahma::lockdep::tolerate(|| migrate(&db, o, &state, &mapping));
+        db.end_reorg(p1);
+        assert_eq!(raised, 0, "a real two-lock migration must not trip lockdep");
+        assert_eq!(db.raw_read(e1).unwrap().refs, vec![onew]);
+
+        // Seeded violation: three distinct objects locked inside the region.
+        let a = mk(&db, p0, vec![]);
+        let b = mk(&db, p0, vec![]);
+        let c = mk(&db, p0, vec![]);
+        let ((), raised) = brahma::lockdep::tolerate(|| {
+            let region = brahma::lockdep::two_lock_region();
+            let mut t = db.begin();
+            t.lock(a, LockMode::Exclusive).unwrap();
+            t.lock(b, LockMode::Exclusive).unwrap();
+            t.lock(c, LockMode::Exclusive).unwrap();
+            drop(region);
+            t.commit().unwrap();
+        });
+        assert!(
+            raised >= 1,
+            "a third distinct lock inside a two-lock region must trip lockdep"
+        );
     }
 
     #[test]

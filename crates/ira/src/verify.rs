@@ -20,7 +20,7 @@ pub fn logical_fingerprint(db: &Database, anchors: &[PhysAddr]) -> Vec<String> {
             continue;
         }
         ids.insert(a, ids.len());
-        let v = db.raw_read(a).expect("live object readable");
+        let v = db.raw_read(a).expect("invariant: traversed object is live");
         for &c in v.refs.iter().rev() {
             stack.push(c);
         }
@@ -30,7 +30,7 @@ pub fn logical_fingerprint(db: &Database, anchors: &[PhysAddr]) -> Vec<String> {
     by_id.sort_unstable();
     let mut out = Vec::new();
     for (_, a) in by_id {
-        let v = db.raw_read(a).unwrap();
+        let v = db.raw_read(a).expect("invariant: object read in first pass");
         let edge_ids: Vec<usize> = v.refs.iter().map(|c| ids[c]).collect();
         out.push(format!(
             "tag={} payload={:?} edges={:?}",

@@ -27,6 +27,11 @@ fn crash_point_sweep_over_every_site() {
     let mut fired: HashMap<&'static str, u64> = HashMap::new();
     let mut crashed_cells = 0usize;
     let mut total_cells = 0usize;
+    // Lockdep runs armed throughout the sweep (debug builds / the `lockdep`
+    // feature): any lock-order cycle or IRA footprint breach inside a cell
+    // panics the cell. The counter check below catches the release-with-
+    // lockdep configuration, where violations count instead of panicking.
+    let lockdep_before = brahma::lockdep::violations();
 
     for (i, &site) in all_sites().iter().enumerate() {
         for &stride in &strides() {
@@ -71,5 +76,10 @@ fn crash_point_sweep_over_every_site() {
     assert!(
         crashed_cells > 0,
         "the sweep must exercise the crash/recover/resume path ({total_cells} cells ran)"
+    );
+    assert_eq!(
+        brahma::lockdep::violations(),
+        lockdep_before,
+        "the chaos sweep must run clean under lockdep"
     );
 }
