@@ -15,6 +15,13 @@ CHAOS_QUICK=1 cargo test -q -p ira --test chaos_sweep
 # Parallel wave-executor smoke: isomorphism vs serial and mid-wave
 # crash/resume at the reduced PAR_QUICK sizes.
 PAR_QUICK=1 cargo test -q -p ira --test parallel_exec
+# Schedule capture/replay regression (DESIGN.md §12): the checked-in
+# lost-tuple trace must replay the PR-4 fuzzy-checkpoint race
+# deterministically, and a bounded PCT exploration smoke (2 fault seeds ×
+# 2 priority seeds per site shape, fixed root) must verify every cell.
+cargo test -q -p ira --features sched-trace --test replay_regression
+EXPLORE_ROOTS=2 EXPLORE_PRIOS=2 cargo test -q -p ira --features sched-trace \
+  --test replay_regression -- --ignored explore_chaos
 # Runtime lock-order checker in its release configuration (DESIGN.md §11):
 # debug/test builds above already run with lockdep armed via
 # debug_assertions; this pass proves the `lockdep` feature also composes

@@ -392,6 +392,7 @@ impl Database {
         child: PhysAddr,
     ) {
         DbStats::bump(&self.stats.ref_inserts);
+        crate::sched::point("db.note_insert", child.to_raw());
         if parent.partition() != child.partition() {
             if let Ok(part) = self.partition(child.partition()) {
                 part.ert.insert(child, parent);
@@ -417,6 +418,7 @@ impl Database {
         child: PhysAddr,
     ) {
         DbStats::bump(&self.stats.ref_deletes);
+        crate::sched::point("db.note_delete", child.to_raw());
         if reorg_for != Some(child.partition())
             && self.config.maintenance == RefTableMaintenance::Inline
         {

@@ -232,20 +232,35 @@ impl FaultInjector {
 
     #[cold]
     fn hit_slow(&self, site: &'static str) -> Result<()> {
-        let mut st = self.state.lock();
-        let hit = st.hits.entry(site).or_insert(0);
-        *hit += 1;
-        let hit = *hit;
-        let action = st
-            .plan
-            .rules
-            .iter()
-            .find(|r| r.site == site && r.fires_at(hit))
-            .map(|r| r.action);
+        // Bookkeeping happens in one block so the state guard is dropped
+        // before the sched point: a gating schedule controller may block
+        // this thread there, and it must not do so while holding FaultState.
+        let (hit, action) = {
+            let mut st = self.state.lock();
+            let hit = st.hits.entry(site).or_insert(0);
+            *hit += 1;
+            let hit = *hit;
+            let action = st
+                .plan
+                .rules
+                .iter()
+                .find(|r| r.site == site && r.fires_at(hit))
+                .map(|r| r.action);
+            if action.is_some() {
+                *st.fired.entry(site).or_insert(0) += 1;
+                if action == Some(FaultAction::Crash) {
+                    st.crash_site = Some(site);
+                }
+            }
+            (hit, action)
+        };
         let Some(action) = action else {
             return Ok(());
         };
-        *st.fired.entry(site).or_insert(0) += 1;
+        // Schedule capture: only *fired* rules are interleaving-relevant
+        // (every mutator hits its sites on every call; firing is rare). The
+        // site name itself is the event.
+        crate::sched::point(site, hit);
         match action {
             FaultAction::Retryable => Err(Error::Injected {
                 site,
@@ -256,8 +271,6 @@ impl FaultInjector {
                 kind: InjectedKind::Permanent,
             }),
             FaultAction::Crash => {
-                st.crash_site = Some(site);
-                drop(st);
                 self.crash_requested.store(true, Ordering::SeqCst);
                 Ok(())
             }

@@ -271,6 +271,23 @@ impl<'db> Txn<'db> {
         let probe = PhysAddr::new(partition, 0, 0);
         let view = spec.into_view(probe)?;
         let addr = part.allocate(view.size())?;
+        self.db.locks.lock(self.id, addr, LockMode::Exclusive)?;
+        self.record_lock(addr);
+        // INVARIANT (fuzzy checkpoint, DESIGN.md §12): every TRT/ERT note a
+        // mutation produces must happen *before* its WAL append. The
+        // checkpoint reads `next_lsn` and then dumps the TRT; note-after-
+        // append admits a schedule where the dump misses the tuple while the
+        // record's LSN is already below the replay window, so seeded
+        // reconstruction loses it (fatal if this txn aborts — aborts purge
+        // only delete tuples). Note-before-append makes that a contradiction:
+        // the worst case is the tuple landing in both snapshot and window,
+        // which reconstruction tolerates as a conservative duplicate. The X
+        // lock held on `addr` keeps early insert-notes invisible to
+        // Find_Exact_Parents until this txn resolves. Applies to all five
+        // mutators and the compensation arms in `apply_undo`.
+        for &child in &view.refs {
+            self.db.note_ref_insert(self.id, self.reorg_for, addr, child);
+        }
         self.last_lsn = self.db.wal.append(
             self.id,
             LogPayload::Create {
@@ -280,11 +297,6 @@ impl<'db> Txn<'db> {
         );
         self.db
             .with_page_write(addr, |buf| object::init_object(buf, addr, &view))?;
-        self.db.locks.lock(self.id, addr, LockMode::Exclusive)?;
-        self.record_lock(addr);
-        for &child in &view.refs {
-            self.db.note_ref_insert(self.id, self.reorg_for, addr, child);
-        }
         self.undo.push(LogPayload::Create { addr, image: view });
         self.db.stats.creates.fetch_add(1, Ordering::Relaxed);
         Ok(addr)
@@ -303,6 +315,12 @@ impl<'db> Txn<'db> {
         let image = self
             .db
             .with_page_read(addr, |buf| object::read_view(buf, addr))??;
+        // Pointer deletes are noted before the physical update — and before
+        // the WAL append (note-before-append invariant, see create_object).
+        for &child in &image.refs {
+            self.db.note_ref_delete(self.id, self.reorg_for, addr, child);
+            self.deleted_pairs.push((child, addr));
+        }
         self.last_lsn = self.db.wal.append(
             self.id,
             LogPayload::Free {
@@ -310,11 +328,6 @@ impl<'db> Txn<'db> {
                 image: image.clone(),
             },
         );
-        // Pointer deletes are noted before the physical update.
-        for &child in &image.refs {
-            self.db.note_ref_delete(self.id, self.reorg_for, addr, child);
-            self.deleted_pairs.push((child, addr));
-        }
         self.db
             .with_page_write(addr, |buf| object::mark_free(buf, addr))??;
         let part = self.db.partition(addr.partition())?;
@@ -348,6 +361,9 @@ impl<'db> Txn<'db> {
             return Err(Error::RefCapacityExceeded(parent));
         }
         let index = header.nrefs as usize;
+        // Note-before-append invariant (see create_object); the X lock on
+        // `parent` keeps the early insert-note invisible to readers.
+        self.db.note_ref_insert(self.id, self.reorg_for, parent, child);
         self.last_lsn = self.db.wal.append(
             self.id,
             LogPayload::InsertRef {
@@ -360,7 +376,6 @@ impl<'db> Txn<'db> {
             .db
             .with_page_write(parent, |buf| object::insert_ref(buf, parent, child))??;
         debug_assert_eq!(got, index, "X lock guarantees a stable index");
-        self.db.note_ref_insert(self.id, self.reorg_for, parent, child);
         self.undo.push(LogPayload::InsertRef {
             parent,
             child,
@@ -405,6 +420,10 @@ impl<'db> Txn<'db> {
         self.db.fault.hit(site::TRT_NOTE)?;
         self.db.fault.hit(site::ERT_NOTE)?;
         self.db.charge_access();
+        // Note the delete in the TRT before removing the pointer — and
+        // before the WAL append (note-before-append, see create_object).
+        self.db.note_ref_delete(self.id, self.reorg_for, parent, child);
+        self.deleted_pairs.push((child, parent));
         self.last_lsn = self.db.wal.append(
             self.id,
             LogPayload::DeleteRef {
@@ -413,9 +432,6 @@ impl<'db> Txn<'db> {
                 index,
             },
         );
-        // Note the delete in the TRT before removing the pointer.
-        self.db.note_ref_delete(self.id, self.reorg_for, parent, child);
-        self.deleted_pairs.push((child, parent));
         self.db
             .with_page_write(parent, |buf| object::remove_ref_at(buf, parent, index))??;
         self.undo.push(LogPayload::DeleteRef {
@@ -446,6 +462,15 @@ impl<'db> Txn<'db> {
         let old_child = *refs
             .get(index)
             .ok_or(Error::RefIndexOutOfBounds { addr: parent, index })?;
+        // Both halves of the overwrite are noted before the WAL append
+        // (note-before-append, see create_object): the delete-note also
+        // precedes the physical update, the insert-note is shielded by the
+        // X lock on `parent`.
+        self.db
+            .note_ref_delete(self.id, self.reorg_for, parent, old_child);
+        self.deleted_pairs.push((old_child, parent));
+        self.db
+            .note_ref_insert(self.id, self.reorg_for, parent, new_child);
         self.last_lsn = self.db.wal.append(
             self.id,
             LogPayload::SetRef {
@@ -456,12 +481,7 @@ impl<'db> Txn<'db> {
             },
         );
         self.db
-            .note_ref_delete(self.id, self.reorg_for, parent, old_child);
-        self.deleted_pairs.push((old_child, parent));
-        self.db
             .with_page_write(parent, |buf| object::set_ref(buf, parent, index, new_child))??;
-        self.db
-            .note_ref_insert(self.id, self.reorg_for, parent, new_child);
         self.undo.push(LogPayload::SetRef {
             parent,
             index,
@@ -554,9 +574,15 @@ impl<'db> Txn<'db> {
 
     fn apply_undo(&mut self, op: LogPayload) -> Result<()> {
         let db = self.db;
+        // Compensation records obey the same note-before-append invariant as
+        // the forward mutators (see create_object): the fuzzy checkpoint may
+        // run concurrently with a rollback.
         match op {
             LogPayload::Create { addr, image } => {
                 // Compensate a create with a free.
+                for &child in &image.refs {
+                    db.note_ref_delete(self.id, self.reorg_for, addr, child);
+                }
                 db.wal.append(
                     self.id,
                     LogPayload::Free {
@@ -564,9 +590,6 @@ impl<'db> Txn<'db> {
                         image: image.clone(),
                     },
                 );
-                for &child in &image.refs {
-                    db.note_ref_delete(self.id, self.reorg_for, addr, child);
-                }
                 db.with_page_write(addr, |buf| object::mark_free(buf, addr))??;
                 let part = db.partition(addr.partition())?;
                 if self.reorg_for == Some(addr.partition()) {
@@ -576,6 +599,9 @@ impl<'db> Txn<'db> {
                 }
             }
             LogPayload::Free { addr, image } => {
+                for &child in &image.refs {
+                    db.note_ref_insert(self.id, self.reorg_for, addr, child);
+                }
                 db.wal.append(
                     self.id,
                     LogPayload::Create {
@@ -586,9 +612,6 @@ impl<'db> Txn<'db> {
                 let part = db.partition(addr.partition())?;
                 part.alloc_at(addr, image.size())?;
                 db.with_page_write(addr, |buf| object::init_object(buf, addr, &image))?;
-                for &child in &image.refs {
-                    db.note_ref_insert(self.id, self.reorg_for, addr, child);
-                }
             }
             LogPayload::SetPayload { addr, old, new } => {
                 db.wal.append(
@@ -606,6 +629,7 @@ impl<'db> Txn<'db> {
                 child,
                 index,
             } => {
+                db.note_ref_delete(self.id, self.reorg_for, parent, child);
                 db.wal.append(
                     self.id,
                     LogPayload::DeleteRef {
@@ -614,7 +638,6 @@ impl<'db> Txn<'db> {
                         index,
                     },
                 );
-                db.note_ref_delete(self.id, self.reorg_for, parent, child);
                 db.with_page_write(parent, |buf| object::remove_ref_at(buf, parent, index))??;
             }
             LogPayload::DeleteRef {
@@ -622,6 +645,9 @@ impl<'db> Txn<'db> {
                 child,
                 index,
             } => {
+                // Section 4.5: a reintroduced reference is treated as an
+                // insertion in the TRT.
+                db.note_ref_insert(self.id, self.reorg_for, parent, child);
                 db.wal.append(
                     self.id,
                     LogPayload::InsertRef {
@@ -633,9 +659,6 @@ impl<'db> Txn<'db> {
                 db.with_page_write(parent, |buf| {
                     object::insert_ref_at(buf, parent, index, child)
                 })??;
-                // Section 4.5: a reintroduced reference is treated as an
-                // insertion in the TRT.
-                db.note_ref_insert(self.id, self.reorg_for, parent, child);
             }
             LogPayload::SetRef {
                 parent,
@@ -643,6 +666,8 @@ impl<'db> Txn<'db> {
                 old_child,
                 new_child,
             } => {
+                db.note_ref_delete(self.id, self.reorg_for, parent, new_child);
+                db.note_ref_insert(self.id, self.reorg_for, parent, old_child);
                 db.wal.append(
                     self.id,
                     LogPayload::SetRef {
@@ -652,11 +677,9 @@ impl<'db> Txn<'db> {
                         new_child: old_child,
                     },
                 );
-                db.note_ref_delete(self.id, self.reorg_for, parent, new_child);
                 db.with_page_write(parent, |buf| {
                     object::set_ref(buf, parent, index, old_child)
                 })??;
-                db.note_ref_insert(self.id, self.reorg_for, parent, old_child);
             }
             _ => unreachable!("non-update payload in undo chain"),
         }

@@ -64,6 +64,7 @@ pub mod page;
 pub mod partition;
 pub mod recovery;
 pub mod retry;
+pub mod sched;
 pub mod sweep;
 pub mod trt;
 pub mod txn;
@@ -81,6 +82,7 @@ pub use object::ObjectView;
 pub use partition::{Partition, SpaceStats};
 pub use recovery::{recover, Checkpoint, CrashImage, RecoveryOutcome};
 pub use retry::{RetryPolicy, RetryState, RetryStats};
+pub use sched::{env_flag, SeedTree};
 pub use trt::{RefAction, Trt, TrtTuple};
 pub use txn::{TxnId, TxnManager};
 pub use wal::{LogPayload, LogRecord, Lsn, Wal};

@@ -13,6 +13,7 @@
 //! than a shared RNG stream, so concurrent retriers never contend and a
 //! replay with the same seed produces the same delays.
 
+use crate::sched::{self, splitmix64};
 use obs::Counter;
 use std::time::Duration;
 
@@ -149,6 +150,7 @@ impl crate::db::Database {
         match state.next_delay() {
             Some(delay) => {
                 self.retry_stats.attempts.inc();
+                sched::point("retry.backoff", state.attempt as u64);
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
                 }
@@ -156,17 +158,11 @@ impl crate::db::Database {
             }
             None => {
                 self.retry_stats.giveups.inc();
+                sched::point("retry.giveup", state.attempt as u64);
                 false
             }
         }
     }
-}
-
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
 }
 
 #[cfg(test)]

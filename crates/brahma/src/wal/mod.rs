@@ -215,6 +215,9 @@ impl Wal {
     pub fn append(&self, tid: TxnId, payload: LogPayload) -> Lsn {
         self.stats.records.inc();
         self.stats.bytes.add(payload.approx_size());
+        // Schedule capture: appends order the log against TRT notes and the
+        // fuzzy checkpoint's next_lsn read; gate *before* taking WalInner.
+        crate::sched::point("wal.append.rec", tid.0);
         let mut inner = self.inner.lock();
         let lsn = inner.next_lsn;
         inner.next_lsn += 1;

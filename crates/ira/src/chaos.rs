@@ -175,6 +175,7 @@ fn spawn_walkers(
             let anchors = graph.anchors.clone();
             let p0 = graph.p0;
             std::thread::spawn(move || {
+                brahma::sched::set_thread_label(&format!("walker-{w}"));
                 let mut round = 0usize;
                 while !stop.load(Ordering::SeqCst) {
                     round += 1;
@@ -269,6 +270,11 @@ fn primer(db: &Database, p0: PartitionId, anchor: PhysAddr) {
 /// Run one cell of the chaos matrix end to end, panicking on any invariant
 /// violation. See the module docs for the protocol.
 pub fn run_crash_cell(cell: &ChaosCell) -> CellOutcome {
+    // Capture the cell's schedule: a failing assertion anywhere below
+    // leaves the event ring behind for `SCHED_DUMP` (the ring is cleared on
+    // arm, so a dump covers exactly this cell). Not disarmed on panic.
+    brahma::sched::arm();
+    brahma::sched::set_thread_label("cell-driver");
     let store = StoreConfig {
         lock_timeout: Duration::from_millis(25),
         ..StoreConfig::default()
@@ -317,6 +323,7 @@ pub fn run_crash_cell(cell: &ChaosCell) -> CellOutcome {
             let report = outcome.ira.as_ref().expect("incremental run reports IRA");
             crate::verify::assert_reorganization_clean(&db, report);
             brahma::sweep::assert_database_consistent(&db);
+            brahma::sched::disarm();
             CellOutcome {
                 fired,
                 crashed: false,
@@ -360,6 +367,7 @@ pub fn run_crash_cell(cell: &ChaosCell) -> CellOutcome {
             let report = outcome.ira.as_ref().expect("resume reports IRA");
             crate::verify::assert_reorganization_clean(&db, report);
             brahma::sweep::assert_database_consistent(&db);
+            brahma::sched::disarm();
             CellOutcome {
                 fired,
                 crashed: true,
@@ -368,6 +376,22 @@ pub fn run_crash_cell(cell: &ChaosCell) -> CellOutcome {
             }
         }
         Err(e) => panic!("cell {cell:?}: reorganization failed: {e}"),
+    }
+}
+
+/// Run `f`, and if it panics print a one-line `REPRO: {banner}` to stderr
+/// (plus a schedule dump when `SCHED_DUMP=path` is set) before resuming the
+/// unwind. Every chaos/parallel/property test wraps its assertion-bearing
+/// body in this so a flake always leaves its seed and cell coordinates
+/// behind — the banner is the re-run command's arguments.
+pub fn with_repro_banner<T>(banner: &str, f: impl FnOnce() -> T) -> T {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => v,
+        Err(payload) => {
+            eprintln!("REPRO: {banner}");
+            brahma::sched::dump_on_failure(banner);
+            std::panic::resume_unwind(payload)
+        }
     }
 }
 

@@ -400,6 +400,14 @@ struct WorkerCtx<'a> {
     state: &'a TraversalState,
     mapping: &'a MigrationMap,
     owner: OwnerId,
+    /// The configured retry policy reseeded per owner through a
+    /// [`brahma::SeedTree`] child: the jitter hash is `(seed, attempt)`, so
+    /// N workers sharing one policy seed would draw *identical* backoff
+    /// streams (synchronized re-collision) — and which worker retries which
+    /// batch would depend on claim order, making delays schedule-dependent.
+    /// Per-owner seeds are decorrelated and reproducible at any worker
+    /// count.
+    retry: RetryPolicy,
     stats: WorkerStats,
 }
 
@@ -414,7 +422,10 @@ impl<'a> WorkerCtx<'a> {
     /// objects migrated (skipped objects — already migrated or claimed
     /// elsewhere — don't count).
     fn run_batch(&mut self, batch: &[PhysAddr]) -> Result<usize, BatchFail> {
-        let mut backoff = self.config.retry.start();
+        // RetryState borrows the policy; clone it so the loop can borrow
+        // `self` mutably for the batch attempts.
+        let retry = self.retry.clone();
+        let mut backoff = retry.start();
         loop {
             let result = match self.config.variant {
                 IraVariant::Basic => self.try_batch_basic(batch),
@@ -555,7 +566,7 @@ impl<'a> WorkerCtx<'a> {
                 self.state,
                 self.mapping,
                 self.owner,
-                &self.config.retry,
+                &self.retry,
                 &self.exec.settle,
             );
             self.stats.migrate_time += migrate_start.elapsed();
@@ -580,6 +591,13 @@ enum LoopEnd {
 
 impl ReorgRun<'_> {
     fn worker_ctx(&self, owner: OwnerId) -> WorkerCtx<'_> {
+        let retry = RetryPolicy {
+            seed: brahma::SeedTree::new(self.config.retry.seed)
+                .child("ira.worker")
+                .child_idx(owner as u64)
+                .seed(),
+            ..self.config.retry.clone()
+        };
         WorkerCtx {
             db: self.db,
             partition: self.partition,
@@ -589,6 +607,7 @@ impl ReorgRun<'_> {
             state: &self.state,
             mapping: &self.mapping,
             owner,
+            retry,
             stats: WorkerStats::default(),
         }
     }
@@ -625,7 +644,14 @@ impl ReorgRun<'_> {
             .filter(|a| !survivors.contains(a))
             .collect();
         if self.config.collect_garbage && !garbage.is_empty() {
-            let mut backoff = self.config.retry.start();
+            // GC gets its own seed stream, like each worker (see WorkerCtx).
+            let gc_retry = RetryPolicy {
+                seed: brahma::SeedTree::new(self.config.retry.seed)
+                    .child("ira.gc")
+                    .seed(),
+                ..self.config.retry.clone()
+            };
+            let mut backoff = gc_retry.start();
             loop {
                 match self.try_collect_garbage(&garbage) {
                     Ok(()) => break,
@@ -713,6 +739,7 @@ impl ReorgRun<'_> {
             // Every batch transaction committed or rolled back: the driver
             // thread must hold no lock-manager locks between batches.
             lockdep::assert_no_txn_locks("IRA serial driver at batch boundary");
+            brahma::sched::point("ira.batch", pos as u64);
             self.db.fault.observe(ira_site::BATCH);
             if let Some(t) = &self.config.throttle {
                 window_batches += 1;
@@ -783,10 +810,12 @@ impl ReorgRun<'_> {
                     let pauses = &pauses;
                     let mut ctx = self.worker_ctx(w);
                     s.spawn(move || {
+                        brahma::sched::set_thread_label(&format!("wave-{w}"));
                         let mut window_batches = 0usize;
                         let mut timeouts_mark = db.locks.stats.timeouts.get();
                         'claim: while !stop.load(AtomicOrd::Relaxed) {
                             let c = next.fetch_add(1, AtomicOrd::Relaxed);
+                            brahma::sched::point("wave.claim", c as u64);
                             let Some(component) = components.get(c) else {
                                 break;
                             };
@@ -807,6 +836,10 @@ impl ReorgRun<'_> {
                                         // interference): hand the objects to
                                         // the serial tail instead of failing
                                         // the run.
+                                        brahma::sched::point(
+                                            "wave.defer",
+                                            chunk.len() as u64,
+                                        );
                                         deferred.lock().extend_from_slice(chunk);
                                     }
                                     Err(BatchFail::Fatal(e)) => {
@@ -820,6 +853,7 @@ impl ReorgRun<'_> {
                                 lockdep::assert_no_txn_locks(
                                     "wave worker at batch boundary",
                                 );
+                                brahma::sched::point("wave.batch", c as u64);
                                 db.fault.observe(ira_site::BATCH);
                                 db.stats.reorg_wave_batches.fetch_add(1, AtomicOrd::Relaxed);
                                 if let Some(t) = &config.throttle {
@@ -970,6 +1004,11 @@ impl ReorgRun<'_> {
         // tuples — replaying from `trt_lsn` may duplicate tuples already in
         // the snapshot, which is conservative (Section 4.4).
         let trt_lsn = self.db.wal.next_lsn();
+        // The schedule-critical instant: between the next_lsn read and the
+        // dump, concurrent mutators must leave every tuple either in the
+        // dump or in a record at lsn >= trt_lsn (note-before-append
+        // guarantees it; see brahma::handle::Txn::create_object).
+        brahma::sched::point("ira.ckpt.lsn", trt_lsn);
         let trt_snapshot = self
             .db
             .trt(self.partition)

@@ -67,6 +67,7 @@ pub mod order;
 pub mod plan;
 pub mod pqr;
 pub mod relaxed;
+pub mod replay;
 pub mod shared;
 pub mod traversal;
 pub mod two_lock;
@@ -76,7 +77,7 @@ pub mod wave;
 pub use builder::{
     IraBasic, IraTwoLock, Offline, Pqr, Reorg, ReorgOutcome, Reorganizer, Resume, Strategy,
 };
-pub use chaos::{run_crash_cell, CellOutcome, ChaosCell};
+pub use chaos::{run_crash_cell, with_repro_banner, CellOutcome, ChaosCell};
 pub use checkpoint::IraCheckpoint;
 #[allow(deprecated)]
 pub use checkpoint::resume_reorganization;
@@ -91,5 +92,6 @@ pub use plan::RelocationPlan;
 pub use pqr::PqrReport;
 #[allow(deprecated)]
 pub use pqr::{partition_quiesce_reorganize, partition_quiesce_reorganize_with};
+pub use replay::{Gate, PctExplorer, SchedTrace, TraceReplay};
 pub use shared::MigrationMap;
 pub use traversal::TraversalState;

@@ -12,32 +12,55 @@ use std::collections::HashMap;
 /// yield equal fingerprints exactly when their live graphs are isomorphic
 /// under relocation — the property every reorganization must preserve, and
 /// how the tests compare a parallel run against a serial one.
+///
+/// A *dangling* reference (to a freed or never-allocated address) renders
+/// as a `dead` edge rather than panicking, so a corrupted database
+/// fingerprints *differently* from a healthy one instead of killing the
+/// verifier — the failure shows up as a comparison diff with the broken
+/// edge in it.
 pub fn logical_fingerprint(db: &Database, anchors: &[PhysAddr]) -> Vec<String> {
     let mut ids: HashMap<PhysAddr, usize> = HashMap::new();
+    let mut views: Vec<brahma::ObjectView> = Vec::new();
     let mut stack: Vec<PhysAddr> = anchors.to_vec();
+    // Reverse so anchors are visited (and numbered) in argument order.
+    stack.reverse();
     while let Some(a) = stack.pop() {
         if ids.contains_key(&a) {
             continue;
         }
+        let Ok(v) = db.raw_read(a) else {
+            // Dangling target: no visit number. Edges pointing here render
+            // as `dead(raw)` below; a dangling *anchor* simply contributes
+            // no object line.
+            continue;
+        };
         ids.insert(a, ids.len());
-        let v = db.raw_read(a).expect("invariant: traversed object is live");
         for &c in v.refs.iter().rev() {
             stack.push(c);
         }
+        views.push(v);
     }
-    // Second pass: stable description per object in visit order.
-    let mut by_id: Vec<(usize, PhysAddr)> = ids.iter().map(|(&a, &i)| (i, a)).collect();
-    by_id.sort_unstable();
-    let mut out = Vec::new();
-    for (_, a) in by_id {
-        let v = db.raw_read(a).expect("invariant: object read in first pass");
-        let edge_ids: Vec<usize> = v.refs.iter().map(|c| ids[c]).collect();
-        out.push(format!(
-            "tag={} payload={:?} edges={:?}",
-            v.tag, v.payload, edge_ids
-        ));
-    }
-    out
+    // Second pass over the captured views: stable description per object in
+    // visit order (the views vec is already in visit order).
+    views
+        .iter()
+        .map(|v| {
+            let edge_ids: Vec<String> = v
+                .refs
+                .iter()
+                .map(|c| match ids.get(c) {
+                    Some(id) => id.to_string(),
+                    None => format!("dead({})", c.to_raw()),
+                })
+                .collect();
+            format!(
+                "tag={} payload={:?} edges=[{}]",
+                v.tag,
+                v.payload,
+                edge_ids.join(", ")
+            )
+        })
+        .collect()
 }
 
 /// Check a completed reorganization against the database:
@@ -70,4 +93,101 @@ pub fn assert_reorganization_clean(db: &Database, report: &IraReport) {
         "reorganization left inconsistencies:\n{}",
         problems.join("\n")
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brahma::{NewObject, StoreConfig};
+
+    fn mk(db: &Database, p: brahma::PartitionId, refs: Vec<PhysAddr>, tag: u8) -> PhysAddr {
+        let mut t = db.begin();
+        let a = t
+            .create_object(
+                p,
+                NewObject {
+                    tag,
+                    refs,
+                    ref_cap: 4,
+                    payload: vec![tag; 4],
+                    payload_cap: 8,
+                },
+            )
+            .unwrap();
+        t.commit().unwrap();
+        a
+    }
+
+    #[test]
+    fn empty_anchor_set_fingerprints_empty() {
+        let db = Database::new(StoreConfig::default());
+        db.create_partition();
+        assert!(logical_fingerprint(&db, &[]).is_empty());
+    }
+
+    #[test]
+    fn self_referential_object_terminates_with_self_edge() {
+        let db = Database::new(StoreConfig::default());
+        let p = db.create_partition();
+        let a = mk(&db, p, vec![], 3);
+        let mut t = db.begin();
+        t.lock(a, brahma::LockMode::Exclusive).unwrap();
+        t.insert_ref(a, a).unwrap();
+        t.commit().unwrap();
+        let fp = logical_fingerprint(&db, &[a]);
+        assert_eq!(fp.len(), 1);
+        assert!(fp[0].contains("edges=[0]"), "self-edge uses own id: {}", fp[0]);
+    }
+
+    #[test]
+    fn isomorphic_graphs_with_different_layouts_fingerprint_equal() {
+        // Same logical diamond (anchor -> {l, r} -> leaf), but db2 allocates
+        // padding objects first so every physical address differs.
+        let build = |padding: usize| {
+            let db = Database::new(StoreConfig::default());
+            let p = db.create_partition();
+            for i in 0..padding {
+                mk(&db, p, vec![], 100 + i as u8);
+            }
+            let leaf = mk(&db, p, vec![], 1);
+            let l = mk(&db, p, vec![leaf], 2);
+            let r = mk(&db, p, vec![leaf], 3);
+            let anchor = mk(&db, p, vec![l, r], 4);
+            (db, anchor)
+        };
+        let (db1, a1) = build(0);
+        let (db2, a2) = build(5);
+        assert_ne!(a1, a2, "layouts must actually differ");
+        assert_eq!(
+            logical_fingerprint(&db1, &[a1]),
+            logical_fingerprint(&db2, &[a2])
+        );
+    }
+
+    #[test]
+    fn dangling_reference_is_a_detectable_difference_not_a_panic() {
+        let build = || {
+            let db = Database::new(StoreConfig::default());
+            let p = db.create_partition();
+            let child = mk(&db, p, vec![], 1);
+            let anchor = mk(&db, p, vec![child], 2);
+            (db, child, anchor)
+        };
+        let (healthy, _, ha) = build();
+        let (broken, child, ba) = build();
+        // Free the child out from under the anchor's stored reference.
+        let mut t = broken.begin();
+        t.lock(child, brahma::LockMode::Exclusive).unwrap();
+        t.delete_object(child).unwrap();
+        t.commit().unwrap();
+        let good = logical_fingerprint(&healthy, &[ha]);
+        let bad = logical_fingerprint(&broken, &[ba]);
+        assert_ne!(good, bad, "the dangling edge must change the fingerprint");
+        assert!(
+            bad.iter().any(|l| l.contains("dead(")),
+            "the broken edge is named: {bad:?}"
+        );
+        // A dangling anchor contributes nothing (and doesn't panic either).
+        assert!(logical_fingerprint(&broken, &[child]).is_empty());
+    }
 }

@@ -8,13 +8,26 @@
 //!
 //! `CHAOS_QUICK=1` bounds the matrix to one stride per site (the ci.sh
 //! `--quick` configuration); the full matrix additionally asserts that
-//! every site actually fired in at least one cell.
+//! every site actually fired in at least one cell. A failing cell prints a
+//! `REPRO: …` banner with its exact coordinates (and dumps the schedule
+//! ring when `SCHED_DUMP=path` is set); `CHAOS_ROOT_SEED` overrides the
+//! root of the sweep's [`brahma::SeedTree`] to re-run a reported seed.
 
-use ira::chaos::{all_sites, run_crash_cell, site, ChaosCell};
+use brahma::{env_flag, SeedTree};
+use ira::chaos::{all_sites, run_crash_cell, site, with_repro_banner, ChaosCell};
 use std::collections::HashMap;
 
+/// Root of the sweep's seed tree: every cell seed derives from it, so the
+/// whole matrix is reproducible from this one number.
+fn root_seed() -> u64 {
+    std::env::var("CHAOS_ROOT_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0xC4A05)
+}
+
 fn strides() -> Vec<u64> {
-    if std::env::var_os("CHAOS_QUICK").is_some() {
+    if env_flag("CHAOS_QUICK") {
         vec![2]
     } else {
         vec![1, 3, 7]
@@ -23,7 +36,9 @@ fn strides() -> Vec<u64> {
 
 #[test]
 fn crash_point_sweep_over_every_site() {
-    let quick = std::env::var_os("CHAOS_QUICK").is_some();
+    let quick = env_flag("CHAOS_QUICK");
+    let root = root_seed();
+    let tree = SeedTree::new(root);
     let mut fired: HashMap<&'static str, u64> = HashMap::new();
     let mut crashed_cells = 0usize;
     let mut total_cells = 0usize;
@@ -38,14 +53,20 @@ fn crash_point_sweep_over_every_site() {
             let cell = ChaosCell {
                 site,
                 nth_hit: stride,
-                seed: 0xC4A05 ^ ((i as u64) << 8) ^ stride,
+                seed: tree.child(site).child_idx(stride).seed(),
                 // The quick sweep runs entirely on the parallel executor;
                 // the full matrix alternates serial and parallel cells.
                 workers: if quick { 2 } else { 1 + (i % 2) },
             };
             // run_crash_cell panics on any invariant violation; reaching
             // here means the cell verified.
-            let outcome = run_crash_cell(&cell);
+            let outcome = with_repro_banner(
+                &format!(
+                    "CHAOS_ROOT_SEED={root} CELL=site:{site},nth_hit:{stride},seed:{:#x},workers:{}",
+                    cell.seed, cell.workers
+                ),
+                || run_crash_cell(&cell),
+            );
             *fired.entry(site).or_default() += outcome.fired;
             total_cells += 1;
             if outcome.crashed {
@@ -56,7 +77,8 @@ fn crash_point_sweep_over_every_site() {
                 // before the rule itself reaches its stride.
                 assert!(
                     outcome.fired >= 1 || site == site::CHECKPOINT,
-                    "cell {cell:?} crashed without firing"
+                    "REPRO: CHAOS_ROOT_SEED={root} CELL=site:{site},nth_hit:{stride} \
+                     — cell {cell:?} crashed without firing"
                 );
             }
         }
@@ -69,17 +91,19 @@ fn crash_point_sweep_over_every_site() {
         for &site in &all_sites() {
             assert!(
                 fired.get(site).copied().unwrap_or(0) > 0,
-                "site {site} never fired in any cell of the full matrix"
+                "REPRO: CHAOS_ROOT_SEED={root} CELL=site:{site} \
+                 — site never fired in any cell of the full matrix"
             );
         }
     }
     assert!(
         crashed_cells > 0,
-        "the sweep must exercise the crash/recover/resume path ({total_cells} cells ran)"
+        "REPRO: CHAOS_ROOT_SEED={root} — the sweep must exercise the \
+         crash/recover/resume path ({total_cells} cells ran)"
     );
     assert_eq!(
         brahma::lockdep::violations(),
         lockdep_before,
-        "the chaos sweep must run clean under lockdep"
+        "REPRO: CHAOS_ROOT_SEED={root} — the chaos sweep must run clean under lockdep"
     );
 }

@@ -8,6 +8,7 @@
 //! invariants hold.
 
 use brahma::{Database, NewObject, PhysAddr, StoreConfig};
+use ira::chaos::with_repro_banner;
 use ira::verify::logical_fingerprint;
 use ira::{IraVariant, RelocationPlan, Reorg};
 use proptest::prelude::*;
@@ -52,6 +53,18 @@ proptest! {
 
     #[test]
     fn reorganization_preserves_the_graph(spec in graph_strategy()) {
+        // The runner prints the failing inputs only after the panic unwinds
+        // through it; the banner names the failing spec (and dumps the sched
+        // ring under `SCHED_DUMP`) at the assertion site itself, in the
+        // one-line re-runnable form the other concurrency suites use.
+        with_repro_banner(
+            &format!("SEED=proptest CELL={spec:?}"),
+            || reorg_preserves_graph_body(&spec),
+        );
+    }
+}
+
+fn reorg_preserves_graph_body(spec: &GraphSpec) {
         let db = Database::new(StoreConfig::default());
         let p0 = db.create_partition();
         let p1 = db.create_partition();
@@ -117,5 +130,4 @@ proptest! {
                 "old address {} reclaimed or reused by a new copy", old);
         }
         ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
-    }
 }

@@ -5,11 +5,12 @@
 //! `PAR_QUICK=1` shrinks the matrix (the ci.sh smoke configuration).
 
 use brahma::{recover, Database, NewObject, PartitionId, PhysAddr, StoreConfig};
+use ira::chaos::with_repro_banner;
 use ira::verify::logical_fingerprint;
 use ira::{IraCheckpoint, IraError, Reorg};
 
 fn quick() -> bool {
-    std::env::var_os("PAR_QUICK").is_some()
+    brahma::env_flag("PAR_QUICK")
 }
 
 /// A deterministic forest of anchored chains in `p1`: each chain is one
@@ -88,36 +89,47 @@ fn parallel_run_is_isomorphic_to_serial() {
     let chain_len = if quick() { 6 } else { 12 };
     let worker_counts: &[usize] = if quick() { &[2] } else { &[2, 4] };
 
-    let serial_db = Database::new(StoreConfig::default());
-    let serial = build_forest(&serial_db, chains, chain_len);
-    let reference = logical_fingerprint(&serial_db, &serial.anchors);
-    let outcome = Reorg::on(&serial_db, serial.p1).run().unwrap();
-    assert_eq!(outcome.migrated(), serial.live);
-    assert_eq!(
-        logical_fingerprint(&serial_db, &serial.anchors),
-        reference,
-        "serial reorganization must preserve the graph"
+    let reference = with_repro_banner(
+        &format!("SEED=none CELL=serial,chains:{chains},chain_len:{chain_len}"),
+        || {
+            let serial_db = Database::new(StoreConfig::default());
+            let serial = build_forest(&serial_db, chains, chain_len);
+            let reference = logical_fingerprint(&serial_db, &serial.anchors);
+            let outcome = Reorg::on(&serial_db, serial.p1).run().unwrap();
+            assert_eq!(outcome.migrated(), serial.live);
+            assert_eq!(
+                logical_fingerprint(&serial_db, &serial.anchors),
+                reference,
+                "serial reorganization must preserve the graph"
+            );
+            reference
+        },
     );
 
     for &workers in worker_counts {
-        let db = Database::new(StoreConfig::default());
-        let forest = build_forest(&db, chains, chain_len);
-        let outcome = Reorg::on(&db, forest.p1)
-            .workers(workers)
-            .batch(2)
-            .run()
-            .unwrap();
-        assert_eq!(outcome.migrated(), forest.live, "workers={workers}");
-        let report = outcome.ira.as_ref().unwrap();
-        assert_eq!(report.workers, workers);
-        assert!(report.waves >= 1, "workers={workers}: no waves recorded");
-        assert_eq!(
-            logical_fingerprint(&db, &forest.anchors),
-            reference,
-            "workers={workers}: parallel result must be isomorphic to serial"
+        with_repro_banner(
+            &format!("SEED=none CELL=workers:{workers},chains:{chains},chain_len:{chain_len}"),
+            || {
+                let db = Database::new(StoreConfig::default());
+                let forest = build_forest(&db, chains, chain_len);
+                let outcome = Reorg::on(&db, forest.p1)
+                    .workers(workers)
+                    .batch(2)
+                    .run()
+                    .unwrap();
+                assert_eq!(outcome.migrated(), forest.live, "workers={workers}");
+                let report = outcome.ira.as_ref().unwrap();
+                assert_eq!(report.workers, workers);
+                assert!(report.waves >= 1, "workers={workers}: no waves recorded");
+                assert_eq!(
+                    logical_fingerprint(&db, &forest.anchors),
+                    reference,
+                    "workers={workers}: parallel result must be isomorphic to serial"
+                );
+                ira::verify::assert_reorganization_clean(&db, report);
+                brahma::sweep::assert_database_consistent(&db);
+            },
         );
-        ira::verify::assert_reorganization_clean(&db, report);
-        brahma::sweep::assert_database_consistent(&db);
     }
 }
 
@@ -139,6 +151,13 @@ fn zero_workers_clamps_to_serial() {
 fn crash_mid_wave_resumes_with_parallel_executor() {
     let chains = if quick() { 3 } else { 6 };
     let chain_len = if quick() { 4 } else { 8 };
+    with_repro_banner(
+        &format!("SEED=none CELL=crash_mid_wave,chains:{chains},chain_len:{chain_len},workers:2"),
+        || crash_mid_wave_body(chains, chain_len),
+    );
+}
+
+fn crash_mid_wave_body(chains: usize, chain_len: usize) {
     let db = Database::new(StoreConfig::default());
     let forest = build_forest(&db, chains, chain_len);
     let reference = logical_fingerprint(&db, &forest.anchors);

@@ -41,7 +41,21 @@ pub fn start_workload(
                 .spawn(move || {
                     // Threads are uniformly assigned to home partitions.
                     let home = t % info.data_partitions.len();
-                    let mut rng = StdRng::seed_from_u64(params.seed ^ (t as u64) << 17);
+                    brahma::sched::set_thread_label(&format!("walker-{t}"));
+                    // Per-thread RNG stream off the SeedTree: decorrelated
+                    // across threads, identical for a given (seed, t) at any
+                    // MPL (the old `seed ^ t<<17` xor left low bits shared).
+                    let tree = brahma::SeedTree::new(params.seed)
+                        .child("workload.walker")
+                        .child_idx(t as u64);
+                    let mut rng = StdRng::seed_from_u64(tree.seed());
+                    // Each walker's retry jitter gets its own stream too —
+                    // one shared policy seed would synchronize the backoff
+                    // of every thread that fails together.
+                    let retry = brahma::RetryPolicy {
+                        seed: tree.child("retry").seed(),
+                        ..params.retry.clone()
+                    };
                     let mut metrics = Metrics::default();
                     let run_start = Instant::now();
                     'run: while !stop.load(Ordering::Relaxed) {
@@ -49,7 +63,7 @@ pub fn start_workload(
                         // `params.retry` until it commits; response time
                         // spans all attempts.
                         let txn_start = Instant::now();
-                        let mut backoff = params.retry.start();
+                        let mut backoff = retry.start();
                         loop {
                             match walk_once(&db, &info, home, &params, &mut rng) {
                                 Ok(WalkAttempt::Committed) => {

@@ -38,7 +38,13 @@ pub const TAG_ROOT_OBJECT: u8 = 2;
 /// Build the Section 5.2 object graph in `db` (which must be freshly
 /// created). Returns the graph handle.
 pub fn build_graph(db: &Database, params: &WorkloadParams) -> Result<GraphInfo> {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    // Generator stream off the SeedTree root, decorrelated from the walker
+    // streams that share `params.seed`.
+    let mut rng = StdRng::seed_from_u64(
+        brahma::SeedTree::new(params.seed)
+            .child("workload.graph")
+            .seed(),
+    );
     let root_partition = db.create_partition();
     let data_partitions: Vec<PartitionId> = (0..params.num_partitions)
         .map(|_| db.create_partition())
