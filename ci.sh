@@ -27,4 +27,14 @@ EXPLORE_ROOTS=2 EXPLORE_PRIOS=2 cargo test -q -p ira --features sched-trace \
 # debug_assertions; this pass proves the `lockdep` feature also composes
 # with optimized code, where violations count instead of panicking.
 cargo test --release --features lockdep -q -p brahma -p ira
+# Perf-trajectory smoke (DESIGN.md §13): run the quick cell matrix into a
+# scratch directory (never committed) and structurally validate the
+# emitted JSON — schema version, all 9 cells with every key, monotone
+# tail quantiles, nonzero commit counts.
+TRAJ_SCRATCH=$(mktemp -d)
+TRAJ_QUICK=1 TRAJ_DIR="$TRAJ_SCRATCH" \
+  cargo run --release -p bench --bin paper_figures -- trajectory
+cargo run --release -p bench --bin paper_figures -- \
+  trajectory-validate "$TRAJ_SCRATCH/BENCH_1.json"
+rm -rf "$TRAJ_SCRATCH"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -2,13 +2,102 @@
 //!
 //! Usage: `paper_figures <experiment>... [--quick] [--out DIR]`
 //! where experiment is one of: all, mpl, table2, partsize, updprob, glue,
-//! ops, nparts, eqdur, scaling, ablation.
+//! ops, nparts, eqdur, scaling, ablation — plus two perf-trajectory
+//! subcommands (see DESIGN.md §13):
+//!
+//! * `paper_figures trajectory [--quick]` runs the fixed cell matrix and
+//!   writes `BENCH_<n>.json` (next free index) into `TRAJ_DIR` (default:
+//!   the current directory, i.e. the repo root), then diffs against the
+//!   newest prior `BENCH_*.json`. `TRAJ_QUICK=1` implies `--quick`;
+//!   `TRAJ_INDEX=<n>` pins the output index.
+//! * `paper_figures trajectory-validate <file>` structurally validates an
+//!   emitted file (CI smoke gate); exits nonzero on any violation.
 
 use bench::experiments::{self, HarnessOptions};
+use bench::trajectory;
 use std::path::PathBuf;
+
+fn run_trajectory_cli(quick_flag: bool) {
+    let quick = quick_flag || std::env::var("TRAJ_QUICK").is_ok_and(|v| v == "1");
+    let dir = PathBuf::from(std::env::var("TRAJ_DIR").unwrap_or_else(|_| ".".into()));
+    let existing = trajectory::bench_files(&dir);
+    let index = std::env::var("TRAJ_INDEX")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or_else(|| existing.last().map(|(n, _)| n + 1).unwrap_or(1));
+    println!(
+        "# Perf trajectory ({} mode) -> BENCH_{index}.json",
+        if quick { "quick" } else { "full" }
+    );
+    let traj = trajectory::run_trajectory(&trajectory::TrajectoryOptions { quick });
+    let out = dir.join(format!("BENCH_{index}.json"));
+    let text = traj.to_json(index);
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("error: could not write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out.display());
+    // Diff against the newest prior file (excluding the one just written).
+    let prior = existing.iter().rev().find(|(n, _)| *n != index);
+    match prior {
+        None => println!("no prior BENCH_*.json to compare against"),
+        Some((n, path)) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| trajectory::parse_json(&s))
+        {
+            Err(e) => eprintln!("warning: could not read BENCH_{n}.json: {e}"),
+            Ok(doc) => {
+                println!("vs BENCH_{n}.json (rule: {}):", trajectory::REGRESSION_RULE);
+                let cmp = trajectory::compare(&doc, &traj);
+                for line in &cmp.lines {
+                    println!("  {line}");
+                }
+                if cmp.regressions.is_empty() {
+                    println!("no regressions");
+                } else {
+                    for r in &cmp.regressions {
+                        println!("REGRESSION: {r}");
+                    }
+                }
+            }
+        },
+    }
+}
+
+fn run_trajectory_validate(file: &str) {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: could not read {file}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match trajectory::parse_json(&text).and_then(|doc| trajectory::validate(&doc)) {
+        Ok(()) => println!("{file}: valid trajectory file"),
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("trajectory") => {
+            run_trajectory_cli(args.iter().any(|a| a == "--quick"));
+            return;
+        }
+        Some("trajectory-validate") => {
+            let Some(file) = args.get(1) else {
+                eprintln!("usage: paper_figures trajectory-validate <file>");
+                std::process::exit(2);
+            };
+            run_trajectory_validate(file);
+            return;
+        }
+        _ => {}
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let out_dir = args
         .iter()
@@ -23,7 +112,7 @@ fn main() {
     });
     if args.is_empty() {
         eprintln!(
-            "usage: paper_figures <all|mpl|table2|partsize|updprob|glue|ops|nparts|eqdur|scaling|ablation>... [--quick] [--out DIR]"
+            "usage: paper_figures <all|mpl|table2|partsize|updprob|glue|ops|nparts|eqdur|scaling|ablation>... [--quick] [--out DIR]\n       paper_figures trajectory [--quick]          (env: TRAJ_QUICK, TRAJ_DIR, TRAJ_INDEX)\n       paper_figures trajectory-validate <file>"
         );
         std::process::exit(2);
     }

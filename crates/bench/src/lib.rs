@@ -23,7 +23,9 @@
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod trajectory;
 
 pub use experiments::{all_experiments, HarnessOptions};
 pub use report::{Experiment, Row};
 pub use runner::{run_cell, Algo, CellConfig, CellResult};
+pub use trajectory::{run_trajectory, Trajectory, TrajectoryOptions};

@@ -24,14 +24,22 @@ pub struct Experiment {
 impl Experiment {
     /// Render the throughput and average-response-time series (the two
     /// metrics the paper's figures plot), plus reorg durations.
+    ///
+    /// The algo column set is the union over *all* rows, and each row's
+    /// cells are looked up by algo name — a ragged row (e.g. a cell
+    /// skipped after a `SimulatedCrash`) renders `-` in its gaps instead
+    /// of silently shifting later columns.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
-        let algos: Vec<&str> = self
-            .rows
-            .first()
-            .map(|r| r.cells.iter().map(|c| c.algo.name()).collect())
-            .unwrap_or_default();
+        let mut algos: Vec<&str> = Vec::new();
+        for row in &self.rows {
+            for c in &row.cells {
+                if !algos.contains(&c.algo.name()) {
+                    algos.push(c.algo.name());
+                }
+            }
+        }
         let _ = write!(out, "{:>10}", self.x_name);
         for a in &algos {
             let _ = write!(out, " {:>9}", format!("{a}.tps"));
@@ -44,15 +52,30 @@ impl Experiment {
         }
         let _ = writeln!(out);
         for row in &self.rows {
+            let by_name = |a: &str| row.cells.iter().find(|c| c.algo.name() == a);
             let _ = write!(out, "{:>10}", row.x_label);
-            for c in &row.cells {
-                let _ = write!(out, " {:>9.1}", c.summary.throughput_tps);
+            for a in &algos {
+                match by_name(a) {
+                    Some(c) => {
+                        let _ = write!(out, " {:>9.1}", c.summary.throughput_tps);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>9}", "-");
+                    }
+                }
             }
-            for c in &row.cells {
-                let _ = write!(out, " {:>10.1}", c.summary.avg_ms);
+            for a in &algos {
+                match by_name(a) {
+                    Some(c) => {
+                        let _ = write!(out, " {:>10.1}", c.summary.avg_ms);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>10}", "-");
+                    }
+                }
             }
-            for c in &row.cells {
-                match c.reorg_secs {
+            for a in &algos {
+                match by_name(a).and_then(|c| c.reorg_secs) {
                     Some(s) => {
                         let _ = write!(out, " {:>10.2}", s);
                     }
@@ -188,6 +211,8 @@ mod tests {
             reorg_secs: Some(1.5),
             migrated: 42,
             lock_timeouts: 3,
+            latency_p99_us: 40_000,
+            latency_p999_us: 50_000,
             counters,
         }
     }
@@ -209,6 +234,42 @@ mod tests {
         assert!(s.contains("NR.tps"));
         assert!(s.contains("IRA.art_ms"));
         assert!(s.contains("35.0"));
+    }
+
+    #[test]
+    fn render_ragged_rows_key_cells_by_algo() {
+        // Second row lost its NR cell (e.g. skipped after a crash) and
+        // gained a PQR cell; columns must stay attributed by name, with
+        // `-` in the gaps.
+        let e = Experiment {
+            title: "Ragged".into(),
+            x_name: "MPL".into(),
+            rows: vec![
+                Row {
+                    x_label: "8".into(),
+                    cells: vec![cell(Algo::Nr, 35.0), cell(Algo::Ira, 33.7)],
+                },
+                Row {
+                    x_label: "30".into(),
+                    cells: vec![cell(Algo::Ira, 28.1), cell(Algo::Pqr, 9.9)],
+                },
+            ],
+        };
+        let s = e.render();
+        // Union of algos across rows, in first-seen order.
+        let header = s.lines().nth(1).unwrap();
+        assert!(header.contains("NR.tps") && header.contains("IRA.tps") && header.contains("PQR.tps"));
+        // Row 30 has no NR cell: its NR.tps column must render `-`, and
+        // IRA's throughput must land under IRA, not shifted into NR.
+        let row30 = s.lines().find(|l| l.trim_start().starts_with("30")).unwrap();
+        let fields: Vec<&str> = row30.split_whitespace().collect();
+        assert_eq!(fields[1], "-", "NR gap: {row30}");
+        assert_eq!(fields[2], "28.1", "IRA tps stays in its column: {row30}");
+        assert_eq!(fields[3], "9.9", "PQR tps: {row30}");
+        // Row 8 has no PQR cell: trailing `-`.
+        let row8 = s.lines().find(|l| l.trim_start().starts_with("8")).unwrap();
+        let fields: Vec<&str> = row8.split_whitespace().collect();
+        assert_eq!(fields[3], "-", "PQR gap: {row8}");
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub mod site {
     pub const PAGE_LATCH: &str = "page.latch";
     /// The allocator is about to carve space for a new object.
     pub const ALLOC: &str = "alloc.alloc";
+    /// A slot was just claimed (the class free-list head or bump cursor is
+    /// in flight: the directory records the object, but nothing is logged
+    /// or initialized yet). A crash here must recover to an image where
+    /// the in-flight slot is reclaimed by the allocator rebuild.
+    pub const ALLOC_INFLIGHT: &str = "alloc.inflight";
     /// The allocator is about to release (or defer) an object's space.
     pub const ALLOC_FREE: &str = "alloc.free";
     /// An operation is about to mutate a TRT (reference note).
@@ -62,6 +67,7 @@ pub mod site {
         LOCK_UPGRADE,
         PAGE_LATCH,
         ALLOC,
+        ALLOC_INFLIGHT,
         ALLOC_FREE,
         TRT_NOTE,
         ERT_NOTE,

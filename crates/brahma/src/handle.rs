@@ -271,6 +271,14 @@ impl<'db> Txn<'db> {
         let probe = PhysAddr::new(partition, 0, 0);
         let view = spec.into_view(probe)?;
         let addr = part.allocate(view.size())?;
+        // Mid-allocation site: the slot is claimed in the directory but
+        // nothing is logged or initialized yet. On an error action the
+        // slot is returned before unwinding (nothing to undo); a crash
+        // action latches and leaves the claim in flight for recovery.
+        if let Err(e) = self.db.fault.hit(site::ALLOC_INFLIGHT) {
+            let _ = part.free(addr);
+            return Err(e);
+        }
         self.db.locks.lock(self.id, addr, LockMode::Exclusive)?;
         self.record_lock(addr);
         // INVARIANT (fuzzy checkpoint, DESIGN.md §12): every TRT/ERT note a

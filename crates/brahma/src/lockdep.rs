@@ -86,6 +86,10 @@ pub enum LockClass {
     TraversalShard,
     /// The parallel executor's deferred-chunk list (`ira::driver`).
     WaveDeferred,
+    /// One wave worker's component deque (`ira::driver`); `order_key` is
+    /// the worker index. Never nested: a worker releases its own deque
+    /// before probing a victim's.
+    WaveDeque,
     /// Reserved for lockdep's own tests.
     TestA,
     /// Reserved for lockdep's own tests.
@@ -257,6 +261,7 @@ mod imp {
         "MigrationShard",
         "TraversalShard",
         "WaveDeferred",
+        "WaveDeque",
         "TestA",
         "TestB",
     ];

@@ -5,14 +5,25 @@
 //! Each partition owns:
 //!
 //! * its pages (see [`crate::page`]),
-//! * an allocator — bump allocation into fresh pages plus a first-fit free
-//!   list with coalescing, so continuous allocate/free churn produces the
-//!   fragmentation that motivates compaction (paper Section 1),
-//! * an *object directory* mapping each live object's `(page, offset)` to its
-//!   size — this is the "object allocation information" the paper mentions as
-//!   an alternative way to enumerate a partition's objects, and it is what
+//! * a BiBOP-style ("big bag of pages") size-class allocator — every opened
+//!   page owns exactly one power-of-two size class, allocation is an O(1)
+//!   pop from the class's free-slot list (or a bump of the class's open
+//!   page), and all object metadata is derivable from an address alone:
+//!   `page → class → slot = offset / slot_size`. The `BTreeMap` first-fit
+//!   free list this replaces made every allocation a linear scan on the
+//!   walker hot path,
+//! * an *object directory* — here the per-page slot bitmaps and size
+//!   tables — recording each live object's `(page, offset) → size`; this is
+//!   the "object allocation information" the paper mentions as an
+//!   alternative way to enumerate a partition's objects, and it is what
 //!   restart recovery sweeps to rebuild the free lists,
 //! * the partition's [`Ert`].
+//!
+//! Fragmentation still exists (the motivation for compaction, paper
+//! Section 1) but takes the BiBOP form: holes are whole slots, reusable
+//! only by objects of the same class, so a partition churned by
+//! mixed-size allocate/free traffic strands free slots across many pages
+//! until a reorganization repacks it.
 
 use crate::addr::{PartitionId, PhysAddr};
 use crate::config::PAGE_SIZE;
@@ -21,37 +32,133 @@ use crate::ert::Ert;
 use crate::lockdep::{LockClass, Mutex, RwLock};
 use crate::page::{new_page, PageRef};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+
+/// Smallest size class: 32 bytes (2^5). Objects are ≥ `HEADER_LEN` bytes
+/// and the paper's workloads allocate tens-to-hundreds of bytes, so a
+/// smaller class would only waste bitmap space.
+const MIN_CLASS_SHIFT: u32 = 5;
+
+/// Number of power-of-two size classes: 32, 64, …, `PAGE_SIZE` (one slot).
+const NUM_CLASSES: usize = (PAGE_SIZE.trailing_zeros() - MIN_CLASS_SHIFT + 1) as usize;
+
+/// Size class index for a requested byte size: ceil(log2), clamped to the
+/// minimum class.
+fn class_of(size: usize) -> usize {
+    let sz = size.max(1 << MIN_CLASS_SHIFT) as u32;
+    let shift = 32 - (sz - 1).leading_zeros();
+    (shift - MIN_CLASS_SHIFT) as usize
+}
+
+/// Slot size in bytes of a class.
+fn slot_bytes(class: usize) -> u32 {
+    1u32 << (MIN_CLASS_SHIFT + class as u32)
+}
+
+/// Number of slots a page of this class holds.
+fn slots_per_page(class: usize) -> usize {
+    PAGE_SIZE / slot_bytes(class) as usize
+}
+
+/// Per-page allocation metadata. A page either owns one size class or is a
+/// *spare*: opened (e.g. by `alloc_at` bridging up to a recovery target)
+/// but not yet committed to any class.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct PageMeta {
+    /// Size class owned by this page; `None` for a spare page.
+    class: Option<u8>,
+    /// Used-slot bitmap (`slots_per_page` bits): set for live objects *and*
+    /// for slots withheld by the deferred-free protocol.
+    used: Vec<u64>,
+    /// Requested byte size per slot; 0 means "no live object here" (the
+    /// slot is free, or withheld). Object sizes are always > 0 (the header
+    /// alone is 10 bytes), so 0 is an unambiguous sentinel.
+    sizes: Vec<u32>,
+}
+
+impl PageMeta {
+    fn adopt(&mut self, class: usize) {
+        let spp = slots_per_page(class);
+        self.class = Some(class as u8);
+        self.used = vec![0; spp.div_ceil(64)];
+        self.sizes = vec![0; spp];
+    }
+
+    #[inline]
+    fn bit(&self, slot: usize) -> bool {
+        self.used[slot / 64] & (1u64 << (slot % 64)) != 0
+    }
+
+    #[inline]
+    fn set_bit(&mut self, slot: usize) {
+        self.used[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, slot: usize) {
+        self.used[slot / 64] &= !(1u64 << (slot % 64));
+    }
+}
 
 /// Allocation bookkeeping for one partition.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct AllocState {
-    /// Live objects: (page, offset) -> on-page size.
-    objects: BTreeMap<(u32, u16), u32>,
-    /// Free extents inside already-opened pages: (page, offset) -> length.
-    free: BTreeMap<(u32, u16), u32>,
-    /// Next fresh page index to open.
-    next_page: u32,
-    /// Fill pointer inside the most recently opened page (equals `PAGE_SIZE`
-    /// when no page is open).
-    bump_page: u32,
-    bump_off: u32,
+    /// One entry per opened page, parallel to the partition's page vector.
+    page_meta: Vec<PageMeta>,
+    /// Per-class free-slot stacks: `(page, slot)`. Entries may be stale
+    /// (the slot was since claimed by `alloc_at` or withheld by
+    /// `defer_all_free_space`); `allocate` validates against the bitmap on
+    /// pop and discards losers, so pushes never have to search.
+    free_lists: Vec<Vec<(u32, u16)>>,
+    /// Per-class bump cursor: `(page, next_slot)` in the class's open page.
+    /// Slots ≥ `next_slot` there have never been handed out.
+    bump: Vec<Option<(u32, u32)>>,
+    /// Spare pages available for adoption by any class.
+    spare: Vec<u32>,
+    /// Spare pages withheld by `defer_all_free_space`.
+    withheld_spare: Vec<u32>,
     /// Space freed by the reorganizer, withheld from reuse until the
-    /// reorganization ends (see [`Partition::free_deferred`]).
+    /// reorganization ends (see [`Partition::free_deferred`]): the slots'
+    /// used bits stay set with `sizes == 0`.
     deferred: Vec<(u32, u16, u32)>,
+    /// Live object count.
+    live: u64,
+    /// Sum of live objects' requested sizes.
+    used_bytes: u64,
 }
 
 impl AllocState {
     fn new() -> Self {
         AllocState {
-            bump_off: PAGE_SIZE as u32,
-            ..Default::default()
+            page_meta: Vec::new(),
+            free_lists: vec![Vec::new(); NUM_CLASSES],
+            bump: vec![None; NUM_CLASSES],
+            spare: Vec::new(),
+            withheld_spare: Vec::new(),
+            deferred: Vec::new(),
+            live: 0,
+            used_bytes: 0,
         }
+    }
+
+    /// Look up `(page_meta index, class, slot)` for a live object at
+    /// `(page, off)`, or `None` if no live object sits exactly there.
+    fn locate_live(&self, page: u32, off: u16) -> Option<(usize, usize)> {
+        let meta = self.page_meta.get(page as usize)?;
+        let class = meta.class? as usize;
+        let cs = slot_bytes(class);
+        if !(off as u32).is_multiple_of(cs) {
+            return None;
+        }
+        let slot = (off as u32 / cs) as usize;
+        (meta.bit(slot) && meta.sizes[slot] > 0).then_some((class, slot))
     }
 }
 
 /// Space statistics for a partition (drives the compaction example and the
-/// fragmentation accounting in benches).
+/// fragmentation accounting in benches). `free_extents` counts contiguous
+/// runs of free slots per page (a fully free page is one extent), so the
+/// compaction story — many stranded holes before, few big runs after —
+/// reads the same as with the old extent map.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpaceStats {
     pub pages: u32,
@@ -68,25 +175,6 @@ pub struct PartitionSnapshot {
     pub pages: Vec<Vec<u8>>,
     alloc: AllocState,
     pub ert: crate::ert::ErtSnapshot,
-}
-
-/// Insert a free extent, coalescing with adjacent extents on the same page.
-fn insert_free_coalescing(free: &mut BTreeMap<(u32, u16), u32>, page: u32, off: u16, size: u32) {
-    let (mut start, mut len) = (off as u32, size);
-    if let Some((&(p, poff), &plen)) = free.range(..(page, off)).next_back() {
-        if p == page && poff as u32 + plen == start {
-            free.remove(&(p, poff));
-            start = poff as u32;
-            len += plen;
-        }
-    }
-    if let Some((&(p, soff), &slen)) = free.range((page, off)..).next() {
-        if p == page && soff as u32 == start + len {
-            free.remove(&(p, soff));
-            len += slen;
-        }
-    }
-    free.insert((page, start as u16), len);
 }
 
 /// One database partition.
@@ -134,114 +222,142 @@ impl Partition {
 
     /// Reserve `size` bytes, registering the object in the directory.
     ///
-    /// The returned address points at zeroed bytes; the caller initializes
-    /// the object image under the page's write latch. A fuzzy reader that
-    /// races the initialization sees a cleared valid byte and skips.
+    /// O(1): pop the head of the size class's free-slot list, or bump the
+    /// class's open page. The returned address points at zeroed bytes; the
+    /// caller initializes the object image under the page's write latch. A
+    /// fuzzy reader that races the initialization sees a cleared valid
+    /// byte and skips.
     pub fn allocate(&self, size: usize) -> Result<PhysAddr> {
         if size > PAGE_SIZE {
             return Err(Error::ObjectTooLarge { bytes: size });
         }
-        let size32 = size as u32;
+        let class = class_of(size);
+        let cs = slot_bytes(class);
         let mut guard = self.alloc.lock();
         let st = &mut *guard;
-        // First fit over the free extents.
-        let found = st
-            .free
-            .iter()
-            .find(|(_, &len)| len >= size32)
-            .map(|(&k, &len)| (k, len));
-        if let Some(((page, off), len)) = found {
-            st.free.remove(&(page, off));
-            if len > size32 {
-                st.free.insert((page, off + size as u16), len - size32);
+        // Free-list head first. Stale entries (claimed by `alloc_at`,
+        // withheld by `defer_all_free_space`, or on a page that switched
+        // hands) are discarded here.
+        while let Some((page, slot)) = st.free_lists[class].pop() {
+            let meta = &mut st.page_meta[page as usize];
+            if meta.class == Some(class as u8) && !meta.bit(slot as usize) {
+                meta.set_bit(slot as usize);
+                meta.sizes[slot as usize] = size as u32;
+                st.live += 1;
+                st.used_bytes += size as u64;
+                return Ok(PhysAddr::new(self.id, page, (slot as u32 * cs) as u16));
             }
-            st.objects.insert((page, off), size32);
-            return Ok(PhysAddr::new(self.id, page, off));
         }
-        // Bump into the open page, or open a new one.
-        if st.bump_off + size32 > PAGE_SIZE as u32 {
-            // Return the tail of the open page to the free list.
-            let tail = PAGE_SIZE as u32 - st.bump_off;
-            if tail > 0 && st.bump_off < PAGE_SIZE as u32 {
-                st.free.insert((st.bump_page, st.bump_off as u16), tail);
+        // Bump into the class's open page, skipping slots `alloc_at`
+        // claimed ahead of the cursor (recovery redo lands anywhere).
+        loop {
+            if let Some((page, next)) = st.bump[class] {
+                if (next as usize) < slots_per_page(class) {
+                    st.bump[class] = Some((page, next + 1));
+                    let meta = &mut st.page_meta[page as usize];
+                    if meta.bit(next as usize) {
+                        continue;
+                    }
+                    meta.set_bit(next as usize);
+                    meta.sizes[next as usize] = size as u32;
+                    st.live += 1;
+                    st.used_bytes += size as u64;
+                    return Ok(PhysAddr::new(self.id, page, (next * cs) as u16));
+                }
             }
-            st.bump_page = st.next_page;
-            st.bump_off = 0;
-            st.next_page += 1;
-            // Publish the page before any address into it can exist. The
-            // alloc mutex is held across the push, so no other allocation
-            // can hand out an address into a not-yet-pushed page.
-            self.pages.write().push(new_page());
+            // Open a page for this class: adopt a spare, or push a fresh
+            // one. The alloc mutex is held across the push, so no other
+            // allocation can hand out an address into a not-yet-pushed
+            // page.
+            let page = if let Some(pg) = st.spare.pop() {
+                pg
+            } else {
+                let pg = st.page_meta.len() as u32;
+                st.page_meta.push(PageMeta::default());
+                self.pages.write().push(new_page());
+                pg
+            };
+            st.page_meta[page as usize].adopt(class);
+            st.bump[class] = Some((page, 0));
         }
-        let page = st.bump_page;
-        let off = st.bump_off as u16;
-        st.bump_off += size32;
-        st.objects.insert((page, off), size32);
-        Ok(PhysAddr::new(self.id, page, off))
     }
 
     /// Reserve `size` bytes at exactly `addr` (restart-recovery redo of a
     /// `Create`, and undo of a `Free`, must restore objects at their
     /// original addresses because stored references point there).
+    ///
+    /// Every address recovery replays was minted by [`Partition::allocate`],
+    /// so it is slot-aligned for the class its size maps to; the first
+    /// `alloc_at` into a fresh page therefore re-establishes the page's
+    /// original class.
     pub fn alloc_at(&self, addr: PhysAddr, size: usize) -> Result<()> {
         debug_assert_eq!(addr.partition(), self.id);
         if size > PAGE_SIZE || addr.offset() as usize + size > PAGE_SIZE {
             return Err(Error::ObjectTooLarge { bytes: size });
         }
+        let page = addr.page();
+        let off = addr.offset();
+        let size32 = size as u32;
         let mut guard = self.alloc.lock();
         let st = &mut *guard;
-        // A reorganizer rollback may restore an object whose space sits in
-        // the deferred-free list rather than the free map: reclaim it
+        // A reorganizer rollback may restore an object whose slot sits in
+        // the deferred-free list (used bit set, size zeroed): reclaim it
         // directly.
         if let Some(pos) = st
             .deferred
             .iter()
-            .position(|&(p, o, _)| p == addr.page() && o == addr.offset())
+            .position(|&(p, o, _)| p == page && o == off)
         {
-            let (page, off, sz) = st.deferred.remove(pos);
-            if sz as usize != size {
+            if st.deferred[pos].2 != size32 {
                 return Err(Error::NoSuchObject(addr));
             }
-            st.objects.insert((page, off), sz);
+            st.deferred.remove(pos);
+            let meta = &mut st.page_meta[page as usize];
+            let Some((_, slot)) = st_locate_slot(meta, off) else {
+                return Err(Error::NoSuchObject(addr));
+            };
+            debug_assert!(meta.bit(slot) && meta.sizes[slot] == 0);
+            meta.sizes[slot] = size32;
+            st.live += 1;
+            st.used_bytes += size as u64;
             return Ok(());
         }
-        // Close the bump region into the free map so all unallocated space
-        // on opened pages is describable as free extents.
-        if st.bump_off < PAGE_SIZE as u32 {
-            let tail = PAGE_SIZE as u32 - st.bump_off;
-            st.free.insert((st.bump_page, st.bump_off as u16), tail);
-            st.bump_off = PAGE_SIZE as u32;
-        }
-        // Open pages up to and including the target page.
-        while st.next_page <= addr.page() {
-            st.free.insert((st.next_page, 0), PAGE_SIZE as u32);
-            st.next_page += 1;
+        // Open pages up to and including the target page; the bridged
+        // pages stay spares until someone claims them.
+        while st.page_meta.len() <= page as usize {
+            let pg = st.page_meta.len() as u32;
+            st.page_meta.push(PageMeta::default());
+            st.spare.push(pg);
             self.pages.write().push(new_page());
         }
-        // Carve [offset, offset+size) from the containing free extent.
-        let page = addr.page();
-        let off = addr.offset() as u32;
-        let size32 = size as u32;
-        let containing = st
-            .free
-            .range(..=(page, addr.offset()))
-            .next_back()
-            .map(|(&k, &len)| (k, len))
-            .filter(|&((p, o), len)| {
-                p == page && (o as u32) <= off && o as u32 + len >= off + size32
-            });
-        let Some(((_, ext_off), ext_len)) = containing else {
+        if st.withheld_spare.contains(&page) {
+            // Whole-page space withheld by `defer_all_free_space`: not
+            // reusable until the reorganization flushes its frees.
+            return Err(Error::NoSuchObject(addr));
+        }
+        if st.page_meta[page as usize].class.is_none() {
+            st.spare.retain(|&pg| pg != page);
+            st.page_meta[page as usize].adopt(class_of(size));
+        }
+        let meta = &mut st.page_meta[page as usize];
+        let Some(class) = meta.class else {
             return Err(Error::NoSuchObject(addr));
         };
-        st.free.remove(&(page, ext_off));
-        if (ext_off as u32) < off {
-            st.free.insert((page, ext_off), off - ext_off as u32);
+        let class = class as usize;
+        let cs = slot_bytes(class);
+        if !(off as u32).is_multiple_of(cs) || size32 > cs {
+            // Misaligned for the page's class, or too big for its slots:
+            // no such carve is possible.
+            return Err(Error::NoSuchObject(addr));
         }
-        let tail = ext_off as u32 + ext_len - (off + size32);
-        if tail > 0 {
-            st.free.insert((page, (off + size32) as u16), tail);
+        let slot = (off as u32 / cs) as usize;
+        if meta.bit(slot) {
+            return Err(Error::NoSuchObject(addr));
         }
-        st.objects.insert((page, addr.offset()), size32);
+        meta.set_bit(slot);
+        meta.sizes[slot] = size32;
+        st.live += 1;
+        st.used_bytes += size as u64;
         Ok(())
     }
 
@@ -249,61 +365,100 @@ impl Partition {
     /// reorganization. The reorganizer frees migrated objects through this
     /// path so their addresses cannot be recycled while concurrent
     /// transactions may still hold them in local memory (two-lock variant).
+    /// The slot's used bit stays set (blocking reuse) with its size zeroed
+    /// (removing it from the directory).
     pub fn free_deferred(&self, addr: PhysAddr) -> Result<u32> {
         debug_assert_eq!(addr.partition(), self.id);
-        let mut st = self.alloc.lock();
-        let key = (addr.page(), addr.offset());
-        let size = st.objects.remove(&key).ok_or(Error::NoSuchObject(addr))?;
-        st.deferred.push((key.0, key.1, size));
+        let mut guard = self.alloc.lock();
+        let st = &mut *guard;
+        let Some((_, slot)) = st.locate_live(addr.page(), addr.offset()) else {
+            return Err(Error::NoSuchObject(addr));
+        };
+        let meta = &mut st.page_meta[addr.page() as usize];
+        let size = meta.sizes[slot];
+        meta.sizes[slot] = 0;
+        st.deferred.push((addr.page(), addr.offset(), size));
+        st.live -= 1;
+        st.used_bytes -= size as u64;
         Ok(size)
     }
 
-    /// Withhold every currently free extent from reuse until
+    /// Withhold every currently free slot from reuse until
     /// [`Partition::flush_deferred_frees`]. Used when *resuming* a
     /// reorganization after a crash: the deferral of pre-crash frees was
     /// volatile, and re-deferring all free space restores the invariant
     /// that no address freed by the reorganization is recycled while it
-    /// runs.
+    /// runs. Virgin slots past a class's bump cursor were never handed
+    /// out, so they stay bump-allocatable.
     pub fn defer_all_free_space(&self) {
         let mut guard = self.alloc.lock();
         let st = &mut *guard;
-        let extents: Vec<(u32, u16, u32)> = st
-            .free
-            .iter()
-            .map(|(&(p, o), &l)| (p, o, l))
-            .collect();
-        st.free.clear();
-        st.deferred.extend(extents);
-    }
-
-    /// Release all space queued by [`Partition::free_deferred`].
-    pub fn flush_deferred_frees(&self) {
-        let mut st = self.alloc.lock();
-        let deferred = std::mem::take(&mut st.deferred);
-        for (page, off, size) in deferred {
-            insert_free_coalescing(&mut st.free, page, off, size);
+        for pg in 0..st.page_meta.len() {
+            let Some(class) = st.page_meta[pg].class else {
+                continue;
+            };
+            let class = class as usize;
+            let cs = slot_bytes(class);
+            let virgin_from = match st.bump[class] {
+                Some((bpage, next)) if bpage as usize == pg => next as usize,
+                _ => slots_per_page(class),
+            };
+            for slot in 0..virgin_from {
+                if !st.page_meta[pg].bit(slot) {
+                    st.page_meta[pg].set_bit(slot);
+                    st.deferred.push((pg as u32, (slot as u32 * cs) as u16, cs));
+                }
+            }
         }
+        let spares = std::mem::take(&mut st.spare);
+        st.withheld_spare.extend(spares);
     }
 
-    /// Release the object's space back to the allocator, coalescing with
-    /// adjacent free extents on the same page. The caller must already have
-    /// scrubbed the object bytes under the page latch.
+    /// Release all space queued by [`Partition::free_deferred`] (and by
+    /// [`Partition::defer_all_free_space`]) back onto the class free
+    /// lists.
+    pub fn flush_deferred_frees(&self) {
+        let mut guard = self.alloc.lock();
+        let st = &mut *guard;
+        let deferred = std::mem::take(&mut st.deferred);
+        for (page, off, _) in deferred {
+            let meta = &mut st.page_meta[page as usize];
+            let Some((class, slot)) = st_locate_slot(meta, off) else {
+                continue;
+            };
+            debug_assert!(meta.bit(slot) && meta.sizes[slot] == 0);
+            meta.clear_bit(slot);
+            st.free_lists[class].push((page, slot as u16));
+        }
+        let withheld = std::mem::take(&mut st.withheld_spare);
+        st.spare.extend(withheld);
+    }
+
+    /// Release the object's slot back to its class free list. The caller
+    /// must already have scrubbed the object bytes under the page latch.
     pub fn free(&self, addr: PhysAddr) -> Result<u32> {
         debug_assert_eq!(addr.partition(), self.id);
-        let mut st = self.alloc.lock();
-        let key = (addr.page(), addr.offset());
-        let size = st.objects.remove(&key).ok_or(Error::NoSuchObject(addr))?;
-        insert_free_coalescing(&mut st.free, key.0, key.1, size);
+        let mut guard = self.alloc.lock();
+        let st = &mut *guard;
+        let Some((class, slot)) = st.locate_live(addr.page(), addr.offset()) else {
+            return Err(Error::NoSuchObject(addr));
+        };
+        let meta = &mut st.page_meta[addr.page() as usize];
+        let size = meta.sizes[slot];
+        meta.sizes[slot] = 0;
+        meta.clear_bit(slot);
+        st.free_lists[class].push((addr.page(), slot as u16));
+        st.live -= 1;
+        st.used_bytes -= size as u64;
         Ok(size)
     }
 
-    /// On-page size of the live object at `addr`, if the directory knows it.
+    /// On-page size of the live object at `addr`, if the directory knows
+    /// it — derived from the address alone: page → class → slot.
     pub fn object_size(&self, addr: PhysAddr) -> Option<u32> {
-        self.alloc
-            .lock()
-            .objects
-            .get(&(addr.page(), addr.offset()))
-            .copied()
+        let st = self.alloc.lock();
+        let (_, slot) = st.locate_live(addr.page(), addr.offset())?;
+        Some(st.page_meta[addr.page() as usize].sizes[slot])
     }
 
     /// Whether the directory records a live object exactly at `addr`.
@@ -314,29 +469,60 @@ impl Partition {
     /// Enumerate all live objects via the allocation directory — the
     /// alternative to ERT-rooted traversal the paper mentions in Section 3.4
     /// (it cannot detect garbage, but finds every allocated object).
+    /// Sorted by (page, offset).
     pub fn live_objects(&self) -> Vec<PhysAddr> {
-        self.alloc
-            .lock()
-            .objects
-            .keys()
-            .map(|&(page, off)| PhysAddr::new(self.id, page, off))
-            .collect()
+        let st = self.alloc.lock();
+        let mut out = Vec::with_capacity(st.live as usize);
+        for (pg, meta) in st.page_meta.iter().enumerate() {
+            let Some(class) = meta.class else { continue };
+            let cs = slot_bytes(class as usize);
+            for slot in 0..slots_per_page(class as usize) {
+                if meta.bit(slot) && meta.sizes[slot] > 0 {
+                    out.push(PhysAddr::new(self.id, pg as u32, (slot as u32 * cs) as u16));
+                }
+            }
+        }
+        out
     }
 
     /// Number of live objects.
     pub fn object_count(&self) -> usize {
-        self.alloc.lock().objects.len()
+        self.alloc.lock().live as usize
     }
 
-    /// Space accounting.
+    /// Space accounting. Free space is counted in slots; withheld slots
+    /// (deferred frees) are neither used nor free, exactly like the old
+    /// deferred extents.
     pub fn space_stats(&self) -> SpaceStats {
         let st = self.alloc.lock();
+        let mut free_bytes = 0u64;
+        let mut free_extents = 0usize;
+        for meta in &st.page_meta {
+            let Some(class) = meta.class else { continue };
+            let cs = slot_bytes(class as usize) as u64;
+            let mut in_run = false;
+            for slot in 0..slots_per_page(class as usize) {
+                if meta.bit(slot) {
+                    in_run = false;
+                } else {
+                    free_bytes += cs;
+                    if !in_run {
+                        free_extents += 1;
+                        in_run = true;
+                    }
+                }
+            }
+        }
+        // Spare pages are one whole-page extent each; withheld spares are
+        // deferred space, not free space.
+        free_bytes += st.spare.len() as u64 * PAGE_SIZE as u64;
+        free_extents += st.spare.len();
         SpaceStats {
             pages: self.pages.read().len() as u32,
-            live_objects: st.objects.len(),
-            used_bytes: st.objects.values().map(|&s| s as u64).sum(),
-            free_extent_bytes: st.free.values().map(|&s| s as u64).sum(),
-            free_extents: st.free.len(),
+            live_objects: st.live as usize,
+            used_bytes: st.used_bytes,
+            free_extent_bytes: free_bytes,
+            free_extents,
         }
     }
 
@@ -376,12 +562,31 @@ impl Partition {
     }
 }
 
+/// `(class, slot)` of `off` on a classed page, if aligned. Free function
+/// so it can be used while `meta` is mutably borrowed out of the state.
+fn st_locate_slot(meta: &PageMeta, off: u16) -> Option<(usize, usize)> {
+    let class = meta.class? as usize;
+    let cs = slot_bytes(class);
+    (off as u32).is_multiple_of(cs).then(|| (class, (off as u32 / cs) as usize))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn part() -> Partition {
         Partition::new(PartitionId(3))
+    }
+
+    #[test]
+    fn size_classes_cover_the_page() {
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(32), 0);
+        assert_eq!(class_of(33), 1);
+        assert_eq!(slot_bytes(class_of(100)), 128);
+        assert_eq!(class_of(PAGE_SIZE), NUM_CLASSES - 1);
+        assert_eq!(slot_bytes(NUM_CLASSES - 1) as usize, PAGE_SIZE);
+        assert_eq!(slots_per_page(NUM_CLASSES - 1), 1);
     }
 
     #[test]
@@ -415,32 +620,46 @@ mod tests {
     }
 
     #[test]
-    fn free_then_reuse_first_fit() {
+    fn free_then_reuse_same_class_slot() {
         let p = part();
+        // 200 and 150 both map to the 256-byte class, so the freed slot is
+        // the O(1) free-list head for the second allocation.
         let a = p.allocate(200).unwrap();
         let _b = p.allocate(200).unwrap();
         p.free(a).unwrap();
         let c = p.allocate(150).unwrap();
         assert_eq!(c.page(), a.page());
-        assert_eq!(c.offset(), a.offset(), "first fit reuses the freed hole");
-        // Remaining 50 bytes stay as a free extent.
-        assert_eq!(p.space_stats().free_extent_bytes, 50);
+        assert_eq!(c.offset(), a.offset(), "free-list head reuses the freed slot");
     }
 
     #[test]
-    fn coalescing_merges_neighbours() {
+    fn different_classes_never_share_a_page() {
         let p = part();
+        let small = p.allocate(100).unwrap(); // 128-byte class
+        let big = p.allocate(1000).unwrap(); // 1024-byte class
+        assert_ne!(small.page(), big.page());
+        // Same class lands on the same page while it has room.
+        let small2 = p.allocate(120).unwrap();
+        assert_eq!(small.page(), small2.page());
+    }
+
+    #[test]
+    fn adjacent_free_slots_merge_into_runs() {
+        let p = part();
+        // Four 128-class objects in slots 0..4; the page tail is one run.
         let a = p.allocate(100).unwrap();
         let b = p.allocate(100).unwrap();
         let c = p.allocate(100).unwrap();
         let _d = p.allocate(100).unwrap();
         p.free(a).unwrap();
         p.free(c).unwrap();
-        assert_eq!(p.space_stats().free_extents, 2);
+        // Runs: {a}, {c}, {tail}.
+        assert_eq!(p.space_stats().free_extents, 3);
         p.free(b).unwrap();
+        // a+b+c merge into one run: {a,b,c}, {tail}.
         let st = p.space_stats();
-        assert_eq!(st.free_extents, 1, "a+b+c should coalesce");
-        assert_eq!(st.free_extent_bytes, 300);
+        assert_eq!(st.free_extents, 2, "adjacent free slots form one run");
+        assert_eq!(st.free_extent_bytes, (PAGE_SIZE - 128) as u64);
     }
 
     #[test]
@@ -485,43 +704,65 @@ mod tests {
         let q = Partition::from_snapshot(&snap);
         assert_eq!(q.object_count(), 1);
         assert_eq!(q.space_stats(), p.space_stats());
-        // Allocation continues correctly after restore.
+        // Allocation continues correctly after restore: the class free
+        // list still knows the freed slot.
         let c = q.allocate(64).unwrap();
-        assert_eq!(c.offset(), a.offset(), "freed hole is still known");
+        assert_eq!(c.offset(), a.offset(), "freed slot is still known");
     }
 
     #[test]
     fn alloc_at_carves_exact_location() {
         let p = part();
+        // Offset 512 is slot 4 of a 128-byte-class page.
         let target = PhysAddr::new(PartitionId(3), 2, 512);
         p.alloc_at(target, 128).unwrap();
         assert_eq!(p.object_size(target), Some(128));
         assert_eq!(p.page_count(), 3, "pages 0..=2 must be opened");
-        // The carved hole splits the page's free space into two extents.
+        // Pages 0 and 1 are whole-page spares; page 2 lost one slot.
         let before = p.space_stats().free_extent_bytes;
         assert_eq!(before, 3 * PAGE_SIZE as u64 - 128);
         // Overlapping reservation fails.
         assert!(p.alloc_at(target, 64).is_err());
+        // Misaligned for the page's class fails.
         assert!(p
             .alloc_at(PhysAddr::new(PartitionId(3), 2, 500), 64)
             .is_err());
-        // Adjacent reservation succeeds.
+        // Adjacent slot succeeds (64 fits a 128-byte slot).
         p.alloc_at(PhysAddr::new(PartitionId(3), 2, 512 + 128), 64)
             .unwrap();
     }
 
     #[test]
-    fn alloc_at_interacts_with_bump_region() {
+    fn alloc_at_ahead_of_bump_is_skipped_by_the_cursor() {
         let p = part();
-        let a = p.allocate(100).unwrap();
-        // Reserve immediately after the bump pointer on the same page.
-        let target = PhysAddr::new(PartitionId(3), a.page(), 1000);
+        let a = p.allocate(100).unwrap(); // 128-class, slot 0
+        // Claim slot 8 of the same page directly (a recovery redo).
+        let target = PhysAddr::new(PartitionId(3), a.page(), 8 * 128);
         p.alloc_at(target, 50).unwrap();
         assert_eq!(p.object_size(target), Some(50));
-        // Ordinary allocation still works afterwards (from free extents).
-        let b = p.allocate(100).unwrap();
-        assert_ne!(b, target);
-        assert!(p.object_size(b).is_some());
+        // Bump keeps filling slots 1..8, then must skip the claimed slot.
+        for expected_slot in 1..8u32 {
+            let b = p.allocate(100).unwrap();
+            assert_eq!((b.page(), b.offset() as u32), (a.page(), expected_slot * 128));
+        }
+        let after = p.allocate(100).unwrap();
+        assert_eq!(
+            (after.page(), after.offset() as u32),
+            (a.page(), 9 * 128),
+            "bump cursor skips the alloc_at-claimed slot"
+        );
+    }
+
+    #[test]
+    fn alloc_at_adopts_spare_pages_with_the_object_class() {
+        let p = part();
+        let target = PhysAddr::new(PartitionId(3), 1, 0);
+        p.alloc_at(target, 100).unwrap(); // page 1 becomes 128-class
+        // Page 0 is a spare: an ordinary allocation adopts it.
+        let a = p.allocate(1000).unwrap();
+        assert_eq!(a.page(), 0);
+        // A second alloc_at misaligned for page 1's class fails.
+        assert!(p.alloc_at(PhysAddr::new(PartitionId(3), 1, 200), 100).is_err());
     }
 
     #[test]
@@ -531,7 +772,7 @@ mod tests {
         let _pad = p.allocate(100).unwrap();
         p.free_deferred(a).unwrap();
         assert!(!p.contains_object(a));
-        // The hole is not reusable yet: a new allocation must not land on it.
+        // The slot is not reusable yet: a new allocation must not land on it.
         let b = p.allocate(100).unwrap();
         assert_ne!((b.page(), b.offset()), (a.page(), a.offset()));
         p.flush_deferred_frees();
@@ -540,23 +781,59 @@ mod tests {
     }
 
     #[test]
-    fn fragmentation_accumulates_without_compaction() {
+    fn defer_all_withholds_freed_slots_but_not_virgin_tail() {
+        let p = part();
+        let a = p.allocate(100).unwrap();
+        let b = p.allocate(100).unwrap();
+        p.free(a).unwrap();
+        p.defer_all_free_space();
+        // a's slot is withheld; new allocations bump past b instead.
+        let c = p.allocate(100).unwrap();
+        assert_ne!((c.page(), c.offset()), (a.page(), a.offset()));
+        assert_eq!(c.offset() as u32, 2 * 128, "virgin tail stays bump-allocatable");
+        p.flush_deferred_frees();
+        let d = p.allocate(100).unwrap();
+        assert_eq!((d.page(), d.offset()), (a.page(), a.offset()));
+        let _ = b;
+    }
+
+    #[test]
+    fn alloc_at_reclaims_deferred_slot_with_exact_size() {
+        let p = part();
+        let a = p.allocate(100).unwrap();
+        p.free_deferred(a).unwrap();
+        // Wrong size: rejected, slot stays withheld.
+        assert!(p.alloc_at(a, 64).is_err());
+        // Exact size: the rollback path restores the object in place.
+        p.alloc_at(a, 100).unwrap();
+        assert_eq!(p.object_size(a), Some(100));
+    }
+
+    #[test]
+    fn fragmentation_is_per_class_under_bibop() {
         let p = part();
         let mut addrs = Vec::new();
         for _ in 0..50 {
             addrs.push(p.allocate(120).unwrap());
         }
-        // Free every other object: holes of 120 bytes that a 200-byte
-        // allocation cannot reuse.
+        // Free every other object: 25 isolated one-slot holes.
         for a in addrs.iter().step_by(2) {
             p.free(*a).unwrap();
         }
         let st = p.space_stats();
         assert!(st.free_extents >= 20);
-        let before_pages = p.page_count();
-        p.allocate(200).unwrap();
-        // The 200-byte object cannot fit any 120-byte hole.
+        // A 200-byte object maps to a different class, so it cannot reuse
+        // any 128-byte hole — it opens a 256-class page instead (the
+        // cross-class fragmentation that still motivates compaction).
+        let big = p.allocate(200).unwrap();
+        assert!(!addrs.iter().any(|a| a.page() == big.page()));
         assert!(p.space_stats().free_extents >= 20);
-        let _ = before_pages;
+        // But a same-class object reuses a hole instead of growing the
+        // heap — the anti-fragmentation property the old first-fit scan
+        // paid O(n) for.
+        let pages_before = p.page_count();
+        let small = p.allocate(120).unwrap();
+        assert!(addrs.contains(&small), "same-class hole is reused");
+        assert_eq!(p.page_count(), pages_before);
     }
 }

@@ -785,7 +785,11 @@ impl ReorgRun<'_> {
             .max(1)
             .min(wave_plan.components.len().max(1));
         self.db.stats.reorg_workers.fetch_max(nworkers as u64, AtomicOrd::Relaxed);
-        let next = AtomicUsize::new(0);
+        // Per-worker component deques with back-stealing (see
+        // [`crate::wave::StealQueue`]): the old shared atomic cursor kept
+        // queue order but let one worker stuck on a huge component idle
+        // the rest of the pool.
+        let steal_queue = crate::wave::StealQueue::new(wave_plan.components.len(), nworkers);
         let stop = AtomicBool::new(false);
         let crash = AtomicBool::new(false);
         let fatal: Mutex<Option<StoreError>> = Mutex::new(LockClass::WaveDeferred, 0, None);
@@ -802,7 +806,7 @@ impl ReorgRun<'_> {
         let worker_stats: Vec<WorkerStats> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..nworkers)
                 .map(|w| {
-                    let next = &next;
+                    let steal_queue = &steal_queue;
                     let stop = &stop;
                     let crash = &crash;
                     let fatal = &fatal;
@@ -814,11 +818,16 @@ impl ReorgRun<'_> {
                         let mut window_batches = 0usize;
                         let mut timeouts_mark = db.locks.stats.timeouts.get();
                         'claim: while !stop.load(AtomicOrd::Relaxed) {
-                            let c = next.fetch_add(1, AtomicOrd::Relaxed);
-                            brahma::sched::point("wave.claim", c as u64);
-                            let Some(component) = components.get(c) else {
+                            let Some((c, stolen)) = steal_queue.claim(w) else {
                                 break;
                             };
+                            if stolen {
+                                db.stats
+                                    .reorg_wave_steals
+                                    .fetch_add(1, AtomicOrd::Relaxed);
+                            }
+                            brahma::sched::point("wave.claim", c as u64);
+                            let component = &components[c];
                             for chunk in component.chunks(config.batch_size.max(1)) {
                                 if stop.load(AtomicOrd::Relaxed) {
                                     break 'claim;

@@ -105,9 +105,9 @@ impl Gauge {
 
 /// Number of power-of-two buckets. Bucket `i < NUM_BUCKETS - 1` counts
 /// values `v` with `2^i <= v+1 < 2^(i+1)` in microseconds — i.e. bucket 0
-/// is `[0, 1]` µs, bucket 1 is `(1, 3]` µs, … — and the last bucket is
-/// overflow (≳ 35 minutes). Wide enough for everything from an uncontended
-/// latch to a stuck quiesce.
+/// is `{0}` µs, bucket 1 is `[1, 2]` µs, bucket 2 is `[3, 6]` µs, … — and
+/// the last bucket is overflow (≳ 35 minutes). Wide enough for everything
+/// from an uncontended latch to a stuck quiesce.
 pub const NUM_BUCKETS: usize = 32;
 
 /// Fixed-bucket latency histogram over microsecond values.
@@ -254,10 +254,13 @@ impl Snapshot {
         self.entries.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
-    /// Fold another snapshot in, summing values on key collisions.
+    /// Fold another snapshot in, summing values on key collisions. Sums
+    /// saturate at `u64::MAX`, matching [`Snapshot::diff`]'s clamping
+    /// contract — merging two near-saturated counters must not panic.
     pub fn merge(&mut self, other: &Snapshot) {
         for (k, v) in other.iter() {
-            *self.entries.entry(k.to_string()).or_insert(0) += v;
+            let slot = self.entries.entry(k.to_string()).or_insert(0);
+            *slot = slot.saturating_add(v);
         }
     }
 
@@ -344,6 +347,36 @@ mod tests {
     }
 
     #[test]
+    fn histogram_bucket_boundaries_table() {
+        // Hand-written table of the first buckets plus both sides of each
+        // boundary, pinning the documented mapping (bucket 0 = {0},
+        // bucket 1 = [1, 2], bucket 2 = [3, 6], ...) independently of
+        // `bucket_upper_bound_us`.
+        let table: &[(u64, usize)] = &[
+            (0, 0),
+            (1, 1),
+            (2, 1),
+            (3, 2),
+            (6, 2),
+            (7, 3),
+            (14, 3),
+            (15, 4),
+            (30, 4),
+            (31, 5),
+            (62, 5),
+            (63, 6),
+            (1_000, 9),
+            (1_000_000, 19),
+            ((2u64 << 30) - 2, 30),          // last value of bucket 30
+            ((2u64 << 30) - 1, 31),          // first value of the overflow bucket
+            (u64::MAX, NUM_BUCKETS - 1),
+        ];
+        for &(v, want) in table {
+            assert_eq!(Histogram::bucket_index(v), want, "bucket_index({v})");
+        }
+    }
+
+    #[test]
     fn histogram_records_and_summarizes() {
         let h = Histogram::new();
         for v in [0u64, 1, 1, 5, 100, 10_000] {
@@ -404,6 +437,16 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.get("k"), 5);
         assert_eq!(a.get("only.b"), 1);
+    }
+
+    #[test]
+    fn snapshot_merge_saturates_instead_of_overflowing() {
+        let mut a = Snapshot::new();
+        a.set("k", u64::MAX - 1);
+        let mut b = Snapshot::new();
+        b.set("k", 5);
+        a.merge(&b); // would panic in debug builds with unchecked `+=`
+        assert_eq!(a.get("k"), u64::MAX);
     }
 
     #[test]

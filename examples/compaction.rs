@@ -29,9 +29,11 @@ fn main() {
     let info = Arc::new(build_graph(&db, &params).unwrap());
     let target = info.data_partitions[0];
 
-    // Fragment the partition: alternate live "keeper" objects with
-    // variable-length fillers, then free every filler. Each hole is pinned
-    // between two keepers, so nothing coalesces.
+    // Fragment the partition: alternate live "keeper" objects with fillers
+    // of the same size class, then free every filler. Under the BiBOP
+    // allocator every hole is an isolated one-slot gap pinned between two
+    // keeper slots on the same page — reusable only by same-class
+    // allocations, never mergeable while the keepers stay put.
     let mut keepers = Vec::new();
     let mut fillers = Vec::new();
     let mut txn = db.begin();
@@ -40,7 +42,7 @@ fn main() {
             txn.create_object(target, NewObject::exact(7, vec![], vec![0xAA; 40]))
                 .unwrap(),
         );
-        let size = 20 + (round % 7) * 33;
+        let size = 20 + (round % 3) * 10;
         fillers.push(
             txn.create_object(target, NewObject::exact(99, vec![], vec![0xEE; size]))
                 .unwrap(),
