@@ -15,6 +15,14 @@ CHAOS_QUICK=1 cargo test -q -p ira --test chaos_sweep
 # Parallel wave-executor smoke: isomorphism vs serial and mid-wave
 # crash/resume at the reduced PAR_QUICK sizes.
 PAR_QUICK=1 cargo test -q -p ira --test parallel_exec
+# Disk-chaos smoke (DESIGN.md §14): kill the process at every file-backend
+# fault site at one stride, reopen cold from the on-disk log, recover, and
+# re-verify the graph — plus the deterministic multi-partition mid-reorg
+# kill/resume. The full stride matrix runs via the workspace tests above.
+DISK_CHAOS_QUICK=1 cargo test -q -p ira --test disk_chaos_sweep
+# File-backend cold-restart round trip: segmented WAL + checkpoint image
+# survive a clean close and two reopens with counters exported.
+cargo test -q -p brahma --test file_backend
 # Schedule capture/replay regression (DESIGN.md §12): the checked-in
 # lost-tuple trace must replay the PR-4 fuzzy-checkpoint race
 # deterministically, and a bounded PCT exploration smoke (2 fault seeds ×

@@ -102,7 +102,16 @@ pub struct CellResult {
 
 /// Run one cell to completion.
 pub fn run_cell(cfg: &CellConfig) -> CellResult {
-    let db = Arc::new(Database::new(cfg.store.clone()));
+    // A cell with `store.data_dir` set runs durable: the store opens
+    // through the file backend (segmented WAL, real fsync on the commit
+    // path) instead of memory-resident, so the trajectory can price
+    // durability (`TRAJ_FILE_BACKEND=1`).
+    let db = if cfg.store.data_dir.is_some() {
+        let out = brahma::storage::open(cfg.store.clone()).expect("file-backed open");
+        Arc::new(out.db)
+    } else {
+        Arc::new(Database::new(cfg.store.clone()))
+    };
     let info = Arc::new(build_graph(&db, &cfg.params).expect("graph builds"));
     // Install the CPU model only after the graph is built (construction is
     // not part of the measured system).

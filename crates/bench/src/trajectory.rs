@@ -56,6 +56,10 @@ pub struct TrajectoryOptions {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fingerprint {
     pub quick: bool,
+    /// `"mem"` (default, the paper's memory-resident store) or `"file"`
+    /// (`TRAJ_FILE_BACKEND=1`: durable file backend, real fsyncs priced
+    /// into every commit). Runs with different backends never diff.
+    pub backend: &'static str,
     pub num_partitions: u64,
     pub objs_per_partition: u64,
     pub ops_per_trans: u64,
@@ -107,8 +111,10 @@ fn base_params(opts: &TrajectoryOptions) -> WorkloadParams {
 /// measures a fixed window.
 pub fn run_trajectory(opts: &TrajectoryOptions) -> Trajectory {
     let params = base_params(opts);
+    let file_backend = brahma::env_flag("TRAJ_FILE_BACKEND");
     let fingerprint = Fingerprint {
         quick: opts.quick,
+        backend: if file_backend { "file" } else { "mem" },
         num_partitions: params.num_partitions as u64,
         objs_per_partition: params.objs_per_partition as u64,
         ops_per_trans: params.ops_per_trans as u64,
@@ -134,7 +140,23 @@ pub fn run_trajectory(opts: &TrajectoryOptions) -> Trajectory {
             if workers > 0 {
                 cfg.ira.workers = workers;
             }
+            let cell_dir = file_backend.then(|| {
+                std::env::temp_dir().join(format!(
+                    "brahma-traj-{}-{mpl}-{mode}",
+                    std::process::id()
+                ))
+            });
+            if let Some(dir) = &cell_dir {
+                // Durable cell: real fsyncs on the group-commit path
+                // replace the simulated flush latency.
+                let _ = std::fs::remove_dir_all(dir);
+                cfg.store.data_dir = Some(dir.clone());
+                cfg.store.commit_flush_latency = Duration::ZERO;
+            }
             let r = run_cell(&cfg);
+            if let Some(dir) = &cell_dir {
+                let _ = std::fs::remove_dir_all(dir);
+            }
             cells.push(TrajCell {
                 mpl,
                 mode,
@@ -179,9 +201,9 @@ impl Trajectory {
         let f = &self.fingerprint;
         let _ = write!(
             o,
-            "\"quick\": {}, \"num_partitions\": {}, \"objs_per_partition\": {}, \
-             \"ops_per_trans\": {}, \"update_prob\": ",
-            f.quick, f.num_partitions, f.objs_per_partition, f.ops_per_trans
+            "\"quick\": {}, \"backend\": \"{}\", \"num_partitions\": {}, \
+             \"objs_per_partition\": {}, \"ops_per_trans\": {}, \"update_prob\": ",
+            f.quick, f.backend, f.num_partitions, f.objs_per_partition, f.ops_per_trans
         );
         push_f64(&mut o, f.update_prob);
         let _ = writeln!(o, ", \"seed\": {}}},", f.seed);
@@ -510,6 +532,9 @@ pub fn compare(prior: &Json, current: &Trajectory) -> Comparison {
     }
     let same_fingerprint = prior.get("fingerprint").is_some_and(|f| {
         f.get("quick") == Some(&Json::Bool(current.fingerprint.quick))
+            // Files written before the backend field existed were all
+            // memory-resident runs.
+            && f.str_of("backend").unwrap_or("mem") == current.fingerprint.backend
             && f.u64_of("objs_per_partition")
                 == Some(current.fingerprint.objs_per_partition)
             && f.u64_of("num_partitions") == Some(current.fingerprint.num_partitions)
@@ -632,6 +657,7 @@ mod tests {
         Trajectory {
             fingerprint: Fingerprint {
                 quick: true,
+                backend: "mem",
                 num_partitions: 8,
                 objs_per_partition: 510,
                 ops_per_trans: 10,

@@ -57,6 +57,14 @@ pub struct StoreConfig {
     pub strict_2pl: bool,
     /// Number of shards in the lock manager's hash table.
     pub lock_shards: usize,
+    /// Directory for the file backend's WAL segments and checkpoint files.
+    /// `None` (the default) keeps the store purely in-memory; set it and
+    /// open the store through [`crate::storage::open`] for real
+    /// durability (DESIGN.md §14).
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Target size of one WAL segment file; the active segment rotates at
+    /// the first append that finds it past this many bytes.
+    pub wal_segment_bytes: u64,
 }
 
 impl Default for StoreConfig {
@@ -69,6 +77,8 @@ impl Default for StoreConfig {
             trt_purge: true,
             strict_2pl: true,
             lock_shards: 64,
+            data_dir: None,
+            wal_segment_bytes: 1 << 20,
         }
     }
 }

@@ -107,11 +107,16 @@ pub struct Database {
     cpu: RwLock<Option<Arc<dyn CpuCharge>>>,
     pub stats: DbStats,
     /// Deterministic fault injection (disarmed — one relaxed load per site
-    /// check — unless a test arms a plan). See [`crate::fault`].
-    pub fault: FaultInjector,
+    /// check — unless a test arms a plan). See [`crate::fault`]. Shared
+    /// (`Arc`) so an attached [`crate::storage::FileBackend`] fires the
+    /// same plans at its `file.*` sites.
+    pub fault: Arc<FaultInjector>,
     /// Store-wide retry accounting shared by every retry loop built on
     /// [`crate::retry::RetryPolicy`].
     pub retry_stats: RetryStats,
+    /// Durability backend (DESIGN.md §14). `None` — the in-memory
+    /// simulator — unless [`Database::attach_backend`] installed one.
+    backend: std::sync::OnceLock<Arc<dyn crate::storage::StorageBackend>>,
 }
 
 impl Database {
@@ -128,11 +133,25 @@ impl Database {
             roots: Mutex::new(LockClass::DbRoots, 0, Vec::new()),
             cpu: RwLock::new(LockClass::DbCpu, 0, None),
             stats: DbStats::default(),
-            fault: FaultInjector::new(),
+            fault: Arc::new(FaultInjector::new()),
             retry_stats: RetryStats::default(),
             partitions: RwLock::new(LockClass::DbPartitions, 0, Vec::new()),
+            backend: std::sync::OnceLock::new(),
             config,
         }
+    }
+
+    /// Install the durability backend (once, at open time): every WAL
+    /// append from here on is mirrored to it, and checkpoints go through
+    /// [`crate::storage::StorageBackend::write_checkpoint`].
+    pub fn attach_backend(&self, backend: Arc<dyn crate::storage::StorageBackend>) {
+        let _ = self.backend.set(Arc::clone(&backend));
+        self.wal.set_sink(backend);
+    }
+
+    /// The attached durability backend, if any.
+    pub fn backend(&self) -> Option<&Arc<dyn crate::storage::StorageBackend>> {
+        self.backend.get()
     }
 
     /// Install (or clear) the CPU cost model.
@@ -331,11 +350,30 @@ impl Database {
         self.reorg_tables.read().contains_key(&partition)
     }
 
+    /// Sorted ids of every partition with a reorganization in progress.
+    pub fn active_reorg_ids(&self) -> Vec<PartitionId> {
+        let mut v: Vec<_> = self.reorg_tables.read().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Durably record the reorganization utility's serialized progress for
     /// `partition` (replacing any previous record). The bytes survive a
     /// crash in the [`crate::recovery::CrashImage`] and are handed back by
     /// [`crate::recovery::recover`] when the reorganization was interrupted.
     pub fn save_reorg_checkpoint(&self, partition: PartitionId, bytes: Vec<u8>) {
+        if self.backend.get().is_some() {
+            // With a file backend the side table alone would die with the
+            // process; log the blob so a cold restart recovers the latest
+            // one per partition from the segments.
+            self.wal.append(
+                TxnId(0),
+                LogPayload::ReorgCheckpoint {
+                    partition,
+                    blob: bytes.clone(),
+                },
+            );
+        }
         self.reorg_checkpoints.lock().insert(partition, bytes);
     }
 
@@ -477,6 +515,9 @@ impl Database {
         snap.set("trt.tuples", trt_tuples);
         self.retry_stats.export(&mut snap);
         self.fault.export(&mut snap);
+        if let Some(backend) = self.backend.get() {
+            backend.export(&mut snap);
+        }
         snap.set("lockdep.violations", crate::lockdep::violations());
         snap
     }

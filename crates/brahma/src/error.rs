@@ -55,6 +55,13 @@ pub enum Error {
     PartitionUnderReorg(u16),
     /// Restart recovery found the log inconsistent with the checkpoint.
     RecoveryCorrupt(String),
+    /// On-disk bytes failed validation while being decoded: a CRC mismatch,
+    /// an impossible length prefix, a bad magic/version, or a field that
+    /// decodes to a structurally invalid value. `offset` is the byte offset
+    /// within the file or buffer being decoded. Never retryable — the bytes
+    /// will not get better — and never a panic: recovery degrades to this
+    /// error and leaves the store closed.
+    Corrupt { offset: u64, reason: String },
     /// A parallel reorganization worker found another worker mid-migration
     /// on an object it needs to touch (typically a child whose parent list
     /// must be rewritten). Retryable exactly like [`Error::LockTimeout`]:
@@ -129,6 +136,9 @@ impl fmt::Display for Error {
                 write!(f, "object {addr} is mid-migration by a concurrent worker")
             }
             Error::RecoveryCorrupt(msg) => write!(f, "recovery failed: {msg}"),
+            Error::Corrupt { offset, reason } => {
+                write!(f, "corrupt bytes at offset {offset}: {reason}")
+            }
             Error::Injected { site, kind } => {
                 write!(f, "injected {kind:?} fault at site {site}")
             }

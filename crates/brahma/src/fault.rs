@@ -72,6 +72,25 @@ pub mod site {
         TRT_NOTE,
         ERT_NOTE,
     ];
+
+    /// A WAL record is about to be pwritten to the active segment file
+    /// (crash-only in practice: the file mirror runs behind paths that
+    /// return no `Result`, so error actions only count; a crash kills the
+    /// backend before any bytes land).
+    pub const FILE_PWRITE: &str = "file.pwrite";
+    /// The group-commit leader is about to fsync the active segment.
+    pub const FILE_FSYNC: &str = "file.fsync";
+    /// A WAL record write tears: a prefix of the encoded record lands on
+    /// disk, then the backend dies. Recovery must truncate the torn tail.
+    pub const FILE_TORN_WRITE: &str = "file.torn_write";
+    /// A shadow checkpoint is about to be renamed over the live one; a
+    /// crash here leaves the previous checkpoint intact.
+    pub const CKPT_RENAME: &str = "ckpt.rename";
+
+    /// Every file-backend site, for the disk-chaos sweep. Kept out of
+    /// [`ALL`] on purpose: the in-memory sweep asserts every `ALL` site
+    /// fires, and these sites only exist when a `FileBackend` is attached.
+    pub const FILE_ALL: &[&str] = &[FILE_PWRITE, FILE_FSYNC, FILE_TORN_WRITE, CKPT_RENAME];
 }
 
 /// What the injector does when a rule fires.

@@ -65,6 +65,7 @@ pub mod partition;
 pub mod recovery;
 pub mod retry;
 pub mod sched;
+pub mod storage;
 pub mod sweep;
 pub mod trt;
 pub mod txn;
@@ -83,6 +84,7 @@ pub use partition::{Partition, SpaceStats};
 pub use recovery::{recover, Checkpoint, CrashImage, RecoveryOutcome};
 pub use retry::{RetryPolicy, RetryState, RetryStats};
 pub use sched::{env_flag, SeedTree};
+pub use storage::{open, open_with_faults, FileBackend, MemBackend, OpenOutcome, StorageBackend};
 pub use trt::{RefAction, Trt, TrtTuple};
 pub use txn::{TxnId, TxnManager};
 pub use wal::{LogPayload, LogRecord, Lsn, Wal};

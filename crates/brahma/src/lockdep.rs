@@ -90,6 +90,10 @@ pub enum LockClass {
     /// the worker index. Never nested: a worker releases its own deque
     /// before probing a victim's.
     WaveDeque,
+    /// The file backend's segment-writer state (`storage::FileBackend`).
+    /// Ordered after `WalInner`: the append mirror runs under the log
+    /// mutex so the on-disk record order is the LSN order.
+    FileBackend,
     /// Reserved for lockdep's own tests.
     TestA,
     /// Reserved for lockdep's own tests.
@@ -262,6 +266,7 @@ mod imp {
         "TraversalShard",
         "WaveDeferred",
         "WaveDeque",
+        "FileBackend",
         "TestA",
         "TestB",
     ];

@@ -177,6 +177,183 @@ pub struct PartitionSnapshot {
     pub ert: crate::ert::ErtSnapshot,
 }
 
+impl PartitionSnapshot {
+    /// Serialize for the on-disk checkpoint image (DESIGN.md §14). Lives
+    /// here — not in `storage::codec` — because [`AllocState`] is private
+    /// to the allocator.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use crate::storage::codec::*;
+        put_u16(out, self.id.0);
+        put_u32(out, self.pages.len() as u32);
+        for page in &self.pages {
+            put_bytes(out, page);
+        }
+        let a = &self.alloc;
+        put_u32(out, a.page_meta.len() as u32);
+        for m in &a.page_meta {
+            match m.class {
+                Some(c) => put_u8(out, c),
+                None => put_u8(out, 0xFF),
+            }
+            put_u32(out, m.used.len() as u32);
+            for w in &m.used {
+                put_u64(out, *w);
+            }
+            put_u32(out, m.sizes.len() as u32);
+            for s in &m.sizes {
+                put_u32(out, *s);
+            }
+        }
+        put_u8(out, a.free_lists.len() as u8);
+        for fl in &a.free_lists {
+            put_u32(out, fl.len() as u32);
+            for (page, slot) in fl {
+                put_u32(out, *page);
+                put_u16(out, *slot);
+            }
+        }
+        put_u8(out, a.bump.len() as u8);
+        for b in &a.bump {
+            match b {
+                Some((page, next)) => {
+                    put_u8(out, 1);
+                    put_u32(out, *page);
+                    put_u32(out, *next);
+                }
+                None => put_u8(out, 0),
+            }
+        }
+        for list in [&a.spare, &a.withheld_spare] {
+            put_u32(out, list.len() as u32);
+            for p in list {
+                put_u32(out, *p);
+            }
+        }
+        put_u32(out, a.deferred.len() as u32);
+        for (page, slot, size) in &a.deferred {
+            put_u32(out, *page);
+            put_u16(out, *slot);
+            put_u32(out, *size);
+        }
+        put_u64(out, a.live);
+        put_u64(out, a.used_bytes);
+        put_u32(out, self.ert.edges.len() as u32);
+        for (child, parent) in &self.ert.edges {
+            put_addr(out, *child);
+            put_addr(out, *parent);
+        }
+    }
+
+    /// Decode a snapshot written by [`PartitionSnapshot::encode`]. Every
+    /// malformed field degrades to [`Error::Corrupt`]; nothing panics on
+    /// bad disk bytes.
+    pub fn decode(r: &mut crate::storage::codec::Reader<'_>) -> Result<PartitionSnapshot> {
+        let id = PartitionId(r.u16()?);
+        let npages = r.u32()? as usize;
+        let mut pages = Vec::with_capacity(npages.min(1 << 16));
+        for _ in 0..npages {
+            let page = r.bytes()?;
+            if page.len() != PAGE_SIZE {
+                return Err(r.corrupt(format!(
+                    "page image is {} bytes, expected {PAGE_SIZE}",
+                    page.len()
+                )));
+            }
+            pages.push(page);
+        }
+        let nmeta = r.u32()? as usize;
+        let mut page_meta = Vec::with_capacity(nmeta.min(1 << 16));
+        for _ in 0..nmeta {
+            let class = match r.u8()? {
+                0xFF => None,
+                c if (c as usize) < NUM_CLASSES => Some(c),
+                c => return Err(r.corrupt(format!("size class {c} out of range"))),
+            };
+            let nused = r.u32()? as usize;
+            let mut used = Vec::with_capacity(nused.min(1 << 16));
+            for _ in 0..nused {
+                used.push(r.u64()?);
+            }
+            let nsizes = r.u32()? as usize;
+            let mut sizes = Vec::with_capacity(nsizes.min(1 << 16));
+            for _ in 0..nsizes {
+                sizes.push(r.u32()?);
+            }
+            page_meta.push(PageMeta { class, used, sizes });
+        }
+        let nclasses = r.u8()? as usize;
+        if nclasses != NUM_CLASSES {
+            return Err(r.corrupt(format!(
+                "snapshot has {nclasses} size classes, this build has {NUM_CLASSES}"
+            )));
+        }
+        let mut free_lists = Vec::with_capacity(nclasses);
+        for _ in 0..nclasses {
+            let n = r.u32()? as usize;
+            let mut fl = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let page = r.u32()?;
+                let slot = r.u16()?;
+                fl.push((page, slot));
+            }
+            free_lists.push(fl);
+        }
+        let nbump = r.u8()? as usize;
+        if nbump != NUM_CLASSES {
+            return Err(r.corrupt(format!("snapshot has {nbump} bump cursors")));
+        }
+        let mut bump = Vec::with_capacity(nbump);
+        for _ in 0..nbump {
+            bump.push(match r.u8()? {
+                0 => None,
+                1 => Some((r.u32()?, r.u32()?)),
+                f => return Err(r.corrupt(format!("bad bump flag {f}"))),
+            });
+        }
+        let mut lists = [Vec::new(), Vec::new()];
+        for list in &mut lists {
+            let n = r.u32()? as usize;
+            list.reserve(n.min(1 << 16));
+            for _ in 0..n {
+                list.push(r.u32()?);
+            }
+        }
+        let [spare, withheld_spare] = lists;
+        let ndef = r.u32()? as usize;
+        let mut deferred = Vec::with_capacity(ndef.min(1 << 16));
+        for _ in 0..ndef {
+            let page = r.u32()?;
+            let slot = r.u16()?;
+            let size = r.u32()?;
+            deferred.push((page, slot, size));
+        }
+        let live = r.u64()?;
+        let used_bytes = r.u64()?;
+        let nedges = r.u32()? as usize;
+        let mut edges = Vec::with_capacity(nedges.min(1 << 16));
+        for _ in 0..nedges {
+            let child = r.addr()?;
+            let parent = r.addr()?;
+            edges.push((child, parent));
+        }
+        Ok(PartitionSnapshot {
+            id,
+            pages,
+            alloc: AllocState {
+                page_meta,
+                free_lists,
+                bump,
+                spare,
+                withheld_spare,
+                deferred,
+                live,
+                used_bytes,
+            },
+            ert: crate::ert::ErtSnapshot { edges },
+        })
+    }
+}
+
 /// One database partition.
 ///
 /// Lock hierarchy (enforced by [`crate::lockdep`]): `alloc` before `pages`

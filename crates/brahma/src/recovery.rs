@@ -35,6 +35,13 @@ pub struct Checkpoint {
     pub lsn: Lsn,
     pub partitions: Vec<PartitionSnapshot>,
     pub roots: Vec<PhysAddr>,
+    /// Partitions whose reorganization was in progress when the checkpoint
+    /// was taken. A checkpoint taken *after* a `ReorgStart` record makes
+    /// that record invisible to replay (it is below the checkpoint LSN);
+    /// this field carries the open reorganizations across, so recovery
+    /// still reports them interrupted. Empty for the common
+    /// checkpoint-before-reorg case.
+    pub active_reorgs: Vec<PartitionId>,
 }
 
 /// What survives a crash: the last checkpoint and the durable log prefix.
@@ -82,6 +89,7 @@ impl Database {
             lsn,
             partitions,
             roots: self.roots(),
+            active_reorgs: self.active_reorg_ids(),
         }
     }
 
@@ -112,6 +120,17 @@ impl Database {
 /// Restart recovery from a crash image.
 pub fn recover(image: CrashImage, config: StoreConfig) -> Result<RecoveryOutcome> {
     let db = Database::new(config);
+    // Continue the pre-crash LSN space: every record the new incarnation
+    // appends (recovery compensations included) gets an LSN above anything
+    // that survived, so logs from different incarnations merge by LSN.
+    let max_lsn = image
+        .log
+        .iter()
+        .map(|r| r.lsn)
+        .max()
+        .unwrap_or(0)
+        .max(image.checkpoint.lsn);
+    db.wal.advance_to(max_lsn + 1);
     // Rebuild partitions and roots from the checkpoint.
     for snap in &image.checkpoint.partitions {
         db.install_partition(Partition::from_snapshot(snap));
@@ -123,7 +142,9 @@ pub fn recover(image: CrashImage, config: StoreConfig) -> Result<RecoveryOutcome
     // ---- Analysis ----
     let mut active: HashMap<TxnId, Option<PartitionId>> = HashMap::new(); // tid -> reorg partition
     let mut txn_updates: HashMap<TxnId, Vec<LogRecord>> = HashMap::new();
-    let mut reorgs: HashSet<PartitionId> = HashSet::new();
+    let mut reorgs: HashSet<PartitionId> =
+        image.checkpoint.active_reorgs.iter().copied().collect();
+    let mut logged_blobs: HashMap<PartitionId, Vec<u8>> = HashMap::new();
     for rec in &image.log {
         match &rec.payload {
             LogPayload::Begin { reorg } => {
@@ -147,6 +168,12 @@ pub fn recover(image: CrashImage, config: StoreConfig) -> Result<RecoveryOutcome
             | LogPayload::DeleteRef { .. }
             | LogPayload::SetRef { .. } => {
                 txn_updates.entry(rec.tid).or_default().push(rec.clone());
+            }
+            LogPayload::ReorgCheckpoint { partition, blob } => {
+                // Keep the latest logged reorganizer checkpoint per
+                // partition; it supersedes the (older, or equal) blob a
+                // durable checkpoint file carried across.
+                logged_blobs.insert(*partition, blob.clone());
             }
             LogPayload::Migrate { .. }
             | LogPayload::Checkpoint { .. }
@@ -172,11 +199,14 @@ pub fn recover(image: CrashImage, config: StoreConfig) -> Result<RecoveryOutcome
 
     let mut interrupted: Vec<PartitionId> = reorgs.into_iter().collect();
     interrupted.sort_unstable();
-    let reorg_checkpoints = image
-        .reorg_checkpoints
+    let mut blobs: HashMap<PartitionId, Vec<u8>> =
+        image.reorg_checkpoints.into_iter().collect();
+    blobs.extend(logged_blobs);
+    let mut reorg_checkpoints: Vec<(PartitionId, Vec<u8>)> = blobs
         .into_iter()
         .filter(|(p, _)| interrupted.contains(p))
         .collect();
+    reorg_checkpoints.sort_by_key(|(p, _)| *p);
     Ok(RecoveryOutcome {
         db,
         losers,

@@ -86,6 +86,12 @@ pub enum LogPayload {
     /// re-create partitions added after the last checkpoint (the copying
     /// collector evacuates into fresh partitions mid-run).
     CreatePartition { id: PartitionId },
+    /// A reorganization utility saved its serialized progress checkpoint
+    /// for `partition`. Logged (in addition to the in-memory side table)
+    /// so a file backend can recover the blob from the log alone: restart
+    /// takes the *latest* such record per partition, letting a mid-reorg
+    /// process kill resume from the on-disk checkpoint + log.
+    ReorgCheckpoint { partition: PartitionId, blob: Vec<u8> },
 }
 
 impl LogPayload {
@@ -107,6 +113,7 @@ impl LogPayload {
                 8 + (image.refs.len() * 8 + image.payload.len()) as u64
             }
             LogPayload::SetPayload { old, new, .. } => 8 + (old.len() + new.len()) as u64,
+            LogPayload::ReorgCheckpoint { blob, .. } => 8 + blob.len() as u64,
             LogPayload::InsertRef { .. } | LogPayload::DeleteRef { .. } => 24,
             LogPayload::SetRef { .. } => 32,
             LogPayload::Migrate { .. } => 16,
@@ -184,6 +191,12 @@ pub struct Wal {
     /// device sleep. Followers wait on `flush_cv` instead of sleeping.
     flush_leader: Mutex<bool>,
     flush_cv: Condvar,
+    /// Durability mirror (DESIGN.md §14). When set, every append is also
+    /// handed to the backend under the log mutex (so the on-disk order is
+    /// the LSN order) and the group-commit leader's force becomes a real
+    /// fsync. `None` for the default in-memory simulator: the mirror costs
+    /// nothing unless a file backend is attached.
+    sink: std::sync::OnceLock<std::sync::Arc<dyn crate::storage::StorageBackend>>,
     /// Logging-path counters.
     pub stats: WalStats,
 }
@@ -207,7 +220,33 @@ impl Wal {
             truncate_watermark: 1 << 16,
             flush_leader: Mutex::new(LockClass::WalFlushLeader, 0, false),
             flush_cv: Condvar::new(),
+            sink: std::sync::OnceLock::new(),
             stats: WalStats::default(),
+        }
+    }
+
+    /// Attach a durability mirror. Set once, before the log is shared with
+    /// writers (records appended earlier — e.g. recovery compensations —
+    /// are deliberately not mirrored: they are re-derived by re-running
+    /// recovery, and only become durable via the post-recovery checkpoint).
+    pub fn set_sink(&self, sink: std::sync::Arc<dyn crate::storage::StorageBackend>) {
+        let _ = self.sink.set(sink);
+    }
+
+    /// Advance the LSN space of an *empty* log so it continues where a
+    /// pre-crash log left off. Restart recovery calls this before appending
+    /// anything, keeping LSNs globally unique across process lifetimes —
+    /// which is what lets logs from different incarnations be merged by LSN
+    /// during TRT reconstruction.
+    pub fn advance_to(&self, lsn: Lsn) {
+        let mut inner = self.inner.lock();
+        assert!(
+            inner.records.is_empty(),
+            "advance_to is only valid on an empty log"
+        );
+        if lsn > inner.next_lsn {
+            inner.next_lsn = lsn;
+            inner.base_lsn = lsn;
         }
     }
 
@@ -222,6 +261,11 @@ impl Wal {
         let lsn = inner.next_lsn;
         inner.next_lsn += 1;
         inner.records.push(LogRecord { lsn, tid, payload });
+        if let (Some(sink), Some(rec)) = (self.sink.get(), inner.records.last()) {
+            // Mirror under the log mutex so the on-disk record order is the
+            // LSN order (the torn-tail scan depends on it).
+            sink.wal_append(rec);
+        }
         if !self.retain && inner.records.len() > self.truncate_watermark {
             let pinned = self.pinned_lsn.load(Ordering::Acquire);
             let keep_from = pinned.min(inner.next_lsn);
@@ -269,6 +313,11 @@ impl Wal {
             *leader_active = true;
             drop(leader_active);
             let target = self.next_lsn().saturating_sub(1).max(lsn);
+            if let Some(sink) = self.sink.get() {
+                // Real durability: the leader's force is an fsync of the
+                // active segment, on behalf of every absorbed follower.
+                sink.wal_sync();
+            }
             if !self.flush_latency.is_zero() {
                 // Model the device: the flush costs latency outside any latch.
                 std::thread::sleep(self.flush_latency);
@@ -401,6 +450,7 @@ mod tests {
             flush_leader: Mutex::new(LockClass::WalFlushLeader, 0, false),
             flush_cv: Condvar::new(),
             stats: WalStats::default(),
+            sink: std::sync::OnceLock::new(),
         };
         let early = wal.pin_at(5);
         let late = wal.pin_at(12);

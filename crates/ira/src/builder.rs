@@ -388,6 +388,15 @@ impl<'a> Reorg<'a> {
         self
     }
 
+    /// Save a resumable reorganizer checkpoint every `n` batches of the
+    /// serial migration loop (Section 4.4). With a file backend attached
+    /// the save is durable, bounding how far a hard kill sets the
+    /// reorganization back. Defaults to off (checkpoint only at crash).
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.config.checkpoint_every = Some(n);
+        self
+    }
+
     /// How long to wait for transactions active when the run starts.
     pub fn quiesce_wait(mut self, wait: Duration) -> Self {
         self.config.quiesce_wait = wait;

@@ -84,16 +84,16 @@ pub struct CellOutcome {
 
 /// Objects of the cell database: a chain in the partition under
 /// reorganization, anchored from outside, plus one garbage object.
-struct CellGraph {
-    p0: PartitionId,
-    p1: PartitionId,
-    anchors: Vec<PhysAddr>,
-    chain_len: usize,
+pub(crate) struct CellGraph {
+    pub(crate) p0: PartitionId,
+    pub(crate) p1: PartitionId,
+    pub(crate) anchors: Vec<PhysAddr>,
+    pub(crate) chain_len: usize,
 }
 
-const CHAIN_LEN: usize = 8;
+pub(crate) const CHAIN_LEN: usize = 8;
 
-fn build_graph(db: &Database) -> CellGraph {
+pub(crate) fn build_graph(db: &Database) -> CellGraph {
     let p0 = db.create_partition();
     let p1 = db.create_partition();
     let mut chain = Vec::new();
@@ -163,7 +163,7 @@ fn build_graph(db: &Database) -> CellGraph {
 /// under reorganization — enough traffic that every substrate fault site
 /// takes hits from non-reorganizer threads too. Walkers tolerate every
 /// error by aborting and retrying; they assert nothing.
-fn spawn_walkers(
+pub(crate) fn spawn_walkers(
     db: &Arc<Database>,
     graph: &CellGraph,
     stop: &Arc<AtomicBool>,
@@ -241,7 +241,7 @@ fn walk_once(db: &Database, p0: PartitionId, anchor: PhysAddr, round: usize) -> 
 /// shared lock, S→X upgrade, payload write, same-value reference rewrite,
 /// temporary create + delete — so each cell records hits at its site even
 /// if walker scheduling never gets there.
-fn primer(db: &Database, p0: PartitionId, anchor: PhysAddr) {
+pub(crate) fn primer(db: &Database, p0: PartitionId, anchor: PhysAddr) {
     let mut txn = db.begin();
     let _ = (|| -> brahma::Result<()> {
         txn.lock(anchor, LockMode::Shared)?;

@@ -93,20 +93,29 @@ impl IraCheckpoint {
     }
 
     /// Inverse of [`IraCheckpoint::encode`]. Truncated or malformed input
-    /// yields [`brahma::Error::RecoveryCorrupt`].
+    /// yields [`brahma::Error::Corrupt`] — with a file backend the bytes
+    /// come straight from disk, so a bad record must degrade to a recovery
+    /// error, never a panic.
     pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
         let mut r = Reader { bytes, at: 0 };
         let version = r.u8()?;
         if version != CODEC_VERSION {
-            return Err(corrupt(format!(
-                "unknown IRA checkpoint version {version}"
-            )));
+            return Err(corrupt(
+                0,
+                format!("unknown IRA checkpoint version {version}"),
+            ));
         }
         let partition = PartitionId(r.u16()?);
+        let plan_at = r.at as u64;
         let plan = match r.u8()? {
             0 => RelocationPlan::CompactInPlace,
             1 => RelocationPlan::EvacuateTo(PartitionId(r.u16()?)),
-            tag => return Err(corrupt(format!("unknown relocation plan tag {tag}"))),
+            tag => {
+                return Err(corrupt(
+                    plan_at,
+                    format!("unknown relocation plan tag {tag}"),
+                ))
+            }
         };
         let pos = r.u64()? as usize;
         let trt_lsn = r.u64()?;
@@ -129,10 +138,11 @@ impl IraCheckpoint {
             let child = r.addr()?;
             let parent = r.addr()?;
             let tid = TxnId(r.u64()?);
+            let action_at = r.at as u64;
             let action = match r.u8()? {
                 0 => RefAction::Insert,
                 1 => RefAction::Delete,
-                tag => return Err(corrupt(format!("unknown TRT action tag {tag}"))),
+                tag => return Err(corrupt(action_at, format!("unknown TRT action tag {tag}"))),
             };
             trt_snapshot.push(TrtTuple {
                 child,
@@ -142,10 +152,10 @@ impl IraCheckpoint {
             });
         }
         if r.at != r.bytes.len() {
-            return Err(corrupt(format!(
-                "{} trailing bytes after IRA checkpoint",
-                r.bytes.len() - r.at
-            )));
+            return Err(corrupt(
+                r.at as u64,
+                format!("{} trailing bytes after IRA checkpoint", r.bytes.len() - r.at),
+            ));
         }
         Ok(IraCheckpoint {
             partition,
@@ -164,8 +174,8 @@ impl IraCheckpoint {
     }
 }
 
-fn corrupt(msg: String) -> StoreError {
-    StoreError::RecoveryCorrupt(msg)
+fn corrupt(offset: u64, reason: String) -> StoreError {
+    StoreError::Corrupt { offset, reason }
 }
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
@@ -192,7 +202,10 @@ impl Reader<'_> {
     fn take(&mut self, n: usize) -> Result<&[u8], StoreError> {
         let end = self.at.checked_add(n).filter(|e| *e <= self.bytes.len());
         let Some(end) = end else {
-            return Err(corrupt("truncated IRA checkpoint".to_string()));
+            return Err(corrupt(
+                self.at as u64,
+                "truncated IRA checkpoint".to_string(),
+            ));
         };
         let slice = &self.bytes[self.at..end];
         self.at = end;
@@ -204,11 +217,22 @@ impl Reader<'_> {
     }
 
     fn u16(&mut self) -> Result<u16, StoreError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("invariant: take(n) yields exactly n bytes")))
+        // take(2) yields exactly 2 bytes, but these bytes may come off disk:
+        // every structural surprise routes through Error::Corrupt, not a
+        // panic path.
+        let at = self.at as u64;
+        match self.take(2)?.try_into() {
+            Ok(b) => Ok(u16::from_le_bytes(b)),
+            Err(_) => Err(corrupt(at, "short u16 read".to_string())),
+        }
     }
 
     fn u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("invariant: take(n) yields exactly n bytes")))
+        let at = self.at as u64;
+        match self.take(8)?.try_into() {
+            Ok(b) => Ok(u64::from_le_bytes(b)),
+            Err(_) => Err(corrupt(at, "short u64 read".to_string())),
+        }
     }
 
     fn addr(&mut self) -> Result<PhysAddr, StoreError> {
@@ -220,7 +244,10 @@ impl Reader<'_> {
         // Guard against a corrupt length overcommitting memory: each address
         // takes 8 bytes, so `n` can never exceed the remaining input.
         if n > (self.bytes.len() - self.at) / 8 {
-            return Err(corrupt("truncated IRA checkpoint".to_string()));
+            return Err(corrupt(
+                self.at as u64,
+                "truncated IRA checkpoint".to_string(),
+            ));
         }
         (0..n).map(|_| self.addr()).collect()
     }
@@ -245,7 +272,7 @@ pub fn resume_reorganization(
 /// builder.
 pub(crate) fn run_resume(
     db: &Database,
-    ckpt: IraCheckpoint,
+    mut ckpt: IraCheckpoint,
     pre_crash_log: &[LogRecord],
     config: &IraConfig,
     exec: &ExecOptions,
@@ -291,6 +318,57 @@ pub(crate) fn run_resume(
     // objects need their ERT parents merged and a place in the queue.
     let phase_start = Instant::now();
     let mut state = ckpt.state;
+    // Migrations committed *after* this checkpoint was saved are invisible
+    // to it — a durable blob can be up to one batch stale — yet restart
+    // recovery redid them: their new copies are live and their parents are
+    // already repointed. Harvest them from the log window (a `Migrate`
+    // whose old address is gone and whose new copy exists — a loser's
+    // migration was undone, so its new copy fails the liveness check) and
+    // fold them into the mapping, or the end-of-run sweep would free those
+    // new copies as unvisited garbage, leaving dangling references.
+    {
+        let known: std::collections::HashSet<PhysAddr> =
+            ckpt.mapping.iter().map(|&(old, _)| old).collect();
+        let redone: Vec<(PhysAddr, PhysAddr)> = window
+            .iter()
+            .filter_map(|r| match r.payload {
+                brahma::LogPayload::Migrate { old, new }
+                    if old.partition() == partition && !known.contains(&old) =>
+                {
+                    Some((old, new))
+                }
+                _ => None,
+            })
+            .filter(|&(old, new)| {
+                let old_gone = db
+                    .partition(old.partition())
+                    .map(|p| !p.contains_object(old))
+                    .unwrap_or(true);
+                let new_live = db
+                    .partition(new.partition())
+                    .map(|p| p.contains_object(new))
+                    .unwrap_or(false);
+                old_gone && new_live
+            })
+            .collect();
+        // A live migration also rewires the parent bookkeeping of its
+        // still-unmigrated children (`state.replace_parent` in
+        // `move_object`) — volatile state the kill discarded. Redo that
+        // fixup for the harvested migrations, or `find_exact_parents` for
+        // such a child would look only at the parent's dead old address,
+        // conclude the child is unreferenced, and let the end-of-run sweep
+        // free a live object.
+        for &(old, new) in &redone {
+            if let Ok(view) = db.raw_read(new) {
+                for child in view.refs {
+                    if child.partition() == partition && child != new {
+                        state.replace_parent(child, old, new);
+                    }
+                }
+            }
+        }
+        ckpt.mapping.extend(redone);
+    }
     // The crashed run's new copies already sit at their final locations,
     // but concurrent pointer rewrites touching them (e.g. a walker's
     // same-value `set_ref` on a rewritten parent) land in the rebuilt TRT.

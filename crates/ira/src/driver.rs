@@ -128,6 +128,12 @@ pub struct IraConfig {
     /// workers drain them concurrently, each running its own migration
     /// transactions against the shared mapping and traversal state.
     pub workers: usize,
+    /// Save a reorganizer checkpoint (Section 4.4) every this many batches
+    /// during the serial migration loop, in addition to the crash-time
+    /// save. With a file backend attached the save is mirrored into the
+    /// durable log, so a hard process kill resumes from at most this many
+    /// batches back. `None` (the default) checkpoints only at crash.
+    pub checkpoint_every: Option<usize>,
 }
 
 impl Default for IraConfig {
@@ -142,6 +148,7 @@ impl Default for IraConfig {
             transform: None,
             throttle: None,
             workers: 1,
+            checkpoint_every: None,
         }
     }
 }
@@ -741,6 +748,13 @@ impl ReorgRun<'_> {
             lockdep::assert_no_txn_locks("IRA serial driver at batch boundary");
             brahma::sched::point("ira.batch", pos as u64);
             self.db.fault.observe(ira_site::BATCH);
+            if let Some(every) = self.config.checkpoint_every {
+                let batches = pos.div_ceil(self.config.batch_size.max(1));
+                if every > 0 && batches.is_multiple_of(every) {
+                    let ckpt = self.checkpoint_at(pos);
+                    self.db.save_reorg_checkpoint(self.partition, ckpt.encode());
+                }
+            }
             if let Some(t) = &self.config.throttle {
                 window_batches += 1;
                 if window_batches >= t.window.max(1) {
@@ -1008,6 +1022,13 @@ impl ReorgRun<'_> {
     /// Snapshot the run for crash-restart (Section 4.4: "the data structures
     /// Traversed Objects and Parent Lists can be checkpointed").
     pub(crate) fn checkpoint(&self) -> IraCheckpoint {
+        self.checkpoint_at(self.pos)
+    }
+
+    /// [`Self::checkpoint`] with an explicit queue position — the serial
+    /// loop's periodic saves run while `self.pos` is stale (it is written
+    /// back only at loop exit).
+    fn checkpoint_at(&self, pos: usize) -> IraCheckpoint {
         self.db.fault.observe(ira_site::CHECKPOINT);
         // Fuzzy TRT checkpoint: capture the log position first, then the
         // tuples — replaying from `trt_lsn` may duplicate tuples already in
@@ -1029,7 +1050,7 @@ impl ReorgRun<'_> {
             state: self.state.clone(),
             mapping: self.mapping.sorted_committed(),
             queue: self.state.order.clone(),
-            pos: self.pos,
+            pos,
             trt_snapshot,
             trt_lsn,
         }

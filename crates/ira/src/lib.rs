@@ -58,6 +58,7 @@ pub mod approx;
 pub mod builder;
 pub mod chaos;
 pub mod checkpoint;
+pub mod disk_chaos;
 pub mod driver;
 pub mod exact;
 pub mod gc;
@@ -79,6 +80,7 @@ pub use builder::{
 };
 pub use chaos::{run_crash_cell, with_repro_banner, CellOutcome, ChaosCell};
 pub use checkpoint::IraCheckpoint;
+pub use disk_chaos::{run_disk_cell, run_multi_partition_kill, DiskCellOutcome, DiskChaosCell};
 #[allow(deprecated)]
 pub use checkpoint::resume_reorganization;
 pub use driver::{IraConfig, IraError, IraReport, IraVariant, ThrottleConfig};

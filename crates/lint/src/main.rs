@@ -676,21 +676,24 @@ fn catalog_consts(f: &SourceFile) -> Vec<SiteConst> {
     out
 }
 
-/// The identifiers listed in a catalog file's `ALL: &[&str] = &[…];`.
+/// The identifiers listed in a catalog file's sweep arrays: every
+/// `…ALL: &[&str] = &[…];` declaration (e.g. `ALL` and `FILE_ALL`),
+/// concatenated — the caller only tokenizes this text.
 fn catalog_all_list(f: &SourceFile) -> String {
     let mut collecting = false;
     let mut text = String::new();
     for (_, line) in f.code_lines() {
         if !collecting {
             if let Some(idx) = line.code.find("ALL: &[&str]") {
-                collecting = true;
-                text.push_str(&line.code[idx..]);
+                let tail = &line.code[idx..];
+                text.push_str(tail);
+                text.push(' ');
+                collecting = !tail.contains("];");
             }
         } else {
             text.push_str(&line.code);
-        }
-        if collecting && text.contains("];") {
-            break;
+            text.push(' ');
+            collecting = !line.code.contains("];");
         }
     }
     text

@@ -1,0 +1,114 @@
+//! Satellite to the durability work: non-retryable errors must drain the
+//! workload cleanly. A walker that hits a permanent fault (or exhausts
+//! its retry policy) records the error in its `Metrics` and shuts down —
+//! never a hang, never a spin, never a panic across the thread boundary.
+
+use brahma::fault::site;
+use brahma::{Database, FaultAction, FaultPlan, FaultRule, RetryPolicy, StoreConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use workload::{build_graph, start_workload, WorkloadParams};
+
+fn small_params(mpl: usize) -> WorkloadParams {
+    WorkloadParams {
+        num_partitions: 2,
+        objs_per_partition: 170,
+        mpl,
+        ops_per_trans: 4,
+        update_prob: 0.5,
+        ref_update_prob: 0.1,
+        seed: 0xE44,
+        ..WorkloadParams::default()
+    }
+}
+
+/// Every lock acquisition fails permanently: each of the MPL walkers must
+/// observe the non-retryable error exactly once, record it, and exit its
+/// thread — `stop_and_join` returns promptly with `errors == mpl`.
+#[test]
+fn permanent_fault_shuts_every_walker_down() {
+    let mpl = 4;
+    let params = small_params(mpl);
+    let db = Arc::new(Database::new(StoreConfig::default()));
+    let info = Arc::new(build_graph(&db, &params).expect("graph"));
+
+    // Armed only after the graph is built: from here on, every hit of the
+    // lock-acquire site is a permanent (non-retryable) injected error.
+    db.fault.arm(FaultPlan::new(1).with(FaultRule::burst(
+        site::LOCK_ACQUIRE,
+        1,
+        u64::MAX,
+        FaultAction::Permanent,
+    )));
+
+    let handle = start_workload(Arc::clone(&db), info, &params);
+    // Give the walkers a moment to hit the fault; they shut down on their
+    // own, without needing the stop flag.
+    std::thread::sleep(Duration::from_millis(100));
+    let join_start = Instant::now();
+    let metrics = handle.stop_and_join();
+    assert!(
+        join_start.elapsed() < Duration::from_secs(5),
+        "walkers with a permanent error must join promptly, not hang"
+    );
+    db.fault.disarm();
+
+    assert_eq!(
+        metrics.errors, mpl as u64,
+        "every walker records its permanent error exactly once: {:?}",
+        metrics.first_error
+    );
+    assert_eq!(metrics.response_us.len(), 0, "no commit can have happened");
+    let first = metrics.first_error.expect("first error captured");
+    assert!(
+        first.contains(site::LOCK_ACQUIRE),
+        "error text should name the injected site: {first}"
+    );
+    assert_eq!(metrics.per_walker.len(), mpl, "all walker threads reported");
+}
+
+/// Retryable conflicts forever + a tight retry budget: every walker burns
+/// its attempts, gives up (`retry.giveups` moves), records the exhaustion
+/// as its error, and shuts down cleanly.
+#[test]
+fn retry_exhaustion_gives_up_cleanly() {
+    let mpl = 3;
+    let mut params = small_params(mpl);
+    params.retry = RetryPolicy::fixed(3, Duration::ZERO);
+    let db = Arc::new(Database::new(StoreConfig::default()));
+    let info = Arc::new(build_graph(&db, &params).expect("graph"));
+
+    db.fault.arm(FaultPlan::new(2).with(FaultRule::burst(
+        site::LOCK_ACQUIRE,
+        1,
+        u64::MAX,
+        FaultAction::Retryable,
+    )));
+
+    let handle = start_workload(Arc::clone(&db), info, &params);
+    std::thread::sleep(Duration::from_millis(100));
+    let join_start = Instant::now();
+    let metrics = handle.stop_and_join();
+    assert!(
+        join_start.elapsed() < Duration::from_secs(5),
+        "exhausted walkers must join promptly"
+    );
+    db.fault.disarm();
+
+    assert_eq!(metrics.errors, mpl as u64, "{:?}", metrics.first_error);
+    let first = metrics.first_error.expect("first error captured");
+    assert!(
+        first.contains("retry policy exhausted"),
+        "exhaustion is the recorded error: {first}"
+    );
+    assert!(
+        metrics.aborted_attempts >= mpl as u64,
+        "each walker aborted at least once before giving up"
+    );
+    let snap = db.obs_snapshot();
+    assert!(
+        snap.get("retry.giveups") >= mpl as u64,
+        "giveups must be observable: {}",
+        snap.get("retry.giveups")
+    );
+}
