@@ -45,4 +45,8 @@ TRAJ_QUICK=1 TRAJ_DIR="$TRAJ_SCRATCH" \
 cargo run --release -p bench --bin paper_figures -- \
   trajectory-validate "$TRAJ_SCRATCH/BENCH_1.json"
 rm -rf "$TRAJ_SCRATCH"
+# Locality smoke (DESIGN.md §15): observe walkers on a fragmented
+# placement, reorganize from the collected stats, and fail unless the
+# stats-derived plan beat the fragmented placement on the cost metric.
+cargo run --release -p bench --bin paper_figures -- locality --quick
 cargo clippy --workspace --all-targets -- -D warnings

@@ -12,18 +12,21 @@
 //!   `TRAJ_INDEX=<n>` pins the output index.
 //! * `paper_figures trajectory-validate <file>` structurally validates an
 //!   emitted file (CI smoke gate); exits nonzero on any violation.
+//! * `paper_figures locality [--quick]` runs only the closed clustering
+//!   loop (observe → plan → reorganize → measure) and exits nonzero unless
+//!   the stats-derived plan improved the placement-cost metric — the CI
+//!   locality smoke.
 
 use bench::experiments::{self, HarnessOptions};
+use bench::locality::{run_locality, LocalityOptions};
 use bench::trajectory;
 use std::path::PathBuf;
 
 fn run_trajectory_cli(quick_flag: bool) {
-    let quick = quick_flag || std::env::var("TRAJ_QUICK").is_ok_and(|v| v == "1");
-    let dir = PathBuf::from(std::env::var("TRAJ_DIR").unwrap_or_else(|_| ".".into()));
+    let quick = quick_flag || brahma::env_cfg::traj_quick();
+    let dir = PathBuf::from(brahma::env_cfg::traj_dir());
     let existing = trajectory::bench_files(&dir);
-    let index = std::env::var("TRAJ_INDEX")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
+    let index = brahma::env_cfg::traj_index()
         .unwrap_or_else(|| existing.last().map(|(n, _)| n + 1).unwrap_or(1));
     println!(
         "# Perf trajectory ({} mode) -> BENCH_{index}.json",
@@ -81,11 +84,48 @@ fn run_trajectory_validate(file: &str) {
     }
 }
 
+fn run_locality_cli(quick_flag: bool) {
+    let quick = quick_flag || brahma::env_cfg::traj_quick();
+    println!(
+        "# Locality loop ({} mode): observe -> plan -> reorganize -> measure",
+        if quick { "quick" } else { "full" }
+    );
+    let r = run_locality(&LocalityOptions { quick });
+    println!(
+        "pre:  {:>8.1} ops/s, p99 {:>6} us, hit rate {:.3} ({} committed)",
+        r.pre.ops_per_sec, r.pre.p99_us, r.pre.hit_rate, r.pre.committed
+    );
+    println!(
+        "post: {:>8.1} ops/s, p99 {:>6} us, hit rate {:.3} ({} committed)",
+        r.post.ops_per_sec, r.post.p99_us, r.post.hit_rate, r.post.committed
+    );
+    println!(
+        "placement cost: identity {:.0} -> planned {:.0} -> achieved {:.0} ({:.1}% better)",
+        r.identity_cost,
+        r.planned_cost,
+        r.achieved_cost,
+        r.achieved_improvement() * 100.0
+    );
+    println!(
+        "migrated {} objects from {} observed traversals over {} distinct edges",
+        r.migrated, r.edges_recorded, r.edges_distinct
+    );
+    if r.achieved_cost >= r.identity_cost {
+        eprintln!("error: stats-derived plan did not improve the locality metric");
+        std::process::exit(1);
+    }
+    println!("locality improved");
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("trajectory") => {
             run_trajectory_cli(args.iter().any(|a| a == "--quick"));
+            return;
+        }
+        Some("locality") => {
+            run_locality_cli(args.iter().any(|a| a == "--quick"));
             return;
         }
         Some("trajectory-validate") => {
@@ -112,7 +152,7 @@ fn main() {
     });
     if args.is_empty() {
         eprintln!(
-            "usage: paper_figures <all|mpl|table2|partsize|updprob|glue|ops|nparts|eqdur|scaling|ablation>... [--quick] [--out DIR]\n       paper_figures trajectory [--quick]          (env: TRAJ_QUICK, TRAJ_DIR, TRAJ_INDEX)\n       paper_figures trajectory-validate <file>"
+            "usage: paper_figures <all|mpl|table2|partsize|updprob|glue|ops|nparts|eqdur|scaling|ablation>... [--quick] [--out DIR]\n       paper_figures trajectory [--quick]          (env: TRAJ_QUICK, TRAJ_DIR, TRAJ_INDEX)\n       paper_figures trajectory-validate <file>\n       paper_figures locality [--quick]            (closed clustering loop; fails unless it improves)"
         );
         std::process::exit(2);
     }

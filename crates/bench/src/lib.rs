@@ -21,11 +21,13 @@
 //! Criterion microbenchmarks for the substrate live in `benches/`.
 
 pub mod experiments;
+pub mod locality;
 pub mod report;
 pub mod runner;
 pub mod trajectory;
 
 pub use experiments::{all_experiments, HarnessOptions};
+pub use locality::{run_locality, LocalityOptions, LocalityResult, LocalityWindow};
 pub use report::{Experiment, Row};
 pub use runner::{run_cell, Algo, CellConfig, CellResult};
 pub use trajectory::{run_trajectory, Trajectory, TrajectoryOptions};

@@ -139,7 +139,7 @@ pub fn run_cell(cfg: &CellConfig) -> CellResult {
             let outcome = reorganizer
                 .reorganize(&db, target, cfg.plan)
                 .expect("IRA completes");
-            let report = outcome.ira.as_ref().expect("IRA reports");
+            let report = outcome.report.as_ref().expect("IRA reports");
             report.export(&mut reorg_counters);
             (Some(outcome.duration.as_secs_f64()), outcome.migrated())
         }
@@ -147,12 +147,8 @@ pub fn run_cell(cfg: &CellConfig) -> CellResult {
             let outcome = Pqr::default()
                 .reorganize(&db, target, cfg.plan)
                 .expect("PQR completes");
-            let report = outcome.pqr.as_ref().expect("PQR reports");
-            reorg_counters.set("pqr.quiesce_locks", report.quiesce_locks as u64);
-            reorg_counters.set(
-                "pqr.duration_us",
-                report.duration.as_micros().min(u64::MAX as u128) as u64,
-            );
+            let report = outcome.report.as_ref().expect("PQR reports");
+            report.export(&mut reorg_counters);
             (Some(outcome.duration.as_secs_f64()), outcome.migrated())
         }
     };

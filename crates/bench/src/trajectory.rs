@@ -16,6 +16,7 @@
 //! no-op shim (offline build), so derive magic would silently produce
 //! nothing.
 
+use crate::locality::{run_locality, LocalityOptions, LocalityResult};
 use crate::runner::{run_cell, Algo, CellConfig};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -23,7 +24,9 @@ use std::time::Duration;
 use workload::WorkloadParams;
 
 /// Bump when a field is added/renamed/re-unitted. The comparator refuses
-/// to diff across schema versions.
+/// to diff across schema versions. The optional `"locality"` object (the
+/// closed clustering loop, see [`crate::locality`]) is additive: files
+/// without it still validate and compare.
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// The regression rule the comparator applies to same-fingerprint runs:
@@ -94,6 +97,9 @@ pub struct TrajCell {
 pub struct Trajectory {
     pub fingerprint: Fingerprint,
     pub cells: Vec<TrajCell>,
+    /// The closed clustering loop (observe → plan → reorganize → measure),
+    /// run once per trajectory.
+    pub locality: Option<LocalityResult>,
 }
 
 fn base_params(opts: &TrajectoryOptions) -> WorkloadParams {
@@ -111,7 +117,7 @@ fn base_params(opts: &TrajectoryOptions) -> WorkloadParams {
 /// measures a fixed window.
 pub fn run_trajectory(opts: &TrajectoryOptions) -> Trajectory {
     let params = base_params(opts);
-    let file_backend = brahma::env_flag("TRAJ_FILE_BACKEND");
+    let file_backend = brahma::env_cfg::traj_file_backend();
     let fingerprint = Fingerprint {
         quick: opts.quick,
         backend: if file_backend { "file" } else { "mem" },
@@ -175,7 +181,13 @@ pub fn run_trajectory(opts: &TrajectoryOptions) -> Trajectory {
             });
         }
     }
-    Trajectory { fingerprint, cells }
+    eprintln!("  [trajectory locality loop]");
+    let locality = Some(run_locality(&LocalityOptions { quick: opts.quick }));
+    Trajectory {
+        fingerprint,
+        cells,
+        locality,
+    }
 }
 
 // ------------------------------------------------------------ JSON out --
@@ -236,7 +248,33 @@ impl Trajectory {
             );
             o.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
         }
-        o.push_str("  ]\n}\n");
+        o.push_str("  ]");
+        if let Some(l) = &self.locality {
+            o.push_str(",\n  \"locality\": {\n");
+            for (label, w) in [("pre", &l.pre), ("post", &l.post)] {
+                let _ = write!(o, "    \"{label}\": {{\"ops_per_sec\": ");
+                push_f64(&mut o, w.ops_per_sec);
+                let _ = write!(
+                    o,
+                    ", \"p99_us\": {}, \"committed\": {}, \"hit_rate\": ",
+                    w.p99_us, w.committed
+                );
+                push_f64(&mut o, w.hit_rate);
+                o.push_str("},\n");
+            }
+            o.push_str("    \"identity_cost\": ");
+            push_f64(&mut o, l.identity_cost);
+            o.push_str(", \"planned_cost\": ");
+            push_f64(&mut o, l.planned_cost);
+            o.push_str(", \"achieved_cost\": ");
+            push_f64(&mut o, l.achieved_cost);
+            let _ = write!(
+                o,
+                ",\n    \"migrated\": {}, \"edges_recorded\": {}, \"edges_distinct\": {}\n  }}",
+                l.migrated, l.edges_recorded, l.edges_distinct
+            );
+        }
+        o.push_str("\n}\n");
         o
     }
 }
@@ -494,6 +532,41 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    // The locality object is optional (additive field), but when present
+    // it must be structurally complete and internally consistent.
+    if let Some(l) = doc.get("locality") {
+        for win in ["pre", "post"] {
+            let w = l.get(win).ok_or(format!("locality: missing {win}"))?;
+            w.f64_of("ops_per_sec")
+                .ok_or(format!("locality.{win}: missing ops_per_sec"))?;
+            w.u64_of("p99_us").ok_or(format!("locality.{win}: missing p99_us"))?;
+            if w.u64_of("committed") == Some(0) {
+                return Err(format!("locality.{win}: no committed transactions"));
+            }
+            let rate = w
+                .f64_of("hit_rate")
+                .ok_or(format!("locality.{win}: missing hit_rate"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("locality.{win}: hit_rate {rate} out of [0,1]"));
+            }
+        }
+        for key in ["identity_cost", "planned_cost", "achieved_cost"] {
+            l.f64_of(key).ok_or(format!("locality: missing {key}"))?;
+        }
+        for key in ["migrated", "edges_recorded", "edges_distinct"] {
+            l.u64_of(key).ok_or(format!("locality: missing {key}"))?;
+        }
+        if l.u64_of("migrated") == Some(0) {
+            return Err("locality: stats-driven reorganization migrated nothing".into());
+        }
+        if l.f64_of("achieved_cost") >= l.f64_of("identity_cost") {
+            return Err(format!(
+                "locality: achieved cost {:?} did not improve on identity {:?}",
+                l.f64_of("achieved_cost"),
+                l.f64_of("identity_cost")
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -599,6 +672,35 @@ pub fn compare(prior: &Json, current: &Trajectory) -> Comparison {
         }
         cmp.lines.push(line);
     }
+    // Locality loop: diff only when both sides ran it (the field is
+    // additive — prior files may predate it).
+    match (prior.get("locality"), &current.locality) {
+        (Some(old), Some(new)) => {
+            let ops_old = old
+                .get("post")
+                .and_then(|w| w.f64_of("ops_per_sec"))
+                .unwrap_or(0.0);
+            let d_ops = pct(ops_old, new.post.ops_per_sec);
+            let gain_old = old.f64_of("identity_cost").unwrap_or(0.0)
+                - old.f64_of("achieved_cost").unwrap_or(0.0);
+            let gain_new = new.identity_cost - new.achieved_cost;
+            cmp.lines.push(format!(
+                "locality: post ops/s {ops_old:.0} -> {:.0} ({d_ops:+.1}%), \
+                 cost gain {gain_old:.0} -> {gain_new:.0}, hit rate {:.2} -> {:.2}",
+                new.post.ops_per_sec,
+                old.get("post").and_then(|w| w.f64_of("hit_rate")).unwrap_or(0.0),
+                new.post.hit_rate,
+            ));
+            if d_ops < -10.0 {
+                cmp.regressions
+                    .push(format!("locality: post-reorg ops/s {d_ops:+.1}%"));
+            }
+        }
+        (None, Some(_)) => cmp
+            .lines
+            .push("locality: new section (no prior to compare)".into()),
+        _ => {}
+    }
     Comparison {
         lines: cmp.lines,
         regressions: cmp.regressions,
@@ -665,6 +767,31 @@ mod tests {
                 seed: 42,
             },
             cells,
+            locality: None,
+        }
+    }
+
+    fn sample_locality() -> crate::locality::LocalityResult {
+        use crate::locality::{LocalityResult, LocalityWindow};
+        LocalityResult {
+            pre: LocalityWindow {
+                ops_per_sec: 80.0,
+                p99_us: 9_000,
+                committed: 300,
+                hit_rate: 0.55,
+            },
+            post: LocalityWindow {
+                ops_per_sec: 120.0,
+                p99_us: 5_000,
+                committed: 460,
+                hit_rate: 0.85,
+            },
+            identity_cost: 4_000.0,
+            planned_cost: 900.0,
+            achieved_cost: 1_100.0,
+            migrated: 680,
+            edges_recorded: 12_000,
+            edges_distinct: 700,
         }
     }
 
@@ -682,6 +809,47 @@ mod tests {
         assert_eq!(cells.len(), 9);
         assert_eq!(cells[0].str_of("mode"), Some("NR"));
         assert_eq!(cells[0].u64_of("p999_us"), Some(16_000));
+    }
+
+    #[test]
+    fn locality_section_round_trips_validates_and_compares() {
+        let mut t = sample();
+        t.locality = Some(sample_locality());
+        let text = t.to_json(7);
+        let doc = parse_json(&text).expect("parses");
+        validate(&doc).expect("validates with locality");
+        let l = doc.get("locality").expect("locality present");
+        assert_eq!(l.u64_of("migrated"), Some(680));
+        assert_eq!(l.get("post").unwrap().u64_of("p99_us"), Some(5_000));
+        assert_eq!(l.f64_of("achieved_cost"), Some(1_100.0));
+
+        // A file without the section still validates (additive field) and
+        // the comparator reports it as new rather than diffing.
+        let old = sample();
+        let prior = parse_json(&old.to_json(6)).unwrap();
+        validate(&prior).expect("validates without locality");
+        let cmp = compare(&prior, &t);
+        assert!(cmp.lines.iter().any(|l| l.contains("locality: new section")));
+        assert!(cmp.regressions.is_empty());
+
+        // Both sides present: diffed, and a post-reorg throughput collapse
+        // is a regression.
+        let prior = parse_json(&text).unwrap();
+        let mut worse = t.clone();
+        worse.locality.as_mut().unwrap().post.ops_per_sec = 30.0;
+        let cmp = compare(&prior, &worse);
+        assert!(cmp.lines.iter().any(|l| l.starts_with("locality: post ops/s")));
+        assert!(cmp
+            .regressions
+            .iter()
+            .any(|r| r.contains("post-reorg ops/s")));
+
+        // A locality section that claims no improvement fails validation.
+        let no_gain = text.replace("\"achieved_cost\": 1100.000", "\"achieved_cost\": 4100.000");
+        let bad = parse_json(&no_gain).unwrap();
+        assert!(validate(&bad)
+            .unwrap_err()
+            .contains("did not improve"));
     }
 
     #[test]

@@ -35,6 +35,16 @@ use std::sync::Arc;
 pub trait CpuCharge: Send + Sync {
     /// Perform one object access worth of CPU work.
     fn access(&self);
+
+    /// Perform one access worth of work for the object at `addr`.
+    ///
+    /// Address-aware models (a paged memory hierarchy, for instance) use
+    /// the partition/page bits to price locality; the default ignores the
+    /// address. Every charge site that knows which object it is touching
+    /// calls this variant.
+    fn access_at(&self, _addr: PhysAddr) {
+        self.access();
+    }
 }
 
 /// Store-wide operation counters (all relaxed; read for reporting only).
@@ -170,6 +180,19 @@ impl Database {
         }
     }
 
+    /// Charge one access to the object at `addr` against the installed CPU
+    /// model, if any — the address-aware variant every site that knows its
+    /// target uses, so locality-sensitive models can price page residency.
+    #[inline]
+    pub(crate) fn charge_access_at(&self, addr: PhysAddr) {
+        let guard = self.cpu.read();
+        if let Some(model) = guard.as_ref() {
+            let model = Arc::clone(model);
+            drop(guard);
+            model.access_at(addr);
+        }
+    }
+
     // ------------------------------------------------------------------
     // Partitions and roots
     // ------------------------------------------------------------------
@@ -277,7 +300,7 @@ impl Database {
     /// during a fuzzy traversal are simply skipped.
     pub fn fuzzy_read_refs(&self, addr: PhysAddr) -> Option<Vec<PhysAddr>> {
         DbStats::bump(&self.stats.fuzzy_reads);
-        self.charge_access();
+        self.charge_access_at(addr);
         self.with_page_read(addr, |buf| object::read_refs(buf, addr).ok())
             .ok()
             .flatten()

@@ -1,0 +1,167 @@
+//! The workspace's environment knobs, in one place.
+//!
+//! Every test/CI tunable lives behind a typed accessor here instead of a
+//! raw `std::env::var` at its point of use: flags all parse through
+//! [`crate::env_flag`] (so `FOO=0` really means off), numbers through one
+//! shared parser, and DESIGN.md §16 documents the full table. Adding a
+//! knob means adding an accessor *and* a table row — the pairing is what
+//! keeps the knobs discoverable.
+
+use crate::sched::env_flag;
+
+/// Parse a `u64` knob; unset, empty, or unparsable falls back to
+/// `default`.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parse a string knob; unset falls back to `default`.
+pub fn env_str(name: &str, default: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| default.to_string())
+}
+
+// --- chaos sweeps (crates/ira/tests/chaos_sweep.rs) ---
+
+/// `CHAOS_QUICK`: shrink the crash-point sweep to the CI stride.
+pub fn chaos_quick() -> bool {
+    env_flag("CHAOS_QUICK")
+}
+
+/// `CHAOS_ROOT_SEED`: root of the chaos sweeps' seed tree (also feeds the
+/// schedule-exploration sweep).
+pub fn chaos_root_seed() -> u64 {
+    env_u64("CHAOS_ROOT_SEED", 0xC4A05)
+}
+
+// --- disk chaos (crates/ira/tests/disk_chaos_sweep.rs) ---
+
+/// `DISK_CHAOS_QUICK`: shrink the disk-fault sweep to the CI stride.
+pub fn disk_chaos_quick() -> bool {
+    env_flag("DISK_CHAOS_QUICK")
+}
+
+/// `DISK_CHAOS_ROOT_SEED`: root of the disk-fault sweep's seed tree.
+pub fn disk_chaos_root_seed() -> u64 {
+    env_u64("DISK_CHAOS_ROOT_SEED", 0xD15C)
+}
+
+// --- parallel executor (crates/ira/tests/parallel_exec.rs) ---
+
+/// `PAR_QUICK`: shrink the parallel-executor stress matrix.
+pub fn par_quick() -> bool {
+    env_flag("PAR_QUICK")
+}
+
+// --- schedule exploration (crates/ira/tests/replay_regression.rs) ---
+
+/// `EXPLORE_ROOTS`: fault/workload seeds per site in the exploration
+/// sweep.
+pub fn explore_roots(default: u64) -> u64 {
+    env_u64("EXPLORE_ROOTS", default)
+}
+
+/// `EXPLORE_PRIOS`: PCT priority seeds per root in the exploration sweep.
+pub fn explore_prios(default: u64) -> u64 {
+    env_u64("EXPLORE_PRIOS", default)
+}
+
+// --- perf trajectory (crates/bench) ---
+
+/// `TRAJ_QUICK`: run the trajectory matrix / locality loop in CI-smoke
+/// size.
+pub fn traj_quick() -> bool {
+    env_flag("TRAJ_QUICK")
+}
+
+/// `TRAJ_DIR`: where `BENCH_<n>.json` files live (default: cwd).
+pub fn traj_dir() -> String {
+    env_str("TRAJ_DIR", ".")
+}
+
+/// `TRAJ_INDEX`: pin the output index `<n>`; `None` picks the next free.
+pub fn traj_index() -> Option<u64> {
+    std::env::var("TRAJ_INDEX")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// `TRAJ_FILE_BACKEND`: run trajectory cells durable (file backend, real
+/// fsyncs) instead of memory-resident.
+pub fn traj_file_backend() -> bool {
+    env_flag("TRAJ_FILE_BACKEND")
+}
+
+// --- schedule capture (crates/brahma/src/sched.rs) ---
+
+/// `SCHED_DUMP`: path to dump the captured schedule ring on a test
+/// failure; unset/empty disables.
+pub fn sched_dump() -> Option<String> {
+    match std::env::var("SCHED_DUMP") {
+        Ok(p) if !p.trim().is_empty() => Some(p),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Env mutations race across tests in one process; serialize them.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn u64_knob_falls_back_on_garbage() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::remove_var("ENV_CFG_TEST_U64");
+        assert_eq!(env_u64("ENV_CFG_TEST_U64", 7), 7);
+        std::env::set_var("ENV_CFG_TEST_U64", " 42 ");
+        assert_eq!(env_u64("ENV_CFG_TEST_U64", 7), 42);
+        std::env::set_var("ENV_CFG_TEST_U64", "not a number");
+        assert_eq!(env_u64("ENV_CFG_TEST_U64", 7), 7);
+        std::env::remove_var("ENV_CFG_TEST_U64");
+    }
+
+    #[test]
+    fn defaults_without_environment() {
+        let _g = ENV_LOCK.lock().unwrap();
+        for name in [
+            "CHAOS_QUICK",
+            "CHAOS_ROOT_SEED",
+            "DISK_CHAOS_QUICK",
+            "DISK_CHAOS_ROOT_SEED",
+            "PAR_QUICK",
+            "TRAJ_QUICK",
+            "TRAJ_DIR",
+            "TRAJ_INDEX",
+            "TRAJ_FILE_BACKEND",
+            "SCHED_DUMP",
+        ] {
+            std::env::remove_var(name);
+        }
+        assert!(!chaos_quick());
+        assert_eq!(chaos_root_seed(), 0xC4A05);
+        assert!(!disk_chaos_quick());
+        assert_eq!(disk_chaos_root_seed(), 0xD15C);
+        assert!(!par_quick());
+        assert_eq!(explore_roots(4), 4);
+        assert!(!traj_quick());
+        assert_eq!(traj_dir(), ".");
+        assert_eq!(traj_index(), None);
+        assert!(!traj_file_backend());
+        assert_eq!(sched_dump(), None);
+    }
+
+    #[test]
+    fn sched_dump_ignores_blank() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::set_var("SCHED_DUMP", "   ");
+        assert_eq!(sched_dump(), None);
+        std::env::set_var("SCHED_DUMP", "/tmp/x");
+        assert_eq!(sched_dump(), Some("/tmp/x".into()));
+        std::env::remove_var("SCHED_DUMP");
+    }
+}

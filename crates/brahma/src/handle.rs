@@ -233,7 +233,7 @@ impl<'db> Txn<'db> {
     /// Read the whole object (requires any lock on it).
     pub fn read(&self, addr: PhysAddr) -> Result<ObjectView> {
         self.require(addr, LockMode::Shared)?;
-        self.db.charge_access();
+        self.db.charge_access_at(addr);
         self.db
             .with_page_read(addr, |buf| object::read_view(buf, addr))?
     }
@@ -241,7 +241,7 @@ impl<'db> Txn<'db> {
     /// Read the object's outgoing references (requires any lock).
     pub fn read_refs(&self, addr: PhysAddr) -> Result<Vec<PhysAddr>> {
         self.require(addr, LockMode::Shared)?;
-        self.db.charge_access();
+        self.db.charge_access_at(addr);
         self.db
             .with_page_read(addr, |buf| object::read_refs(buf, addr))?
     }
@@ -319,7 +319,7 @@ impl<'db> Txn<'db> {
         self.db.fault.hit(site::WAL_APPEND)?;
         self.db.fault.hit(site::TRT_NOTE)?;
         self.db.fault.hit(site::ERT_NOTE)?;
-        self.db.charge_access();
+        self.db.charge_access_at(addr);
         let image = self
             .db
             .with_page_read(addr, |buf| object::read_view(buf, addr))??;
@@ -359,7 +359,7 @@ impl<'db> Txn<'db> {
         self.db.fault.hit(site::WAL_APPEND)?;
         self.db.fault.hit(site::TRT_NOTE)?;
         self.db.fault.hit(site::ERT_NOTE)?;
-        self.db.charge_access();
+        self.db.charge_access_at(parent);
         // Validate capacity before logging: a record must never describe an
         // operation that did not happen.
         let header = self
@@ -427,7 +427,7 @@ impl<'db> Txn<'db> {
         self.db.fault.hit(site::WAL_APPEND)?;
         self.db.fault.hit(site::TRT_NOTE)?;
         self.db.fault.hit(site::ERT_NOTE)?;
-        self.db.charge_access();
+        self.db.charge_access_at(parent);
         // Note the delete in the TRT before removing the pointer — and
         // before the WAL append (note-before-append, see create_object).
         self.db.note_ref_delete(self.id, self.reorg_for, parent, child);
@@ -463,7 +463,7 @@ impl<'db> Txn<'db> {
         self.db.fault.hit(site::WAL_APPEND)?;
         self.db.fault.hit(site::TRT_NOTE)?;
         self.db.fault.hit(site::ERT_NOTE)?;
-        self.db.charge_access();
+        self.db.charge_access_at(parent);
         let refs = self
             .db
             .with_page_read(parent, |buf| object::read_refs(buf, parent))??;
@@ -503,7 +503,7 @@ impl<'db> Txn<'db> {
     pub fn set_payload(&mut self, addr: PhysAddr, payload: &[u8]) -> Result<()> {
         self.require(addr, LockMode::Exclusive)?;
         self.db.fault.hit(site::WAL_APPEND)?;
-        self.db.charge_access();
+        self.db.charge_access_at(addr);
         // Validate capacity before logging (see insert_ref).
         let old = self
             .db

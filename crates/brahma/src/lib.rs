@@ -52,6 +52,7 @@
 pub mod addr;
 pub mod config;
 pub mod db;
+pub mod env_cfg;
 pub mod error;
 pub mod ert;
 pub mod exthash;

@@ -301,12 +301,9 @@ mod imp {
     /// print where it went. Called from test assertion paths right before
     /// they panic, so a flake leaves its schedule behind.
     pub fn dump_on_failure(context: &str) {
-        let Ok(path) = std::env::var("SCHED_DUMP") else {
+        let Some(path) = crate::env_cfg::sched_dump() else {
             return;
         };
-        if path.trim().is_empty() {
-            return;
-        }
         match dump_to(&path) {
             Ok(()) => eprintln!("sched: dumped schedule trace for `{context}` to {path}"),
             Err(e) => eprintln!("sched: failed to dump trace for `{context}` to {path}: {e}"),

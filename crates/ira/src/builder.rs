@@ -25,6 +25,7 @@ use crate::checkpoint::IraCheckpoint;
 use crate::driver::{ExecOptions, IraConfig, IraError, IraReport, IraVariant, ThrottleConfig};
 use crate::order::MigrationOrder;
 use crate::plan::RelocationPlan;
+use crate::policy::{PlanScore, PlanSource, StaticPlan};
 use crate::pqr::{PqrReport, INSIST_POLICY};
 use brahma::{Database, LogRecord, PartitionId, PhysAddr, RetryPolicy};
 use std::collections::HashMap;
@@ -47,20 +48,40 @@ pub enum Strategy {
     Offline,
 }
 
-/// What a reorganization produced, regardless of algorithm. The
-/// algorithm-specific reports remain available through [`ReorgOutcome::ira`]
-/// / [`ReorgOutcome::pqr`].
+/// The algorithm-specific report of a finished reorganization: one enum
+/// instead of two optional fields, so callers match a single value (or use
+/// the [`ReorgOutcome::ira`] / [`ReorgOutcome::pqr`] accessors).
+#[derive(Debug)]
+pub enum ReorgReport {
+    /// An incremental (or resumed) run's full report.
+    Ira(IraReport),
+    /// The partition-quiesce baseline's report.
+    Pqr(PqrReport),
+}
+
+impl ReorgReport {
+    /// Export the report's counters into `snap` (`ira.*` or `pqr.*` keys).
+    pub fn export(&self, snap: &mut obs::Snapshot) {
+        match self {
+            ReorgReport::Ira(r) => r.export(snap),
+            ReorgReport::Pqr(r) => r.export(snap),
+        }
+    }
+}
+
+/// What a reorganization produced, regardless of algorithm.
 #[derive(Debug)]
 pub struct ReorgOutcome {
     pub partition: PartitionId,
     /// Old address -> new address for every migrated object.
     pub mapping: HashMap<PhysAddr, PhysAddr>,
     pub duration: Duration,
-    /// The full IRA report, when an incremental (or resumed) run produced
-    /// one.
-    pub ira: Option<IraReport>,
-    /// The PQR report, when the partition-quiesce baseline ran.
-    pub pqr: Option<PqrReport>,
+    /// The algorithm-specific report, when the algorithm produces one
+    /// (the offline reorganizer reports nothing beyond the mapping).
+    pub report: Option<ReorgReport>,
+    /// The plan's predicted placement cost, when the run's [`PlanSource`]
+    /// scored its derivation (see [`crate::policy::StatsGreedy`]).
+    pub score: Option<PlanScore>,
 }
 
 impl ReorgOutcome {
@@ -68,13 +89,29 @@ impl ReorgOutcome {
         self.mapping.len()
     }
 
+    /// The IRA report, when an incremental (or resumed) run produced one.
+    pub fn ira(&self) -> Option<&IraReport> {
+        match &self.report {
+            Some(ReorgReport::Ira(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The PQR report, when the partition-quiesce baseline ran.
+    pub fn pqr(&self) -> Option<&PqrReport> {
+        match &self.report {
+            Some(ReorgReport::Pqr(r)) => Some(r),
+            _ => None,
+        }
+    }
+
     fn from_ira(report: IraReport) -> Self {
         ReorgOutcome {
             partition: report.partition,
             mapping: report.mapping.clone(),
             duration: report.duration,
-            ira: Some(report),
-            pqr: None,
+            report: Some(ReorgReport::Ira(report)),
+            score: None,
         }
     }
 }
@@ -197,8 +234,8 @@ impl Reorganizer for Pqr {
             partition: report.partition,
             mapping: report.mapping.clone(),
             duration: report.duration,
-            ira: None,
-            pqr: Some(report),
+            report: Some(ReorgReport::Pqr(report)),
+            score: None,
         })
     }
 }
@@ -226,8 +263,8 @@ impl Reorganizer for Offline {
             partition,
             mapping,
             duration: started.elapsed(),
-            ira: None,
-            pqr: None,
+            report: None,
+            score: None,
         })
     }
 }
@@ -299,12 +336,14 @@ impl Reorganizer for Resume {
 pub struct Reorg<'a> {
     db: &'a Database,
     partition: PartitionId,
-    plan: RelocationPlan,
+    source: Box<dyn PlanSource + 'a>,
     strategy: Strategy,
     config: IraConfig,
     exec: ExecOptions,
     insist: RetryPolicy,
     resume: Option<(IraCheckpoint, Vec<LogRecord>)>,
+    /// An explicit [`Reorg::order`] call wins over a derived order.
+    order_overridden: bool,
 }
 
 impl<'a> Reorg<'a> {
@@ -314,19 +353,29 @@ impl<'a> Reorg<'a> {
         Reorg {
             db,
             partition,
-            plan: RelocationPlan::CompactInPlace,
+            source: Box::new(StaticPlan::new(RelocationPlan::CompactInPlace)),
             strategy: Strategy::default(),
             config: IraConfig::default(),
             exec: ExecOptions::default(),
             insist: INSIST_POLICY,
             resume: None,
+            order_overridden: false,
         }
     }
 
     /// Where migrated objects go (compact in place, or evacuate to another
-    /// partition).
-    pub fn plan(mut self, plan: RelocationPlan) -> Self {
-        self.plan = plan;
+    /// partition). Sugar for [`Reorg::plan_from`] with a
+    /// [`StaticPlan`].
+    pub fn plan(self, plan: RelocationPlan) -> Self {
+        self.plan_from(StaticPlan::new(plan))
+    }
+
+    /// Where the reorganization plan comes from: a policy that derives the
+    /// relocation and migration order from observed state when the builder
+    /// resolves (see [`crate::policy::StatsGreedy`]), or a literal
+    /// [`StaticPlan`].
+    pub fn plan_from(mut self, source: impl PlanSource + 'a) -> Self {
+        self.source = Box::new(source);
         self
     }
 
@@ -363,9 +412,11 @@ impl<'a> Reorg<'a> {
         self
     }
 
-    /// Migration order (Section 7 future work).
+    /// Migration order (Section 7 future work). An explicit order wins
+    /// over one derived by the [`PlanSource`].
     pub fn order(mut self, order: MigrationOrder) -> Self {
         self.config.order = order;
+        self.order_overridden = true;
         self
     }
 
@@ -429,24 +480,39 @@ impl<'a> Reorg<'a> {
     /// to the resumed portion.
     pub fn resume_from(mut self, ckpt: IraCheckpoint, pre_crash_log: &[LogRecord]) -> Self {
         self.partition = ckpt.partition;
-        self.plan = ckpt.plan;
+        self.source = Box::new(StaticPlan::new(ckpt.plan));
         self.resume = Some((ckpt, pre_crash_log.to_vec()));
         self
     }
 
-    /// Build the configured [`Reorganizer`] without running it — for
-    /// callers that schedule algorithms generically.
-    pub fn build(self) -> (Box<dyn Reorganizer>, &'a Database, PartitionId, RelocationPlan) {
+    /// Resolve the [`PlanSource`] against the live database and build the
+    /// configured [`Reorganizer`], returning the derived score alongside.
+    fn resolve(
+        self,
+    ) -> (
+        Box<dyn Reorganizer>,
+        &'a Database,
+        PartitionId,
+        RelocationPlan,
+        Option<PlanScore>,
+    ) {
         let Reorg {
             db,
             partition,
-            plan,
+            source,
             strategy,
-            config,
+            mut config,
             exec,
             insist,
             resume,
+            order_overridden,
         } = self;
+        let derived = source.derive(db, partition);
+        if !order_overridden {
+            if let Some(order) = derived.order {
+                config.order = order;
+            }
+        }
         let reorganizer: Box<dyn Reorganizer> = match resume {
             Some((ckpt, pre_crash_log)) => Box::new(Resume {
                 ckpt,
@@ -463,13 +529,23 @@ impl<'a> Reorg<'a> {
                 Strategy::Offline => Box::new(Offline),
             },
         };
+        (reorganizer, db, partition, derived.relocation, derived.score)
+    }
+
+    /// Build the configured [`Reorganizer`] without running it — for
+    /// callers that schedule algorithms generically. The [`PlanSource`] is
+    /// derived here, against the database's current state.
+    pub fn build(self) -> (Box<dyn Reorganizer>, &'a Database, PartitionId, RelocationPlan) {
+        let (reorganizer, db, partition, plan, _score) = self.resolve();
         (reorganizer, db, partition, plan)
     }
 
     /// Run the configured reorganization to completion.
     pub fn run(self) -> Result<ReorgOutcome, IraError> {
-        let (reorganizer, db, partition, plan) = self.build();
-        reorganizer.reorganize(db, partition, plan)
+        let (reorganizer, db, partition, plan, score) = self.resolve();
+        let mut outcome = reorganizer.reorganize(db, partition, plan)?;
+        outcome.score = score;
+        Ok(outcome)
     }
 }
 
@@ -498,9 +574,9 @@ mod tests {
         let (p1, child, parent) = seed(&db);
         let outcome = Reorg::on(&db, p1).run().unwrap();
         assert_eq!(outcome.migrated(), 1);
-        let report = outcome.ira.as_ref().expect("incremental runs report IRA");
+        let report = outcome.ira().expect("incremental runs report IRA");
         assert_eq!(report.workers, 1);
-        assert!(outcome.pqr.is_none());
+        assert!(outcome.pqr().is_none());
         assert_eq!(
             db.raw_read(parent).unwrap().refs,
             vec![outcome.mapping[&child]]
@@ -532,8 +608,8 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(outcome.migrated(), 1);
-        assert!(outcome.ira.is_none());
-        assert_eq!(outcome.pqr.unwrap().quiesce_locks, 1);
+        assert!(outcome.ira().is_none());
+        assert_eq!(outcome.pqr().unwrap().quiesce_locks, 1);
         brahma::sweep::assert_database_consistent(&db);
     }
 
@@ -543,7 +619,7 @@ mod tests {
         let (p1, _, _) = seed(&db);
         let outcome = Reorg::on(&db, p1).strategy(Strategy::Offline).run().unwrap();
         assert_eq!(outcome.migrated(), 1);
-        assert!(outcome.ira.is_none() && outcome.pqr.is_none());
+        assert!(outcome.report.is_none());
         brahma::sweep::assert_database_consistent(&db);
     }
 
@@ -558,7 +634,7 @@ mod tests {
             .collect_garbage(false)
             .run()
             .unwrap();
-        let report = outcome.ira.unwrap();
+        let report = outcome.ira().unwrap();
         // One object -> one component -> the worker pool clamps to 1... but
         // the configured count is what the report carries.
         assert_eq!(report.workers, 2);

@@ -320,7 +320,7 @@ pub fn run_crash_cell(cell: &ChaosCell) -> CellOutcome {
                 chain_len,
                 "cell {cell:?}: clean run must migrate the whole chain"
             );
-            let report = outcome.ira.as_ref().expect("incremental run reports IRA");
+            let report = outcome.ira().expect("incremental run reports IRA");
             crate::verify::assert_reorganization_clean(&db, report);
             brahma::sweep::assert_database_consistent(&db);
             brahma::sched::disarm();
@@ -364,7 +364,7 @@ pub fn run_crash_cell(cell: &ChaosCell) -> CellOutcome {
                 chain_len,
                 "cell {cell:?}: resume must finish migrating the chain"
             );
-            let report = outcome.ira.as_ref().expect("resume reports IRA");
+            let report = outcome.ira().expect("resume reports IRA");
             crate::verify::assert_reorganization_clean(&db, report);
             brahma::sweep::assert_database_consistent(&db);
             brahma::sched::disarm();

@@ -5,7 +5,7 @@
 //! and `Parent_Lists`) and, after recovery, rebuild the TRT from the log and
 //! continue step two with the objects not yet migrated.
 //!
-//! [`IraCheckpoint`] is that checkpoint; [`resume_reorganization`] is the
+//! [`IraCheckpoint`] is that checkpoint; [`crate::Reorg::resume_from`] is the
 //! continue path. The TRT is reconstructed by the log analyzer from the
 //! surviving pre-crash log plus the records recovery itself generated
 //! (loser rollbacks log compensation records, whose reference effects
@@ -253,23 +253,12 @@ impl Reader<'_> {
     }
 }
 
-/// Resume an interrupted reorganization on a *recovered* database.
+/// Resume an interrupted reorganization on a *recovered* database:
+/// crate-internal entry point behind `Reorg::resume_from`.
 ///
 /// `pre_crash_log` is the surviving log of the crashed instance (from
 /// [`brahma::CrashImage::log`]); together with the recovered database's own
 /// log it reconstructs the TRT window since the reorganization started.
-#[deprecated(note = "use the builder: `Reorg::on(&db, ckpt.partition).resume_from(ckpt, log).run()`")]
-pub fn resume_reorganization(
-    db: &Database,
-    ckpt: IraCheckpoint,
-    pre_crash_log: &[LogRecord],
-    config: &IraConfig,
-) -> Result<IraReport, IraError> {
-    run_resume(db, ckpt, pre_crash_log, config, &ExecOptions::default())
-}
-
-/// Crate-internal entry point behind [`resume_reorganization`] and the
-/// builder.
 pub(crate) fn run_resume(
     db: &Database,
     mut ckpt: IraCheckpoint,

@@ -289,20 +289,8 @@ impl IraReport {
     }
 }
 
-/// The Incremental Reorganization Algorithm: migrate every live object of
-/// `partition` to the location chosen by `plan`, on-line.
-#[deprecated(note = "use the builder: `Reorg::on(&db, partition).plan(plan).run()`")]
-pub fn incremental_reorganize(
-    db: &Database,
-    partition: PartitionId,
-    plan: RelocationPlan,
-    config: &IraConfig,
-) -> Result<IraReport, IraError> {
-    run_incremental(db, partition, plan, config, &ExecOptions::default())
-}
-
-/// Crate-internal entry point behind [`incremental_reorganize`] and the
-/// builder.
+/// Crate-internal entry point behind the [`crate::Reorg`] builder (the
+/// only public way to run IRA).
 pub(crate) fn run_incremental(
     db: &Database,
     partition: PartitionId,
@@ -331,7 +319,7 @@ pub(crate) fn run_incremental(
     let phase_start = Instant::now();
     let mut state = find_objects_and_approx_parents(db, partition);
     let mut queue = std::mem::take(&mut state.order);
-    order_queue(config.order, &mut queue, &state, partition);
+    order_queue(&config.order, &mut queue, &state, partition);
     state.order = queue;
     phases.traversal = phase_start.elapsed();
     db.fault.observe(ira_site::TRAVERSAL);
@@ -357,7 +345,7 @@ pub(crate) fn run_incremental(
 }
 
 /// In-flight reorganization state; also reconstructible from an
-/// [`IraCheckpoint`] (see [`crate::checkpoint::resume_reorganization`]).
+/// [`IraCheckpoint`] (see [`crate::checkpoint::run_resume`]).
 pub(crate) struct ReorgRun<'a> {
     pub db: &'a Database,
     pub partition: PartitionId,

@@ -46,7 +46,7 @@
 //! let new_child = outcome.mapping[&child];
 //! // The parent's physical reference was rewritten.
 //! assert_eq!(db.raw_read(parent).unwrap().refs, vec![new_child]);
-//! ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
+//! ira::verify::assert_reorganization_clean(&db, outcome.ira().unwrap());
 //! ```
 //!
 //! Everything is a knob on the same builder: `.variant(IraVariant::TwoLock)`
@@ -66,6 +66,7 @@ pub mod migrate;
 pub mod offline;
 pub mod order;
 pub mod plan;
+pub mod policy;
 pub mod pqr;
 pub mod relaxed;
 pub mod replay;
@@ -76,24 +77,18 @@ pub mod verify;
 pub mod wave;
 
 pub use builder::{
-    IraBasic, IraTwoLock, Offline, Pqr, Reorg, ReorgOutcome, Reorganizer, Resume, Strategy,
+    IraBasic, IraTwoLock, Offline, Pqr, Reorg, ReorgOutcome, ReorgReport, Reorganizer, Resume,
+    Strategy,
 };
 pub use chaos::{run_crash_cell, with_repro_banner, CellOutcome, ChaosCell};
 pub use checkpoint::IraCheckpoint;
 pub use disk_chaos::{run_disk_cell, run_multi_partition_kill, DiskCellOutcome, DiskChaosCell};
-#[allow(deprecated)]
-pub use checkpoint::resume_reorganization;
 pub use driver::{IraConfig, IraError, IraReport, IraVariant, ThrottleConfig};
-#[allow(deprecated)]
-pub use driver::incremental_reorganize;
 pub use gc::{copying_collect, find_garbage, GcReport};
-#[allow(deprecated)]
-pub use offline::offline_reorganize;
 pub use order::MigrationOrder;
 pub use plan::RelocationPlan;
+pub use policy::{CostModel, EdgeCount, EdgeSource, PlanScore, PlanSource, ReorgPlan, StaticPlan, StatsGreedy};
 pub use pqr::PqrReport;
-#[allow(deprecated)]
-pub use pqr::{partition_quiesce_reorganize, partition_quiesce_reorganize_with};
 pub use replay::{Gate, PctExplorer, SchedTrace, TraceReplay};
 pub use shared::MigrationMap;
 pub use traversal::TraversalState;

@@ -87,20 +87,8 @@ pub fn reorganize_quiescent(
     Ok(mapping)
 }
 
-/// Convenience wrapper: reorganize a partition of an otherwise idle
-/// database in a single transaction.
-#[deprecated(note = "use the builder: \
-    `Reorg::on(&db, partition).strategy(Strategy::Offline).run()`")]
-pub fn offline_reorganize(
-    db: &Database,
-    partition: PartitionId,
-    plan: RelocationPlan,
-) -> Result<HashMap<PhysAddr, PhysAddr>> {
-    run_offline(db, partition, plan)
-}
-
-/// Crate-internal entry point behind [`offline_reorganize`] and the
-/// builder's [`crate::builder::Offline`].
+/// Crate-internal entry point behind the builder's
+/// [`crate::builder::Offline`] (the only public way to run it).
 pub(crate) fn run_offline(
     db: &Database,
     partition: PartitionId,

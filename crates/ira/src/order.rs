@@ -18,10 +18,10 @@
 use crate::traversal::TraversalState;
 use brahma::{PartitionId, PhysAddr};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The order in which a partition's objects are migrated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum MigrationOrder {
     /// Fuzzy-traversal discovery order (clusters related objects at the
     /// target).
@@ -30,11 +30,17 @@ pub enum MigrationOrder {
     /// Group objects by a shared external parent, so batched migrations
     /// lock each external parent once (Section 7).
     GroupByExternalParent,
+    /// Migrate the listed objects first, in list order; everything else
+    /// follows in traversal order. Emitted by plan policies
+    /// ([`crate::policy::StatsGreedy`]): free space is withheld during a
+    /// reorganization, so objects adjacent in this list pack onto the same
+    /// fresh pages — the list *is* the clustering decision.
+    Priority(Vec<PhysAddr>),
 }
 
 /// Apply the order to a migration queue, in place.
 pub fn order_queue(
-    order: MigrationOrder,
+    order: &MigrationOrder,
     queue: &mut Vec<PhysAddr>,
     state: &TraversalState,
     partition: PartitionId,
@@ -59,6 +65,26 @@ pub fn order_queue(
             }
             queue.extend(groups.into_values().flatten().chain(rest));
         }
+        MigrationOrder::Priority(listed) => {
+            let rank: HashMap<PhysAddr, usize> = listed
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| (a, i))
+                .collect();
+            // Listed objects first, by list position; the rest keep their
+            // traversal order. Listed objects missing from the queue (dead
+            // or migrated since the stats were observed) are simply absent.
+            let mut prioritized: Vec<(usize, PhysAddr)> = Vec::new();
+            let mut rest = Vec::new();
+            for obj in queue.drain(..) {
+                match rank.get(&obj) {
+                    Some(&i) => prioritized.push((i, obj)),
+                    None => rest.push(obj),
+                }
+            }
+            prioritized.sort_by_key(|&(i, _)| i);
+            queue.extend(prioritized.into_iter().map(|(_, o)| o).chain(rest));
+        }
     }
 }
 
@@ -76,7 +102,7 @@ mod tests {
         let q = vec![a(1, 0), a(1, 64), a(1, 128)];
         let state = TraversalState::default();
         let mut ordered = q.clone();
-        order_queue(MigrationOrder::Traversal, &mut ordered, &state, PartitionId(1));
+        order_queue(&MigrationOrder::Traversal, &mut ordered, &state, PartitionId(1));
         assert_eq!(ordered, q);
     }
 
@@ -93,7 +119,7 @@ mod tests {
         state.add_parent(o4, a(1, 300)); // intra-partition parent only
         // o5 has no recorded parents.
         let mut ordered = vec![o1, o2, o3, o4, o5];
-        order_queue(MigrationOrder::GroupByExternalParent, &mut ordered, &state, p);
+        order_queue(&MigrationOrder::GroupByExternalParent, &mut ordered, &state, p);
         // ext1's children are adjacent; parentless objects go last in
         // original relative order.
         let i1 = ordered.iter().position(|&x| x == o1).unwrap();
@@ -104,6 +130,17 @@ mod tests {
     }
 
     #[test]
+    fn priority_lists_first_rest_keeps_traversal_order() {
+        let (o1, o2, o3, o4, o5) = (a(1, 0), a(1, 64), a(1, 128), a(1, 192), a(1, 256));
+        let state = TraversalState::default();
+        let mut ordered = vec![o1, o2, o3, o4, o5];
+        // o9 is listed but not in the queue: it must simply be absent.
+        let listed = MigrationOrder::Priority(vec![o4, a(1, 999), o2]);
+        order_queue(&listed, &mut ordered, &state, PartitionId(1));
+        assert_eq!(ordered, vec![o4, o2, o1, o3, o5]);
+    }
+
+    #[test]
     fn grouping_ignores_intra_partition_parents() {
         let p = PartitionId(1);
         let (o1, o2) = (a(1, 0), a(1, 64));
@@ -111,7 +148,7 @@ mod tests {
         state.add_parent(o1, o2);
         state.add_parent(o2, o1);
         let mut ordered = vec![o1, o2];
-        order_queue(MigrationOrder::GroupByExternalParent, &mut ordered, &state, p);
+        order_queue(&MigrationOrder::GroupByExternalParent, &mut ordered, &state, p);
         assert_eq!(ordered, vec![o1, o2]);
     }
 }

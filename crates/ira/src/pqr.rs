@@ -36,33 +36,19 @@ pub struct PqrReport {
     pub duration: Duration,
 }
 
-/// Quiesce `partition` and reorganize it according to `plan`, insisting on
-/// quiesce locks under [`INSIST_POLICY`].
-#[deprecated(note = "use the builder: \
-    `Reorg::on(&db, partition).strategy(Strategy::PartitionQuiesce).run()`")]
-pub fn partition_quiesce_reorganize(
-    db: &Database,
-    partition: PartitionId,
-    plan: RelocationPlan,
-) -> Result<PqrReport, StoreError> {
-    run_pqr(db, partition, plan, &INSIST_POLICY)
+impl PqrReport {
+    /// Export the report into `snap` under `pqr.*` keys (durations in µs).
+    pub fn export(&self, snap: &mut obs::Snapshot) {
+        snap.set("pqr.quiesce_locks", self.quiesce_locks as u64);
+        snap.set(
+            "pqr.duration_us",
+            self.duration.as_micros().min(u64::MAX as u128) as u64,
+        );
+    }
 }
 
-/// [`partition_quiesce_reorganize`] under a caller-supplied (test-tunable)
-/// insist policy.
-#[deprecated(note = "use the builder: `Reorg::on(&db, partition)\
-    .strategy(Strategy::PartitionQuiesce).insist(policy).run()`")]
-pub fn partition_quiesce_reorganize_with(
-    db: &Database,
-    partition: PartitionId,
-    plan: RelocationPlan,
-    retry: &RetryPolicy,
-) -> Result<PqrReport, StoreError> {
-    run_pqr(db, partition, plan, retry)
-}
-
-/// Crate-internal entry point behind the deprecated free functions and the
-/// builder's [`crate::builder::Pqr`].
+/// Crate-internal entry point behind the builder's
+/// [`crate::builder::Pqr`] (the only public way to run PQR).
 pub(crate) fn run_pqr(
     db: &Database,
     partition: PartitionId,

@@ -13,21 +13,19 @@
 //! ring when `SCHED_DUMP=path` is set); `CHAOS_ROOT_SEED` overrides the
 //! root of the sweep's [`brahma::SeedTree`] to re-run a reported seed.
 
-use brahma::{env_flag, SeedTree};
+use brahma::env_cfg;
+use brahma::SeedTree;
 use ira::chaos::{all_sites, run_crash_cell, site, with_repro_banner, ChaosCell};
 use std::collections::HashMap;
 
 /// Root of the sweep's seed tree: every cell seed derives from it, so the
 /// whole matrix is reproducible from this one number.
 fn root_seed() -> u64 {
-    std::env::var("CHAOS_ROOT_SEED")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(0xC4A05)
+    env_cfg::chaos_root_seed()
 }
 
 fn strides() -> Vec<u64> {
-    if env_flag("CHAOS_QUICK") {
+    if env_cfg::chaos_quick() {
         vec![2]
     } else {
         vec![1, 3, 7]
@@ -36,7 +34,7 @@ fn strides() -> Vec<u64> {
 
 #[test]
 fn crash_point_sweep_over_every_site() {
-    let quick = env_flag("CHAOS_QUICK");
+    let quick = env_cfg::chaos_quick();
     let root = root_seed();
     let tree = SeedTree::new(root);
     let mut fired: HashMap<&'static str, u64> = HashMap::new();

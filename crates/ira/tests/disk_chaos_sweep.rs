@@ -13,16 +13,14 @@
 //! tree root to re-run a reported matrix verbatim; failing cells print a
 //! `REPRO: …` banner with their exact coordinates.
 
-use brahma::{env_flag, SeedTree};
+use brahma::env_cfg;
+use brahma::SeedTree;
 use ira::chaos::with_repro_banner;
 use ira::{run_disk_cell, run_multi_partition_kill, DiskChaosCell};
 use std::collections::HashMap;
 
 fn root_seed() -> u64 {
-    std::env::var("DISK_CHAOS_ROOT_SEED")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(0xD15C)
+    env_cfg::disk_chaos_root_seed()
 }
 
 /// Nth-hit strides. File sites are hit far more often than logical fault
@@ -30,7 +28,7 @@ fn root_seed() -> u64 {
 /// the in-memory chaos sweep's: stride 1 kills during the very first
 /// durable write of the reorganization, the deep strides land mid-run.
 fn strides() -> Vec<u64> {
-    if env_flag("DISK_CHAOS_QUICK") {
+    if env_cfg::disk_chaos_quick() {
         vec![12]
     } else {
         vec![1, 7, 30]
@@ -83,7 +81,7 @@ fn disk_kill_sweep_over_every_file_site() {
         "REPRO: DISK_CHAOS_ROOT_SEED={root} — no cell was killed; the \
          sweep never exercised crash recovery"
     );
-    if !env_flag("DISK_CHAOS_QUICK") {
+    if !env_cfg::disk_chaos_quick() {
         for &site in brahma::fault::site::FILE_ALL {
             assert!(
                 fired.get(site).copied().unwrap_or(0) > 0,

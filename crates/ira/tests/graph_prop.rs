@@ -129,5 +129,5 @@ fn reorg_preserves_graph_body(spec: &GraphSpec) {
                 || outcome.mapping.values().any(|v| v == old),
                 "old address {} reclaimed or reused by a new copy", old);
         }
-        ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
+        ira::verify::assert_reorganization_clean(&db, outcome.ira().unwrap());
 }

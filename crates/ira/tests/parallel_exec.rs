@@ -10,7 +10,7 @@ use ira::verify::logical_fingerprint;
 use ira::{IraCheckpoint, IraError, Reorg};
 
 fn quick() -> bool {
-    brahma::env_flag("PAR_QUICK")
+    brahma::env_cfg::par_quick()
 }
 
 /// A deterministic forest of anchored chains in `p1`: each chain is one
@@ -118,7 +118,7 @@ fn parallel_run_is_isomorphic_to_serial() {
                     .run()
                     .unwrap();
                 assert_eq!(outcome.migrated(), forest.live, "workers={workers}");
-                let report = outcome.ira.as_ref().unwrap();
+                let report = outcome.ira().unwrap();
                 assert_eq!(report.workers, workers);
                 assert!(report.waves >= 1, "workers={workers}: no waves recorded");
                 assert_eq!(
@@ -141,7 +141,7 @@ fn zero_workers_clamps_to_serial() {
     let forest = build_forest(&db, 2, 3);
     let outcome = Reorg::on(&db, forest.p1).workers(0).run().unwrap();
     assert_eq!(outcome.migrated(), forest.live);
-    assert_eq!(outcome.ira.as_ref().unwrap().workers, 1);
+    assert_eq!(outcome.ira().unwrap().workers, 1);
 }
 
 /// Deterministic mid-wave crash with two workers: the durable checkpoint
@@ -206,6 +206,6 @@ fn crash_mid_wave_body(chains: usize, chain_len: usize) {
         reference,
         "resumed parallel run must reproduce the original graph"
     );
-    ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
+    ira::verify::assert_reorganization_clean(&db, outcome.ira().unwrap());
     brahma::sweep::assert_database_consistent(&db);
 }

@@ -228,13 +228,6 @@ fn regenerate_lost_tuple_trace() {
     assert_critical_instant_covered(&scn, &ckpt);
 }
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(default)
-}
-
 /// Schedule exploration over the cell shape the 1-in-300 failure lived in
 /// (parallel executor, crash while a checkpoint or batch boundary is hot,
 /// seeded TRT rebuild on resume): `EXPLORE_ROOTS` fault/workload seeds ×
@@ -244,9 +237,9 @@ fn env_u64(name: &str, default: u64) -> u64 {
 #[ignore = "exploration sweep; run with --ignored, bound via EXPLORE_ROOTS/EXPLORE_PRIOS"]
 fn explore_chaos() {
     let _guard = serial();
-    let roots = env_u64("EXPLORE_ROOTS", 4);
-    let prios = env_u64("EXPLORE_PRIOS", 4);
-    let tree = brahma::SeedTree::new(env_u64("CHAOS_ROOT_SEED", 0xC4A05)).child("explore");
+    let roots = brahma::env_cfg::explore_roots(4);
+    let prios = brahma::env_cfg::explore_prios(4);
+    let tree = brahma::SeedTree::new(brahma::env_cfg::chaos_root_seed()).child("explore");
     for site in [ira::chaos::site::CHECKPOINT, ira::chaos::site::BATCH] {
         for r in 0..roots {
             let root = tree.child(site).child_idx(r).seed();

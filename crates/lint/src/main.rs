@@ -11,7 +11,7 @@
 //! | `unwrap` | `.unwrap()` / `.expect(` in `crates/brahma` + `crates/ira` non-test code |
 //! | `obs-doc` | drift between obs counter keys set in code and the DESIGN.md §8 table |
 //! | `fault-site` | fault-site string literals missing from the `site` catalogs, and catalog consts missing from their `ALL` list |
-//! | `deprecated-reorg` | internal calls to the `#[deprecated]` free reorg entry points |
+//! | `deprecated-reorg` | any definition or call of the removed free reorg entry points |
 //! | `raw-parking-lot` | direct `parking_lot` primitives in `brahma`/`ira` outside `lockdep.rs` |
 //!
 //! Pre-existing debt is frozen in `lint-baseline.toml` at the repo root:
@@ -755,41 +755,27 @@ fn rule_fault_site(files: &[SourceFile]) -> Vec<Violation> {
 // Rule: deprecated-reorg
 // ---------------------------------------------------------------------------
 
-#[derive(Debug)]
-struct DeprecatedFn {
-    name: String,
-    /// Defining file — exempt (the definition and its own delegation).
-    file: String,
-}
+/// The free reorg entry points removed when the `Reorg` builder became the
+/// only public way in. The rule bans them outright — definitions and calls
+/// alike — so they cannot grow back under the same names.
+const BANNED_REORG_FNS: [&str; 5] = [
+    "incremental_reorganize",
+    "partition_quiesce_reorganize",
+    "partition_quiesce_reorganize_with",
+    "offline_reorganize",
+    "resume_reorganization",
+];
 
-/// Find `#[deprecated]`-attributed `fn` items across the workspace.
-fn deprecated_fns(files: &[SourceFile]) -> Vec<DeprecatedFn> {
-    let mut out = Vec::new();
-    for f in files {
-        let mut pending = false;
-        for (_, line) in f.code_lines() {
-            if line.code.contains("#[deprecated") {
-                pending = true;
-            }
-            if pending {
-                if let Some(idx) = line.code.find("fn ") {
-                    let tail = &line.code[idx + 3..];
-                    let name: String = tail
-                        .chars()
-                        .take_while(|c| c.is_alphanumeric() || *c == '_')
-                        .collect();
-                    if !name.is_empty() {
-                        out.push(DeprecatedFn {
-                            name,
-                            file: f.rel.clone(),
-                        });
-                        pending = false;
-                    }
-                }
-            }
-        }
-    }
-    out
+/// True when `code` defines `fn <name>`.
+fn defines_fn(code: &str, name: &str) -> bool {
+    code.find("fn ").is_some_and(|idx| {
+        let tail = &code[idx + 3..];
+        tail.starts_with(name)
+            && !tail[name.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    })
 }
 
 /// True when `code` calls `name(` as a standalone identifier.
@@ -809,29 +795,28 @@ fn calls_fn(code: &str, name: &str) -> bool {
     false
 }
 
-/// The deprecated free reorg entry points exist for external callers;
-/// internal code must go through the `Reorg` builder.
+/// The free reorg entry points were removed in favor of the `Reorg`
+/// builder. Any definition or call under the old names — anywhere in the
+/// workspace — is a violation; there is no exempt defining file anymore.
 fn rule_deprecated(files: &[SourceFile]) -> Vec<Violation> {
-    let fns = deprecated_fns(files);
     let mut out = Vec::new();
     for f in files {
         for (no, line) in f.code_lines() {
-            if line.code.contains("pub use") {
-                continue; // re-exports keep the deprecated API reachable
-            }
-            for d in &fns {
-                if d.file == f.rel {
-                    continue;
-                }
-                if calls_fn(&line.code, &d.name) {
+            for name in BANNED_REORG_FNS {
+                if defines_fn(&line.code, name) {
                     out.push(violation(
                         "deprecated-reorg",
                         &f.rel,
                         no,
-                        format!(
-                            "internal call to deprecated `{}` (use the Reorg builder)",
-                            d.name
-                        ),
+                        format!("reintroduces removed `{name}` (use the Reorg builder)"),
+                        &line.raw,
+                    ));
+                } else if calls_fn(&line.code, name) {
+                    out.push(violation(
+                        "deprecated-reorg",
+                        &f.rel,
+                        no,
+                        format!("call to removed `{name}` (use the Reorg builder)"),
                         &line.raw,
                     ));
                 }
@@ -1110,19 +1095,25 @@ pub mod site {
     }
 
     #[test]
-    fn deprecated_rule_exempts_definition_and_reexports() {
+    fn deprecated_rule_bans_definitions_and_calls() {
         let def = src(
             "crates/ira/src/pqr.rs",
-            "#[deprecated(note = \"use the builder\")]\npub fn old_entry(db: &Db) {\n    old_entry_inner(db)\n}\n",
+            "pub fn incremental_reorganize(db: &Db) {\n}\n",
         );
-        let reexport = src("crates/ira/src/lib.rs", "pub use pqr::old_entry;\n");
         let caller = src(
             "crates/ira/src/driver.rs",
-            "fn f(db: &Db) {\n    old_entry(db);\n}\n",
+            "fn f(db: &Db) {\n    offline_reorganize(db);\n}\n",
         );
-        let vs = rule_deprecated(&[def, reexport, caller]);
-        assert_eq!(vs.len(), 1, "{vs:?}");
-        assert_eq!(vs[0].file, "crates/ira/src/driver.rs");
+        let clean = src(
+            "crates/ira/src/builder.rs",
+            "fn g(db: &Db) {\n    Reorg::on(db, p).run();\n    my_offline_reorganizer(db);\n}\n",
+        );
+        let vs = rule_deprecated(&[def, caller, clean]);
+        assert_eq!(vs.len(), 2, "{vs:?}");
+        assert!(vs.iter().any(|v| v.file == "crates/ira/src/pqr.rs"
+            && v.message.contains("reintroduces")));
+        assert!(vs.iter().any(|v| v.file == "crates/ira/src/driver.rs"
+            && v.message.contains("call to removed")));
     }
 
     #[test]

@@ -5,7 +5,8 @@
 use crate::graph::GraphInfo;
 use crate::metrics::{Metrics, WalkerCounts};
 use crate::params::WorkloadParams;
-use crate::walker::{walk_once, WalkAttempt};
+use crate::stats::EdgeObserver;
+use crate::walker::{walk_once_observed, WalkAttempt};
 use brahma::Database;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,6 +29,17 @@ pub fn start_workload(
     info: Arc<GraphInfo>,
     params: &WorkloadParams,
 ) -> WorkloadHandle {
+    start_workload_observed(db, info, params, None)
+}
+
+/// [`start_workload`], with every walker reporting traversed edges to
+/// `observer` (the "observe" stage of the clustering loop).
+pub fn start_workload_observed(
+    db: Arc<Database>,
+    info: Arc<GraphInfo>,
+    params: &WorkloadParams,
+    observer: Option<Arc<dyn EdgeObserver + Send + Sync>>,
+) -> WorkloadHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
     let threads = (0..params.mpl)
@@ -35,6 +47,7 @@ pub fn start_workload(
             let db = Arc::clone(&db);
             let info = Arc::clone(&info);
             let stop = Arc::clone(&stop);
+            let observer = observer.clone();
             let params = params.clone();
             std::thread::Builder::new()
                 .name(format!("walker-{t}"))
@@ -65,7 +78,14 @@ pub fn start_workload(
                         let txn_start = Instant::now();
                         let mut backoff = retry.start();
                         loop {
-                            match walk_once(&db, &info, home, &params, &mut rng) {
+                            match walk_once_observed(
+                                &db,
+                                &info,
+                                home,
+                                &params,
+                                &mut rng,
+                                observer.as_deref().map(|o| o as &dyn EdgeObserver),
+                            ) {
                                 Ok(WalkAttempt::Committed) => {
                                     metrics.record_commit(txn_start.elapsed());
                                     break;
@@ -182,6 +202,6 @@ mod tests {
         let metrics = handle.stop_and_join();
         assert!(metrics.summarize().committed > 0);
         brahma::sweep::assert_database_consistent(&db);
-        ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
+        ira::verify::assert_reorganization_clean(&db, outcome.ira().unwrap());
     }
 }

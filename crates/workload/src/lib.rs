@@ -27,11 +27,13 @@ pub mod driver;
 pub mod graph;
 pub mod metrics;
 pub mod params;
+pub mod stats;
 pub mod walker;
 
-pub use cost::CpuModel;
-pub use driver::{start_workload, WorkloadHandle};
+pub use cost::{CpuModel, PagedCpuModel};
+pub use driver::{start_workload, start_workload_observed, WorkloadHandle};
 pub use graph::{build_graph, GraphInfo};
 pub use metrics::{Metrics, Summary};
 pub use params::WorkloadParams;
-pub use walker::{walk_once, WalkAttempt};
+pub use stats::{EdgeObserver, TraversalStats};
+pub use walker::{walk_once, walk_once_observed, WalkAttempt};

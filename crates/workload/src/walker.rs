@@ -17,6 +17,7 @@
 
 use crate::graph::GraphInfo;
 use crate::params::WorkloadParams;
+use crate::stats::EdgeObserver;
 use brahma::{Database, Error, LockMode, PhysAddr};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -38,6 +39,24 @@ pub fn walk_once(
     home_index: usize,
     params: &WorkloadParams,
     rng: &mut StdRng,
+) -> Result<WalkAttempt, Error> {
+    walk_once_observed(db, info, home_index, params, rng, None)
+}
+
+/// [`walk_once`], reporting every traversed edge to `observer`.
+///
+/// An edge is reported when its *child* end is successfully locked and
+/// read — both endpoints were co-accessed by this transaction, which is
+/// the signal the clustering policy wants. The entry hop (partition root →
+/// cluster root) is reported too; [`ira::StatsGreedy`] discards
+/// cross-partition edges on its own.
+pub fn walk_once_observed(
+    db: &Database,
+    info: &GraphInfo,
+    home_index: usize,
+    params: &WorkloadParams,
+    rng: &mut StdRng,
+    observer: Option<&dyn EdgeObserver>,
 ) -> Result<WalkAttempt, Error> {
     let mut txn = db.begin();
     let strict = db.config.strict_2pl;
@@ -71,6 +90,9 @@ pub fn walk_once(
         return Ok(WalkAttempt::TimedOut);
     }
     let mut current = cluster_roots[rng.gen_range(0..cluster_roots.len())];
+    // The previous hop of the walk; the first traversed edge is
+    // root object → cluster root.
+    let mut last = root_obj;
     if !strict {
         let _ = txn.early_unlock(root_obj);
     }
@@ -102,6 +124,10 @@ pub fn walk_once(
             }
             Err(e) => return Err(e),
         };
+        if let Some(obs) = observer {
+            obs.record_edge(last, current);
+        }
+        last = current;
         if exclusive {
             let mut payload = vec![0u8; params.payload_size];
             rng.fill(&mut payload[..]);

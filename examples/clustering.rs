@@ -104,6 +104,6 @@ fn main() {
         after > before,
         "clustering must improve locality ({before:.3} -> {after:.3})"
     );
-    ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
+    ira::verify::assert_reorganization_clean(&db, outcome.ira().unwrap());
     println!("verification passed.");
 }

@@ -83,7 +83,7 @@ fn main() {
         "after compaction:  {} live objects, {} pages, {} free extents ({} free bytes)",
         after.live_objects, after.pages, after.free_extents, after.free_extent_bytes
     );
-    let report = outcome.ira.as_ref().unwrap();
+    let report = outcome.ira().unwrap();
     println!(
         "  {} objects migrated in {:.2?} across {} waves by {} workers; \
          workload committed {} transactions meanwhile (avg response {:.1} ms)",

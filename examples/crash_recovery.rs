@@ -102,6 +102,6 @@ fn main() {
         }
     }
     assert_eq!(count, 30);
-    ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
+    ira::verify::assert_reorganization_clean(&db, outcome.ira().unwrap());
     println!("verification passed: chain of 30 intact after crash + resume.");
 }

@@ -57,6 +57,6 @@ fn main() {
     assert_eq!(refs[0], outcome.mapping[&mid]);
 
     // Full verification: no dangling references anywhere, ERTs exact.
-    ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
+    ira::verify::assert_reorganization_clean(&db, outcome.ira().unwrap());
     println!("\nverification passed: no dangling references, ERTs exact.");
 }

@@ -89,6 +89,6 @@ fn main() {
     txn.set_payload(first, &[1u8; 60]).unwrap();
     txn.commit().unwrap();
 
-    ira::verify::assert_reorganization_clean(&db, outcome.ira.as_ref().unwrap());
+    ira::verify::assert_reorganization_clean(&db, outcome.ira().unwrap());
     println!("verification passed: all 50 objects evolved to schema v2.");
 }

@@ -62,7 +62,7 @@ fn ira_parallel_under_churning_load() {
     run_under_load(StoreConfig::default(), small_params(), |db, p| {
         let outcome = Reorg::on(db, p).workers(4).batch(4).run().unwrap();
         assert_eq!(outcome.migrated(), 170);
-        let report = outcome.ira.unwrap();
+        let report = outcome.ira().unwrap();
         assert_eq!(report.workers, 4);
     });
 }
@@ -263,7 +263,7 @@ fn external_parent_grouping_reduces_lock_acquisitions() {
         txn.commit().unwrap();
         let outcome = Reorg::on(&db, p1).batch(8).order(order).run().unwrap();
         brahma::sweep::assert_database_consistent(&db);
-        outcome.ira.unwrap().external_parent_locks
+        outcome.ira().unwrap().external_parent_locks
     };
     let traversal = build(ira::MigrationOrder::Traversal);
     let grouped = build(ira::MigrationOrder::GroupByExternalParent);

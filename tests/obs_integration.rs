@@ -83,7 +83,7 @@ fn pqr_locks_at_least_the_erts_distinct_parents() {
         .unwrap();
     handle.stop_and_join();
 
-    let report = outcome.pqr.unwrap();
+    let report = outcome.pqr().unwrap();
     assert!(
         report.quiesce_locks >= distinct_parents.len(),
         "PQR held {} quiesce locks but the ERT had {} distinct parents",
@@ -104,7 +104,7 @@ fn ira_keeps_fewer_threads_blocked_than_pqr() {
             .run()
             .unwrap();
         assert_eq!(outcome.mapping.len(), 170);
-        assert!(outcome.pqr.unwrap().quiesce_locks > 0);
+        assert!(outcome.pqr().unwrap().quiesce_locks > 0);
     });
 
     // PQR holds the partition's entry points exclusively for the whole
@@ -177,7 +177,7 @@ fn injected_transient_faults_are_retried_to_completion() {
         .run()
         .expect("transient faults must not kill the reorganization");
     db.fault.disarm();
-    let report = outcome.ira.as_ref().unwrap();
+    let report = outcome.ira().unwrap();
     let mut after = db.obs_snapshot();
     report.export(&mut after);
     let diff = after.diff(&before);
@@ -237,7 +237,7 @@ fn contention_spike_triggers_migration_throttle() {
         .run()
         .expect("throttled run must still complete");
     blocker.join().unwrap();
-    let report = outcome.ira.as_ref().unwrap();
+    let report = outcome.ira().unwrap();
     let mut after = db.obs_snapshot();
     report.export(&mut after);
     let diff = after.diff(&before);
