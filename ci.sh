@@ -2,9 +2,13 @@
 # Tier-1 gate: release build, full test suite, lint + lockdep, clippy clean.
 set -eux
 
-# Static lint pass (DESIGN.md §11): fails on any violation not frozen in
-# lint-baseline.toml, printing file:line diagnostics.
-cargo run -p lint
+# Static analysis first, before anything is built or executed (DESIGN.md
+# §17): lock-graph cycles, guards held across blocking calls, and
+# unjustified atomic orderings all fail here with file:line diagnostics,
+# modulo lint-baseline.toml. The findings are sorted by (file, line, rule)
+# so CI output diffs cleanly, and the analysis itself must finish inside
+# the budget — it is a gate, not a phase.
+LINT_BUDGET_MS=5000 cargo run -p lint
 cargo build --release
 cargo test -q
 cargo test --workspace -q

@@ -71,11 +71,13 @@ pub struct DbStats {
 
 impl DbStats {
     fn bump(counter: &AtomicU64) {
+        // ordering: statistics counter; read only by obs snapshots, no sync derived
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Export every counter into `snap` under `db.*` keys.
     pub fn export(&self, snap: &mut obs::Snapshot) {
+        // ordering: statistics export; counters are independent, tearing is fine
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         snap.set("db.commits", get(&self.commits));
         snap.set("db.aborts", get(&self.aborts));

@@ -216,14 +216,18 @@ impl FaultInjector {
             plan,
             ..InjectorState::default()
         };
+        // ordering: SeqCst latch reset; no site may observe a stale crash request
         self.crash_requested.store(false, Ordering::SeqCst);
+        // ordering: SeqCst arm; sites must not fire before the plan is installed
         self.armed.store(true, Ordering::SeqCst);
     }
 
     /// Disarm: site checks return to the single-load fast path. Counters
     /// are retained for inspection until the next [`FaultInjector::arm`].
     pub fn disarm(&self) {
+        // ordering: SeqCst disarm; sites stop firing before counters are inspected
         self.armed.store(false, Ordering::SeqCst);
+        // ordering: SeqCst latch reset, paired with the arm/disarm protocol above
         self.crash_requested.store(false, Ordering::SeqCst);
     }
 
@@ -231,6 +235,7 @@ impl FaultInjector {
     /// skip site-name computation entirely when it returns `false`.
     #[inline]
     pub fn armed(&self) -> bool {
+        // ordering: hot-path probe; a stale read only delays (dis)arming by one site
         self.armed.load(Ordering::Relaxed)
     }
 
@@ -296,6 +301,7 @@ impl FaultInjector {
                 kind: InjectedKind::Permanent,
             }),
             FaultAction::Crash => {
+                // ordering: SeqCst crash latch; the requester's writes precede the teardown
                 self.crash_requested.store(true, Ordering::SeqCst);
                 Ok(())
             }
@@ -304,11 +310,13 @@ impl FaultInjector {
 
     /// Whether a `Crash` rule has fired and not yet been consumed.
     pub fn crash_requested(&self) -> bool {
+        // ordering: SeqCst read of the crash latch, paired with the store above
         self.crash_requested.load(Ordering::SeqCst)
     }
 
     /// Consume a pending crash request, returning the site that latched it.
     pub fn take_crash_request(&self) -> Option<&'static str> {
+        // ordering: SeqCst consume; exactly one observer wins the latched crash
         if !self.crash_requested.swap(false, Ordering::SeqCst) {
             return None;
         }

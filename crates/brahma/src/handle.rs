@@ -306,6 +306,7 @@ impl<'db> Txn<'db> {
         self.db
             .with_page_write(addr, |buf| object::init_object(buf, addr, &view))?;
         self.undo.push(LogPayload::Create { addr, image: view });
+        // ordering: statistics counter; read only by obs snapshots, no sync derived
         self.db.stats.creates.fetch_add(1, Ordering::Relaxed);
         Ok(addr)
     }
@@ -348,6 +349,7 @@ impl<'db> Txn<'db> {
             addr,
             image: image.clone(),
         });
+        // ordering: statistics counter; read only by obs snapshots, no sync derived
         self.db.stats.frees.fetch_add(1, Ordering::Relaxed);
         Ok(image)
     }
@@ -532,6 +534,7 @@ impl<'db> Txn<'db> {
             old,
             new: payload.to_vec(),
         });
+        // ordering: statistics counter; read only by obs snapshots, no sync derived
         self.db.stats.payload_writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -553,6 +556,7 @@ impl<'db> Txn<'db> {
         self.db
             .purge_trt_for_txn(self.id, true, &self.deleted_pairs);
         self.finish();
+        // ordering: statistics counter; read only by obs snapshots, no sync derived
         self.db.stats.commits.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -577,6 +581,7 @@ impl<'db> Txn<'db> {
         self.db
             .purge_trt_for_txn(self.id, false, &self.deleted_pairs);
         self.finish();
+        // ordering: statistics counter; read only by obs snapshots, no sync derived
         self.db.stats.aborts.fetch_add(1, Ordering::Relaxed);
     }
 

@@ -172,11 +172,13 @@ impl LockManager {
     /// for the duration of a reorganization when transactions do not follow
     /// strict 2PL.
     pub fn set_history_tracking(&self, on: bool) {
+        // ordering: SeqCst toggle; every shard sees the change before the caller proceeds
         self.track_history.store(on, Ordering::SeqCst);
     }
 
     /// Whether history tracking is currently enabled.
     pub fn history_tracking(&self) -> bool {
+        // ordering: SeqCst read, paired with the SeqCst toggle in set_history_tracking
         self.track_history.load(Ordering::SeqCst)
     }
 
@@ -205,6 +207,7 @@ impl LockManager {
                 let upgraded =
                     state.holder_mode(tid) == Some(LockMode::Shared) && mode == LockMode::Exclusive;
                 state.grant(tid, mode);
+                // ordering: advisory flag under the shard lock; staleness only affects history
                 if self.track_history.load(Ordering::Relaxed)
                     && !state.ever_held.contains(&tid)
                 {
@@ -253,6 +256,7 @@ impl LockManager {
                     let upgraded = state.holder_mode(tid) == Some(LockMode::Shared)
                         && mode == LockMode::Exclusive;
                     state.grant(tid, mode);
+                    // ordering: advisory flag under the shard lock; staleness only affects history
                     if self.track_history.load(Ordering::Relaxed)
                         && !state.ever_held.contains(&tid)
                     {
@@ -300,6 +304,7 @@ impl LockManager {
         let state = table.entry(addr.to_raw()).or_default();
         if state.grantable(tid, mode) {
             state.grant(tid, mode);
+            // ordering: advisory flag under the shard lock; staleness only affects history
             if self.track_history.load(Ordering::Relaxed) && !state.ever_held.contains(&tid) {
                 state.ever_held.push(tid);
             }

@@ -169,6 +169,7 @@ mod imp {
     // ------------------------------------------------------------ engine --
 
     fn violation(msg: &str) {
+        // ordering: violation tally; no synchronization derived from the count
         VIOLATIONS.fetch_add(1, Ordering::Relaxed);
         TL_VIOLATIONS.with(|c| c.set(c.get() + 1));
         let tolerated = TOLERATE.with(|t| t.get()) > 0;
@@ -199,6 +200,7 @@ mod imp {
                 continue;
             }
             visited |= 1 << n;
+            // ordering: benign racy graph read; PROVENANCE's mutex serializes inserts
             let mut succ = EDGES[n].load(Ordering::Relaxed);
             while succ != 0 {
                 let b = succ.trailing_zeros() as usize;
@@ -219,6 +221,7 @@ mod imp {
             if n == to as usize {
                 break;
             }
+            // ordering: benign racy graph read; PROVENANCE's mutex serializes inserts
             let mut succ = EDGES[n].load(Ordering::Relaxed);
             while succ != 0 {
                 let b = succ.trailing_zeros() as usize;
@@ -273,12 +276,14 @@ mod imp {
 
     fn record_edge(from: LockClass, to: LockClass, held: &[HeldEntry]) {
         let bit = 1u32 << (to as u8);
+        // ordering: fast-path probe; re-checked under the provenance mutex below
         if EDGES[from as usize].load(Ordering::Relaxed) & bit != 0 {
             return; // known edge: lock-free fast path
         }
         let mut prov = PROVENANCE
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // ordering: decisive re-check, serialized by the provenance mutex
         if EDGES[from as usize].load(Ordering::Relaxed) & bit != 0 {
             return;
         }
@@ -304,6 +309,7 @@ mod imp {
             ));
             return; // keep the graph acyclic: one bug, one report
         }
+        // ordering: publication is ordered by the provenance mutex held here
         EDGES[from as usize].fetch_or(bit, Ordering::Relaxed);
         prov.insert((from as u8, to as u8), chain_str(held));
     }
@@ -622,7 +628,35 @@ mod imp {
 
     /// Total lock-order/invariant violations observed process-wide.
     pub fn violations() -> u64 {
+        // ordering: violation tally read; no synchronization derived
         VIOLATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the held-before edges recorded so far, as
+    /// `(held_class, acquired_class, recording_thread_chain)` triples in
+    /// class order. The static analyzer's cross-check diffs this against
+    /// the lock graph `crates/lint` builds without executing anything:
+    /// every edge observed at runtime must be statically predicted
+    /// (static ⊇ runtime), or the analyzer has a resolution gap.
+    pub fn dump_edges() -> Vec<(&'static str, &'static str, String)> {
+        let prov = PROVENANCE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = Vec::new();
+        for from in 0..N {
+            // ordering: diagnostic snapshot; chains come from under the provenance mutex
+            let bits = EDGES[from].load(Ordering::Relaxed);
+            for (to, to_name) in CLASS_NAMES.iter().enumerate() {
+                if bits & (1u32 << to) != 0 {
+                    let chain = prov
+                        .get(&(from as u8, to as u8))
+                        .cloned()
+                        .unwrap_or_default();
+                    out.push((CLASS_NAMES[from], *to_name, chain));
+                }
+            }
+        }
+        out
     }
 
     /// Run `f` with violations counted instead of panicking; returns `f`'s
@@ -917,6 +951,11 @@ mod imp {
     }
 
     #[inline(always)]
+    pub fn dump_edges() -> Vec<(&'static str, &'static str, String)> {
+        Vec::new()
+    }
+
+    #[inline(always)]
     pub fn tolerate<R>(f: impl FnOnce() -> R) -> (R, u64) {
         (f(), 0)
     }
@@ -952,9 +991,9 @@ mod imp {
 }
 
 pub use imp::{
-    assert_no_txn_locks, assert_txn_locks_subset, fuzzy_region, tolerate, two_lock_alias,
-    two_lock_region, txn_lock_acquired, txn_lock_released, violations, Condvar, FuzzyRegion,
-    Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, TwoLockRegion,
+    assert_no_txn_locks, assert_txn_locks_subset, dump_edges, fuzzy_region, tolerate,
+    two_lock_alias, two_lock_region, txn_lock_acquired, txn_lock_released, violations, Condvar,
+    FuzzyRegion, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, TwoLockRegion,
     WaitTimeoutResult,
 };
 

@@ -118,6 +118,7 @@ static SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// The next global sequence number (monotonic across arm/disarm cycles).
 pub fn next_seq() -> u64 {
+    // ordering: sequence allocator; uniqueness only, the ring mutex orders records
     SEQ.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -201,18 +202,21 @@ mod imp {
             ring.buf.clear();
             ring.dropped = 0;
         }
+        // ordering: SeqCst arm; capture points must not straddle the toggle
         ARMED.store(true, Ordering::SeqCst);
     }
 
     /// Stop capturing; the ring is retained for inspection until the next
     /// [`arm`].
     pub fn disarm() {
+        // ordering: SeqCst disarm, paired with arm above
         ARMED.store(false, Ordering::SeqCst);
     }
 
     /// Whether the recorder is armed (the hot-path guard).
     #[inline]
     pub fn armed() -> bool {
+        // ordering: hot-path probe; a stale read skips at most one capture point
         ARMED.load(Ordering::Relaxed)
     }
 
@@ -229,6 +233,7 @@ mod imp {
 
     #[cold]
     fn point_slow(event: &'static str, key: u64) {
+        // ordering: sequence allocator; uniqueness only, the ring mutex orders records
         let seq = SEQ.fetch_add(1, Ordering::Relaxed);
         let label = LABEL.with(|l| l.get());
         {

@@ -200,12 +200,14 @@ impl FileBackend {
     }
 
     fn die(&self) {
+        // ordering: SeqCst kill switch; the fault must precede any later write
         self.dead.store(true, Ordering::SeqCst);
     }
 }
 
 impl StorageBackend for FileBackend {
     fn wal_append(&self, rec: &LogRecord) {
+        // ordering: fast-path probe; a stale read is a race the disk could also lose
         if self.dead.load(Ordering::Relaxed) {
             return;
         }
@@ -254,6 +256,7 @@ impl StorageBackend for FileBackend {
     }
 
     fn wal_sync(&self) {
+        // ordering: fast-path probe; a stale read is a race the disk could also lose
         if self.dead.load(Ordering::Relaxed) {
             return;
         }
@@ -270,6 +273,7 @@ impl StorageBackend for FileBackend {
     }
 
     fn write_checkpoint(&self, data: &CheckpointData<'_>) -> Result<()> {
+        // ordering: fast-path probe; a stale read is a race the disk could also lose
         if self.dead.load(Ordering::Relaxed) {
             // Process-kill fiction: a dead backend's writes land nowhere.
             return Ok(());
@@ -310,6 +314,7 @@ impl StorageBackend for FileBackend {
     }
 
     fn healthy(&self) -> bool {
+        // ordering: SeqCst health check; recovery decisions must see the latest kill
         !self.dead.load(Ordering::SeqCst)
     }
 

@@ -50,6 +50,7 @@ impl TxnManager {
 
     /// Allocate a fresh transaction id and mark it active.
     pub fn begin(&self) -> TxnId {
+        // ordering: id allocator; uniqueness only, the registry lock orders the set
         let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
         self.active.lock().insert(id);
         id

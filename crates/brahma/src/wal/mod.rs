@@ -267,6 +267,7 @@ impl Wal {
             sink.wal_append(rec);
         }
         if !self.retain && inner.records.len() > self.truncate_watermark {
+            // ordering: pairs with the Release store in recompute_pin; truncation sees pins
             let pinned = self.pinned_lsn.load(Ordering::Acquire);
             let keep_from = pinned.min(inner.next_lsn);
             if keep_from > inner.base_lsn {
@@ -290,6 +291,7 @@ impl Wal {
     /// latency. Any caller sleeps at most ~2 latencies (a force already in
     /// flight when it arrives, plus the force it may then lead).
     pub fn flush(&self, lsn: Lsn) {
+        // ordering: pairs with the AcqRel fetch_max below; a flushed reader skips the lock
         if self.flushed_lsn.load(Ordering::Acquire) >= lsn {
             return;
         }
@@ -297,6 +299,7 @@ impl Wal {
         let mut absorbed = false;
         let mut leader_active = self.flush_leader.lock();
         loop {
+            // ordering: pairs with the AcqRel fetch_max below; re-check under the leader lock
             if self.flushed_lsn.load(Ordering::Acquire) >= lsn {
                 if absorbed {
                     self.stats.group_commits.inc();
@@ -322,6 +325,7 @@ impl Wal {
                 // Model the device: the flush costs latency outside any latch.
                 std::thread::sleep(self.flush_latency);
             }
+            // ordering: publishes the flushed prefix; pairs with the Acquire fast-path loads
             self.flushed_lsn.fetch_max(target, Ordering::AcqRel);
             self.stats.flushes.inc();
             self.stats.flush_us.record(started.elapsed());
@@ -334,6 +338,7 @@ impl Wal {
 
     /// Highest LSN known durable.
     pub fn flushed_lsn(&self) -> Lsn {
+        // ordering: pairs with the AcqRel fetch_max in flush; reader sees durable prefix
         self.flushed_lsn.load(Ordering::Acquire)
     }
 
@@ -363,6 +368,7 @@ impl Wal {
     /// each active reorganization (which may need to rebuild its TRT from
     /// the log after a failure).
     pub fn pin_at(&self, lsn: Lsn) -> PinId {
+        // ordering: pin-id allocator; uniqueness only, the pins lock orders the table
         let id = PinId(self.next_pin.fetch_add(1, Ordering::Relaxed));
         let mut pins = self.pins.lock();
         pins.insert(id.0, lsn);
@@ -386,6 +392,7 @@ impl Wal {
 
     fn recompute_pin(&self, pins: &std::collections::HashMap<u64, Lsn>) {
         let min = pins.values().copied().min().unwrap_or(u64::MAX);
+        // ordering: pairs with the Acquire load in append's truncation check
         self.pinned_lsn.store(min, Ordering::Release);
     }
 

@@ -177,6 +177,7 @@ pub(crate) fn spawn_walkers(
             std::thread::spawn(move || {
                 brahma::sched::set_thread_label(&format!("walker-{w}"));
                 let mut round = 0usize;
+                // ordering: SeqCst stop flag; shutdown visibility without pairing analysis
                 while !stop.load(Ordering::SeqCst) {
                     round += 1;
                     let anchor = anchors[(w + round) % anchors.len()];
@@ -306,6 +307,7 @@ pub fn run_crash_cell(cell: &ChaosCell) -> CellOutcome {
         .crash_after_migrations((cell.site == site::CHECKPOINT).then_some(3))
         .run();
 
+    // ordering: SeqCst stop flag; shutdown visibility without pairing analysis
     stop.store(true, Ordering::SeqCst);
     for w in walkers {
         let _ = w.join();

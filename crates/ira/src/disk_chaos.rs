@@ -174,6 +174,7 @@ pub fn run_disk_cell(cell: &DiskChaosCell) -> DiskCellOutcome {
         .quiesce_wait(Duration::from_secs(10))
         .run();
 
+    // ordering: SeqCst stop flag; shutdown visibility without pairing analysis
     stop.store(true, Ordering::SeqCst);
     for w in walkers {
         let _ = w.join();

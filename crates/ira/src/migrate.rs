@@ -188,6 +188,7 @@ pub fn move_object_and_update_refs(
 
     mapping.stage(oold, onew, owner);
     effects.migrations.push((oold, onew));
+    // ordering: statistics counter; read only by obs snapshots, no sync derived
     db.stats.migrations.fetch_add(1, Ordering::Relaxed);
     Ok(onew)
 }

@@ -82,6 +82,7 @@ pub fn reorganize_quiescent(
             .append(txn.id(), LogPayload::Migrate { old: oold, new: onew });
         txn.delete_object(oold)?;
         mapping.insert(oold, onew);
+        // ordering: statistics counter; read only by obs snapshots, no sync derived
         db.stats.migrations.fetch_add(1, Ordering::Relaxed);
     }
     Ok(mapping)

@@ -165,6 +165,7 @@ pub fn migrate_two_lock(
     guard.commit()?;
 
     mapping.commit(oold);
+    // ordering: statistics counter; read only by obs snapshots, no sync derived
     db.stats.migrations.fetch_add(1, Ordering::Relaxed);
     Ok(onew)
 }

@@ -1,0 +1,44 @@
+//! Golden fixture: the pre-"snapshot ABBA fix" Partition shape.
+//!
+//! `allocate` orders PartitionAlloc -> PartitionPages; `snapshot` holds
+//! the pages read guard as a struct-literal temporary that is still live
+//! when the alloc lock is taken, ordering PartitionPages ->
+//! PartitionAlloc. The static pass must report exactly this cycle, with
+//! file:line provenance for both edges, without executing anything.
+//!
+//! Lines are load-bearing: the golden test asserts them. Keep the
+//! acquisition sites at lines 23-24 (allocate) and 33-34 (snapshot).
+
+use crate::lockdep::{LockClass, Mutex, RwLock};
+
+pub struct Partition {
+    alloc: Mutex<AllocState>,
+    pages: RwLock<Vec<u32>>,
+}
+
+impl Partition {
+    // PartitionAlloc -> PartitionPages: the allocation path takes the
+    // directory lock, then appends a page under it.
+    pub fn allocate(&self) -> u32 {
+        let st = self.alloc.lock();
+        let mut pages = self.pages.write();
+        pages.push(st.next);
+        st.next
+    }
+
+    // PartitionPages -> PartitionAlloc: the pages guard is a temporary
+    // inside the struct literal, still held across the later field.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            pages: self.pages.read().clone(),
+            alloc: self.alloc.lock().clone(),
+        }
+    }
+
+    pub fn new() -> Self {
+        Partition {
+            alloc: Mutex::new(LockClass::PartitionAlloc, 0, AllocState::default()),
+            pages: RwLock::new(LockClass::PartitionPages, 0, Vec::new()),
+        }
+    }
+}

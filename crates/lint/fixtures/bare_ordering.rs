@@ -1,0 +1,14 @@
+//! Golden fixture: an unjustified atomic `Ordering::` use.
+//!
+//! `bump` uses `Ordering::Relaxed` with no `// ordering:` comment — the
+//! atomic-ordering pass must report exactly one finding at line 8.
+//! `read` carries the justification and stays clean.
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read(c: &AtomicU64) -> u64 {
+    // ordering: monotonic counter; no cross-thread ordering is derived
+    c.load(Ordering::Relaxed)
+}

@@ -1,0 +1,34 @@
+//! Golden fixture: a blocking operation under a lexically held guard.
+//!
+//! `drain_slowly` sleeps while the WalInner guard is live — the
+//! guard-blocking pass must report exactly one finding at the sleep
+//! line (17). `drain_politely` shows the clean shape: the guard is
+//! dropped before the sleep, so no finding.
+
+use crate::lockdep::{LockClass, Mutex};
+
+pub struct Queue {
+    inner: Mutex<Vec<u32>>,
+}
+
+impl Queue {
+    pub fn drain_slowly(&self) {
+        let mut q = self.inner.lock();
+        thread::sleep(Duration::from_millis(1));
+        q.clear();
+    }
+
+    pub fn drain_politely(&self) {
+        {
+            let mut q = self.inner.lock();
+            q.clear();
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    pub fn new() -> Self {
+        Queue {
+            inner: Mutex::new(LockClass::WalInner, 0, Vec::new()),
+        }
+    }
+}

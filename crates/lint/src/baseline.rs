@@ -1,0 +1,168 @@
+//! `lint-baseline.toml`: frozen pre-existing debt. A violation matching
+//! an entry (same rule, same file, line containing the entry's `pattern`)
+//! is waived; unused entries are reported so the baseline only shrinks.
+
+use crate::report::Violation;
+
+/// One `[[allow]]` entry of `lint-baseline.toml`.
+#[derive(Debug, Default, Clone)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub file: String,
+    /// Substring of the offending line; empty waives the whole file for
+    /// this rule.
+    pub pattern: String,
+    pub reason: String,
+    pub toml_line: usize,
+}
+
+pub struct Baseline {
+    entries: Vec<AllowEntry>,
+    used: Vec<bool>,
+}
+
+impl Baseline {
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let line_no = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(entry) = current.take() {
+                    entries.push(Self::finish(entry)?);
+                }
+                current = Some(AllowEntry {
+                    toml_line: line_no,
+                    ..AllowEntry::default()
+                });
+                continue;
+            }
+            let Some(entry) = current.as_mut() else {
+                return Err(format!(
+                    "lint-baseline.toml:{line_no}: key outside an [[allow]] section"
+                ));
+            };
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint-baseline.toml:{line_no}: expected `key = \"value\"`"));
+            };
+            let value = value.trim();
+            let Some(value) = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+            else {
+                return Err(format!(
+                    "lint-baseline.toml:{line_no}: value must be double-quoted"
+                ));
+            };
+            let value = value.replace("\\\"", "\"");
+            match key.trim() {
+                "rule" => entry.rule = value,
+                "file" => entry.file = value,
+                "pattern" => entry.pattern = value,
+                "reason" => entry.reason = value,
+                other => {
+                    return Err(format!(
+                        "lint-baseline.toml:{line_no}: unknown key `{other}`"
+                    ));
+                }
+            }
+        }
+        if let Some(entry) = current.take() {
+            entries.push(Self::finish(entry)?);
+        }
+        let used = vec![false; entries.len()];
+        Ok(Baseline { entries, used })
+    }
+
+    fn finish(entry: AllowEntry) -> Result<AllowEntry, String> {
+        if entry.rule.is_empty() || entry.file.is_empty() || entry.reason.is_empty() {
+            return Err(format!(
+                "lint-baseline.toml:{}: [[allow]] needs non-empty `rule`, `file`, and `reason`",
+                entry.toml_line
+            ));
+        }
+        Ok(entry)
+    }
+
+    /// Waive `v` if a matching entry exists; marks the entry used.
+    pub fn waives(&mut self, v: &Violation) -> bool {
+        for (entry, used) in self.entries.iter().zip(self.used.iter_mut()) {
+            if entry.rule == v.rule
+                && entry.file == v.file
+                && (entry.pattern.is_empty() || v.excerpt.contains(&entry.pattern))
+            {
+                *used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    pub fn unused(&self) -> impl Iterator<Item = &AllowEntry> {
+        self.entries
+            .iter()
+            .zip(self.used.iter())
+            .filter(|(_, &used)| !used)
+            .map(|(e, _)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::violation;
+
+    #[test]
+    fn baseline_waives_matching_violations_and_tracks_unused() {
+        let toml = "\
+# frozen debt
+[[allow]]
+rule = \"sleep\"
+file = \"crates/ira/src/pqr.rs\"
+pattern = \"thread::sleep\"
+reason = \"poll loop, pre-lint\"
+
+[[allow]]
+rule = \"unwrap\"
+file = \"crates/brahma/src/gone.rs\"
+reason = \"already fixed\"
+";
+        let mut baseline = Baseline::parse(toml).expect("parses");
+        let hit = violation(
+            "sleep",
+            "crates/ira/src/pqr.rs",
+            9,
+            "m".into(),
+            "std::thread::sleep(d);",
+        );
+        let miss = violation(
+            "sleep",
+            "crates/ira/src/driver.rs",
+            2,
+            "m".into(),
+            "std::thread::sleep(d);",
+        );
+        assert!(baseline.waives(&hit));
+        assert!(!baseline.waives(&miss));
+        let unused: Vec<_> = baseline.unused().collect();
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].file, "crates/brahma/src/gone.rs");
+    }
+
+    #[test]
+    fn baseline_rejects_malformed_entries() {
+        assert!(Baseline::parse("rule = \"sleep\"\n").is_err(), "key outside section");
+        assert!(
+            Baseline::parse("[[allow]]\nrule = \"sleep\"\n").is_err(),
+            "missing file/reason"
+        );
+        assert!(
+            Baseline::parse("[[allow]]\nrule = unquoted\n").is_err(),
+            "unquoted value"
+        );
+    }
+}

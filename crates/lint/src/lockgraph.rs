@@ -1,0 +1,1926 @@
+//! Pass 1 (static lock graph) and pass 2 (guard-across-blocking).
+//!
+//! The pass walks every function body, tracks which classed lock guards
+//! are lexically held at each point, and propagates acquisitions over an
+//! approximate, type-assisted, name-based call graph. The result is a
+//! static held-before graph over the `LockClass` universe; any cycle is
+//! an ABBA hazard reported with file:line provenance for each edge.
+//! Semantics, the over-approximation policy, and the resolution ladder
+//! are documented in DESIGN.md §17.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parser::{self, FileAst};
+use crate::report::{violation, Violation};
+use crate::source::SourceFile;
+use crate::tokens::{tokenize, Tok, TokKind};
+
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// Provenance of one static held-before edge `from -> to`.
+#[derive(Debug, Clone)]
+pub struct EdgeProv {
+    /// Where the held (outer) guard was acquired.
+    pub held_file: String,
+    pub held_line: usize,
+    /// Where the inner acquisition happens (the acquisition itself, or
+    /// the call site that transitively reaches it).
+    pub acq_file: String,
+    pub acq_line: usize,
+    /// For call-derived edges: the transitive witness acquisition.
+    pub via: Option<String>,
+}
+
+#[derive(Debug, Default)]
+pub struct StaticGraph {
+    /// `(from class, to class) -> first-witness provenance`. Self-edges
+    /// (same-class nesting) are kept in the graph — the runtime order-key
+    /// discipline owns their correctness — but excluded from cycle
+    /// findings.
+    pub edges: BTreeMap<(String, String), EdgeProv>,
+}
+
+impl StaticGraph {
+    pub fn has(&self, from: &str, to: &str) -> bool {
+        self.edges.contains_key(&(from.to_string(), to.to_string()))
+    }
+}
+
+pub struct Analysis {
+    pub violations: Vec<Violation>,
+    pub graph: StaticGraph,
+    /// Resolution diagnostics for `LINT_DEBUG` (unresolved receivers,
+    /// counts); not part of the committed output.
+    pub debug: Vec<String>,
+}
+
+// ---------------------------------------------------------------------
+// chains
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SegKind {
+    Plain,
+    Call,
+    Index,
+}
+
+#[derive(Debug, Clone)]
+struct Seg {
+    name: String,
+    kind: SegKind,
+}
+
+fn match_back(toks: &[Tok], close: usize, open_s: &str, close_s: &str) -> usize {
+    let mut depth = 0i32;
+    let mut j = close;
+    loop {
+        let t = &toks[j].text;
+        if t == close_s {
+            depth += 1;
+        } else if t == open_s {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        if j == 0 {
+            return 0;
+        }
+        j -= 1;
+    }
+}
+
+fn find_close(toks: &[Tok], open: usize, open_s: &str, close_s: &str) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j].text;
+        if t == open_s {
+            depth += 1;
+        } else if t == close_s {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Parse the postfix chain whose last token is at `last` (inclusive),
+/// walking backwards: `self.deques[w]` ← from the `]`, `self.shard(x)`
+/// ← from the `)`. Returns segments in source order plus the index of
+/// the chain's first token.
+fn parse_chain_back(toks: &[Tok], last: usize) -> (Vec<Seg>, usize) {
+    let mut segs: Vec<Seg> = Vec::new();
+    let mut start = last;
+    let mut pending_index = false;
+    let mut j = last as i64;
+    while j >= 0 {
+        let ju = j as usize;
+        let t = &toks[ju];
+        match t.text.as_str() {
+            ")" => {
+                let open = match_back(toks, ju, "(", ")");
+                if open == 0 {
+                    break;
+                }
+                let name_i = open - 1;
+                let nt = &toks[name_i];
+                if nt.kind != TokKind::Ident || parser::is_keyword_call(&nt.text) {
+                    break;
+                }
+                segs.push(Seg {
+                    name: nt.text.clone(),
+                    kind: SegKind::Call,
+                });
+                pending_index = false;
+                start = name_i;
+                if name_i >= 2 && toks[name_i - 1].is(".") {
+                    j = name_i as i64 - 2;
+                } else {
+                    break;
+                }
+            }
+            "]" => {
+                let open = match_back(toks, ju, "[", "]");
+                if open == 0 {
+                    break;
+                }
+                pending_index = true;
+                j = open as i64 - 1;
+            }
+            "?" => j -= 1,
+            _ if t.kind == TokKind::Ident => {
+                let kind = if pending_index {
+                    SegKind::Index
+                } else {
+                    SegKind::Plain
+                };
+                segs.push(Seg {
+                    name: t.text.clone(),
+                    kind,
+                });
+                pending_index = false;
+                start = ju;
+                if ju >= 2 && toks[ju - 1].is(".") {
+                    j = ju as i64 - 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    segs.reverse();
+    (segs, start)
+}
+
+// ---------------------------------------------------------------------
+// declarations
+
+/// How a `Mutex::new(LockClass::X, …)` expression is owned.
+#[derive(Debug)]
+enum Owner {
+    Field(String),
+    Local(String),
+    FnReturn(String),
+    Unknown,
+}
+
+/// Walk backwards from the expression start to find what the lock
+/// expression is bound to: a struct-literal field, a `let` local, or a
+/// function's return (tail) expression.
+fn attribute_owner(toks: &[Tok], expr_start: usize) -> Owner {
+    let mut j = expr_start as i64 - 1;
+    let mut steps = 0;
+    while j >= 0 && steps < 800 {
+        steps += 1;
+        let ju = j as usize;
+        let t = &toks[ju];
+        match t.text.as_str() {
+            ":" => {
+                if ju >= 1 && toks[ju - 1].kind == TokKind::Ident {
+                    let name = toks[ju - 1].text.clone();
+                    let is_let = (ju >= 2 && toks[ju - 2].is_ident("let"))
+                        || (ju >= 3
+                            && toks[ju - 2].is_ident("mut")
+                            && toks[ju - 3].is_ident("let"));
+                    return if is_let { Owner::Local(name) } else { Owner::Field(name) };
+                }
+                return Owner::Unknown;
+            }
+            "=" => {
+                // `let [mut] NAME [: TY] = expr` — search back inside the
+                // statement for `let`.
+                let mut k = j - 1;
+                while k >= 0 {
+                    let ku = k as usize;
+                    let kt = &toks[ku].text;
+                    if kt == ";" || kt == "{" || kt == "}" {
+                        break;
+                    }
+                    if toks[ku].is_ident("let") {
+                        let mut n = ku + 1;
+                        if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                            n += 1;
+                        }
+                        if let Some(nt) = toks.get(n) {
+                            if nt.kind == TokKind::Ident {
+                                return Owner::Local(nt.text.clone());
+                            }
+                        }
+                        return Owner::Unknown;
+                    }
+                    k -= 1;
+                }
+                return Owner::Unknown;
+            }
+            "->" => {
+                // Tail expression of a fn body: find the fn name.
+                let mut k = j - 1;
+                while k >= 0 && steps < 800 {
+                    steps += 1;
+                    if toks[k as usize].is_ident("fn") {
+                        if let Some(nt) = toks.get(k as usize + 1) {
+                            if nt.kind == TokKind::Ident {
+                                return Owner::FnReturn(nt.text.clone());
+                            }
+                        }
+                        return Owner::Unknown;
+                    }
+                    k -= 1;
+                }
+                return Owner::Unknown;
+            }
+            ";" => {
+                // Skip the entire previous statement: back to the nearest
+                // `{` or `;` at this brace level.
+                let mut depth = 0i32;
+                j -= 1;
+                while j >= 0 {
+                    match toks[j as usize].text.as_str() {
+                        "}" => depth += 1,
+                        "{" => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+            }
+            ")" => j = match_back(toks, ju, "(", ")") as i64 - 1,
+            "]" => j = match_back(toks, ju, "[", "]") as i64 - 1,
+            "}" => j = match_back(toks, ju, "{", "}") as i64 - 1,
+            "|" => {
+                // Closure parameter list: skip back to the opening `|`.
+                let mut k = j - 1;
+                while k >= 0 {
+                    let kt = &toks[k as usize].text;
+                    if kt == "|" || kt == "{" || kt == ";" {
+                        break;
+                    }
+                    k -= 1;
+                }
+                j = if k >= 0 && toks[k as usize].is("|") { k - 1 } else { k };
+            }
+            "{" => j -= 1,
+            _ => j -= 1,
+        }
+    }
+    Owner::Unknown
+}
+
+/// Head type of the lock's payload (third `Mutex::new` argument):
+/// `Page::new()` → `Page`, `WalInner::default()` → `WalInner`.
+fn payload_head(toks: &[Tok], class_idx: usize) -> Option<String> {
+    // toks[class_idx] is the class name; expect `, KEY , VALUE`.
+    let mut j = class_idx + 1;
+    if !toks.get(j)?.is(",") {
+        return None;
+    }
+    j += 1;
+    // Skip the order-key expression to the next top-level comma.
+    let mut depth = 0i32;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                if depth == 0 {
+                    return None;
+                }
+                depth -= 1;
+            }
+            "," if depth == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let head = toks.get(j + 1)?;
+    if head.kind == TokKind::Ident && head.text.chars().next().is_some_and(|c| c.is_uppercase()) {
+        Some(head.text.clone())
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// per-file data and the cross-file index
+
+struct FileInfo {
+    rel: String,
+    toks: Vec<Tok>,
+    ast: FileAst,
+    /// `spawn(…)` argument ranges `(open_paren, close_paren)`: closures in
+    /// there run on other threads, so guards held outside are not held
+    /// inside (and their acquisitions are not the spawning fn's).
+    spawns: Vec<(usize, usize)>,
+}
+
+#[derive(Default)]
+struct Index {
+    /// `(file, field name) -> class` for classed lock fields.
+    field_class_file: BTreeMap<(usize, String), String>,
+    /// `(owner type, field name) -> class`.
+    field_class_type: BTreeMap<(String, String), String>,
+    /// Global field-name fallback; used only when unambiguous.
+    field_class_global: BTreeMap<String, BTreeSet<String>>,
+    /// `(file, fn, local name) -> class` for lock-object locals and
+    /// `for`-loop bindings over classed lock collections.
+    local_class: BTreeMap<(usize, usize, String), String>,
+    /// Locals that are guard bindings: shadow any same-named field.
+    local_shadow: BTreeSet<(usize, usize, String)>,
+    /// `(file, fn, local name) -> type head` from params and typed lets.
+    local_ty: BTreeMap<(usize, usize, String), String>,
+    /// Fns returning a fresh classed lock, by name (`new_page`).
+    fnret_class: BTreeMap<String, BTreeSet<String>>,
+    /// Accessor fns returning `&Mutex`/`&RwLock` to a classed field.
+    accessor_class: BTreeMap<(String, String), String>,
+    /// `class -> payload type head`.
+    inner_ty: BTreeMap<String, String>,
+    /// Return-type aliases of lock constructors (`PageRef -> PageLatch`).
+    alias_class: BTreeMap<String, String>,
+    /// Struct field types `(owner, name) -> head`.
+    field_ty: BTreeMap<(String, String), String>,
+    /// `(self type or "", fn name) -> deep return-type head`.
+    fn_ret_ty: BTreeMap<(String, String), String>,
+    /// `(self type or "", fn name) -> fn ids`.
+    fn_index: BTreeMap<(String, String), Vec<(usize, usize)>>,
+    /// Every type name seen as a struct or impl target.
+    known_types: BTreeSet<String>,
+}
+
+/// Strip references/wrappers off a return type and resolve `Self`.
+fn deep_head(ty: &[String], self_ty: Option<&str>) -> Option<String> {
+    let mut i = 0;
+    loop {
+        let t = ty.get(i)?;
+        match t.as_str() {
+            "&" | "mut" | "dyn" => i += 1,
+            s if s.starts_with('\'') => i += 1,
+            "Arc" | "Box" | "Rc" | "Option" | "Result"
+                if ty.get(i + 1).is_some_and(|n| n == "<") =>
+            {
+                i += 2
+            }
+            _ => break,
+        }
+    }
+    let t = ty.get(i)?;
+    if !t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') {
+        return None;
+    }
+    if t == "Self" {
+        return self_ty.map(str::to_string);
+    }
+    Some(t.clone())
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum St {
+    /// The chain so far evaluates to a value of this type.
+    Ty(String),
+    /// The chain so far names a classed lock object.
+    Lock(String),
+    Unknown,
+}
+
+struct Ctx<'a> {
+    infos: &'a [FileInfo],
+    ix: &'a Index,
+}
+
+impl Ctx<'_> {
+    fn global_unique_field(&self, name: &str) -> Option<String> {
+        let set = self.ix.field_class_global.get(name)?;
+        if set.len() == 1 {
+            set.iter().next().cloned()
+        } else {
+            None
+        }
+    }
+
+    fn first_seg(&self, fi: usize, fnid: usize, seg: &Seg) -> St {
+        let n = &seg.name;
+        let key = (fi, fnid, n.clone());
+        if seg.kind == SegKind::Call {
+            if let Some(set) = self.ix.fnret_class.get(n) {
+                if set.len() == 1 {
+                    return St::Lock(set.iter().next().unwrap().clone());
+                }
+            }
+            // Free function in scope: same file preferred, else unique.
+            if let Some(t) = self.ix.fn_ret_ty.get(&(String::new(), n.clone())) {
+                return St::Ty(t.clone());
+            }
+            return St::Unknown;
+        }
+        if n == "self" {
+            return match self.infos[fi].ast.fns[fnid].self_ty.clone() {
+                Some(t) => St::Ty(t),
+                None => St::Unknown,
+            };
+        }
+        if self.ix.local_shadow.contains(&key) {
+            return St::Unknown; // a guard binding, not the lock itself
+        }
+        if let Some(c) = self.ix.local_class.get(&key) {
+            return St::Lock(c.clone());
+        }
+        if let Some(t) = self.ix.local_ty.get(&key) {
+            if let Some(c) = self.ix.alias_class.get(t) {
+                return St::Lock(c.clone());
+            }
+            return St::Ty(t.clone());
+        }
+        if let Some(c) = self.ix.field_class_file.get(&(fi, n.clone())) {
+            return St::Lock(c.clone());
+        }
+        if let Some(c) = self.global_unique_field(n) {
+            return St::Lock(c);
+        }
+        // Name hint: page-latch handles conventionally travel as `p`/`page`.
+        if (n == "p" || n == "page" || n == "pg")
+            && self.ix.alias_class.values().any(|c| c == "PageLatch")
+        {
+            return St::Lock("PageLatch".to_string());
+        }
+        St::Unknown
+    }
+
+    fn next_seg(&self, fi: usize, st: St, seg: &Seg) -> St {
+        let n = &seg.name;
+        if seg.kind == SegKind::Call && ACQUIRE_METHODS.contains(&n.as_str()) {
+            // Guard deref: the chain continues with the payload type.
+            if let St::Lock(c) = st {
+                return match self.ix.inner_ty.get(&c) {
+                    Some(t) => St::Ty(t.clone()),
+                    None => St::Unknown,
+                };
+            }
+            return St::Unknown;
+        }
+        match (&st, seg.kind) {
+            (St::Ty(t), SegKind::Call) => {
+                if let Some(c) = self.ix.accessor_class.get(&(t.clone(), n.clone())) {
+                    return St::Lock(c.clone());
+                }
+                if let Some(r) = self.ix.fn_ret_ty.get(&(t.clone(), n.clone())) {
+                    if let Some(c) = self.ix.alias_class.get(r) {
+                        return St::Lock(c.clone());
+                    }
+                    return St::Ty(r.clone());
+                }
+                St::Unknown
+            }
+            (St::Ty(t), _) => {
+                if let Some(c) = self.ix.field_class_type.get(&(t.clone(), n.clone())) {
+                    return St::Lock(c.clone());
+                }
+                if let Some(ft) = self.ix.field_ty.get(&(t.clone(), n.clone())) {
+                    if let Some(c) = self.ix.alias_class.get(ft) {
+                        return St::Lock(c.clone());
+                    }
+                    return St::Ty(ft.clone());
+                }
+                St::Unknown
+            }
+            (_, SegKind::Plain) | (_, SegKind::Index) => {
+                if let Some(c) = self.ix.field_class_file.get(&(fi, n.clone())) {
+                    return St::Lock(c.clone());
+                }
+                if let Some(c) = self.global_unique_field(n) {
+                    return St::Lock(c);
+                }
+                St::Unknown
+            }
+            (_, SegKind::Call) => {
+                // Untyped receiver: a unique accessor name still resolves.
+                let hits: BTreeSet<&String> = self
+                    .ix
+                    .accessor_class
+                    .iter()
+                    .filter(|((_, f), _)| f == n)
+                    .map(|(_, c)| c)
+                    .collect();
+                if hits.len() == 1 {
+                    return St::Lock((*hits.iter().next().unwrap()).clone());
+                }
+                St::Unknown
+            }
+        }
+    }
+
+    fn walk_chain(&self, fi: usize, fnid: usize, segs: &[Seg]) -> St {
+        let mut st = St::Unknown;
+        for (k, seg) in segs.iter().enumerate() {
+            st = if k == 0 {
+                self.first_seg(fi, fnid, seg)
+            } else {
+                self.next_seg(fi, st, seg)
+            };
+        }
+        st
+    }
+
+    /// Resolve the lock class of an acquisition's receiver chain.
+    fn resolve_acquisition(&self, fi: usize, fnid: usize, segs: &[Seg]) -> Option<String> {
+        match self.walk_chain(fi, fnid, segs) {
+            St::Lock(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// the pass driver lives in `analyze` below; building blocks first
+
+/// One `.lock()`/`.read()`/`.write()`/`try_*()` site.
+struct Acq {
+    fi: usize,
+    fnid: usize,
+    dot: usize,
+    /// Index just past the closing `)` of the acquisition call.
+    after: usize,
+    line: usize,
+    class: Option<String>,
+    /// End of the guard's lexical scope (token index, exclusive).
+    scope_end: usize,
+}
+
+/// Find where a guard's scope ends when bound with `let g = …`: the end
+/// of the enclosing block, or an explicit `drop(g)`.
+fn binding_scope_end(toks: &[Tok], after: usize, name: &str) -> usize {
+    let mut depth = 0i32;
+    let mut j = after;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            _ => {
+                if toks[j].is_ident("drop")
+                    && toks.get(j + 1).is_some_and(|t| t.is("("))
+                    && toks.get(j + 2).is_some_and(|t| t.is_ident(name))
+                    && toks.get(j + 3).is_some_and(|t| t.is(")"))
+                {
+                    return j;
+                }
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Scope end for a guard temporary: Rust temporaries live to the end of
+/// the enclosing statement, including any block that statement continues
+/// into (`if let Some(x) = m.lock().pop() { … }` holds the guard for the
+/// whole body in the worst case, which is the over-approximation we
+/// want).
+fn temporary_scope_end(toks: &[Tok], after: usize) -> usize {
+    let mut depth = 0i32;
+    let mut entered_block = false;
+    let mut j = after;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" => {
+                if depth == 0 {
+                    entered_block = true;
+                }
+                depth += 1;
+            }
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+                if depth == 0 && entered_block {
+                    match toks.get(j + 1).map(|t| t.text.as_str()) {
+                        Some("else") => {}
+                        Some(".") | Some("?") => entered_block = false,
+                        _ => return j,
+                    }
+                }
+            }
+            ";" if depth <= 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Does a spawn range swallow `site`, having started after `after` (i.e.
+/// while the guard was already held)? Such sites run on another thread.
+fn site_moved_to_thread(spawns: &[(usize, usize)], after: usize, site: usize) -> bool {
+    spawns.iter().any(|&(o, c)| o > after && site > o && site < c)
+}
+
+fn in_any_spawn(spawns: &[(usize, usize)], site: usize) -> bool {
+    spawns.iter().any(|&(o, c)| site > o && site < c)
+}
+
+// ---------------------------------------------------------------------
+
+pub fn analyze(files: &[SourceFile]) -> Analysis {
+    let infos: Vec<FileInfo> = files
+        .iter()
+        .map(|f| {
+            let toks = tokenize(f);
+            let ast = parser::parse(&toks);
+            let mut spawns = Vec::new();
+            for i in 0..toks.len() {
+                if toks[i].is_ident("spawn") && toks.get(i + 1).is_some_and(|t| t.is("(")) {
+                    spawns.push((i + 1, find_close(&toks, i + 1, "(", ")")));
+                }
+            }
+            FileInfo {
+                rel: f.rel.clone(),
+                toks,
+                ast,
+                spawns,
+            }
+        })
+        .collect();
+
+    let mut ix = Index::default();
+    build_type_index(&infos, &mut ix);
+    harvest_declarations(&infos, &mut ix);
+    harvest_locals(&infos, &mut ix);
+
+    let ctx = Ctx { infos: &infos, ix: &ix };
+    let (acqs, mut debug) = collect_acquisitions(&ctx);
+    let facts = collect_facts(&ctx, &acqs);
+    let may = fixpoint(&facts);
+
+    let mut graph = StaticGraph::default();
+    let mut violations = Vec::new();
+    build_edges_and_blocking(&ctx, files, &acqs, &facts, &may, &mut graph, &mut violations);
+    violations.extend(cycle_findings(&graph));
+
+    debug.push(format!(
+        "lock-graph: {} classed acquisition sites, {} edges",
+        acqs.iter().filter(|a| a.class.is_some()).count(),
+        graph.edges.len()
+    ));
+    for ((a, b), p) in &graph.edges {
+        debug.push(format!(
+            "edge {a} -> {b}: held {}:{}, acquired {}:{}{}",
+            p.held_file,
+            p.held_line,
+            p.acq_file,
+            p.acq_line,
+            p.via.as_deref().map(|v| format!(" ({v})")).unwrap_or_default()
+        ));
+    }
+
+    Analysis {
+        violations,
+        graph,
+        debug,
+    }
+}
+
+fn build_type_index(infos: &[FileInfo], ix: &mut Index) {
+    for (fi, info) in infos.iter().enumerate() {
+        for f in &info.ast.fields {
+            ix.known_types.insert(f.owner.clone());
+            if let Some(t) = &f.ty_head {
+                ix.field_ty
+                    .entry((f.owner.clone(), f.name.clone()))
+                    .or_insert_with(|| t.clone());
+            }
+        }
+        for (fnid, f) in info.ast.fns.iter().enumerate() {
+            if let Some(t) = &f.self_ty {
+                ix.known_types.insert(t.clone());
+            }
+            let ty_key = f.self_ty.clone().unwrap_or_default();
+            ix.fn_index
+                .entry((ty_key.clone(), f.name.clone()))
+                .or_default()
+                .push((fi, fnid));
+            if let Some(h) = deep_head(&f.ret, f.self_ty.as_deref()) {
+                ix.fn_ret_ty.entry((ty_key, f.name.clone())).or_insert(h);
+            }
+        }
+    }
+}
+
+fn harvest_declarations(infos: &[FileInfo], ix: &mut Index) {
+    for (fi, info) in infos.iter().enumerate() {
+        let toks = &info.toks;
+        for i in 0..toks.len() {
+            if !(toks[i].is_ident("Mutex") || toks[i].is_ident("RwLock")) {
+                continue;
+            }
+            if !(toks.get(i + 1).is_some_and(|t| t.is("::"))
+                && toks.get(i + 2).is_some_and(|t| t.is_ident("new"))
+                && toks.get(i + 3).is_some_and(|t| t.is("("))
+                && toks.get(i + 4).is_some_and(|t| t.is_ident("LockClass"))
+                && toks.get(i + 5).is_some_and(|t| t.is("::")))
+            {
+                continue;
+            }
+            let Some(class_tok) = toks.get(i + 6) else { continue };
+            let class = class_tok.text.clone();
+            if let Some(inner) = payload_head(toks, i + 6) {
+                ix.inner_ty.entry(class.clone()).or_insert(inner);
+            }
+            // Unwrap `Arc::new(`, `Box::new(` wrappers around the lock.
+            let mut s = i;
+            while s >= 4
+                && toks[s - 1].is("(")
+                && toks[s - 2].is_ident("new")
+                && toks[s - 3].is("::")
+                && ["Arc", "Box", "Rc"].iter().any(|w| toks[s - 4].is_ident(w))
+            {
+                s -= 4;
+            }
+            match attribute_owner(toks, s) {
+                Owner::Field(name) => {
+                    ix.field_class_file
+                        .entry((fi, name.clone()))
+                        .or_insert_with(|| class.clone());
+                    ix.field_class_global
+                        .entry(name.clone())
+                        .or_default()
+                        .insert(class.clone());
+                    for f in &info.ast.fields {
+                        if f.name == name {
+                            ix.field_class_type
+                                .entry((f.owner.clone(), name.clone()))
+                                .or_insert_with(|| class.clone());
+                        }
+                    }
+                }
+                Owner::Local(name) => {
+                    if let Some(fnid) = parser::enclosing_fn(&info.ast, i) {
+                        ix.local_class.insert((fi, fnid, name), class.clone());
+                    }
+                }
+                Owner::FnReturn(fn_name) => {
+                    ix.fnret_class
+                        .entry(fn_name.clone())
+                        .or_default()
+                        .insert(class.clone());
+                    for f in &info.ast.fns {
+                        if f.name == fn_name {
+                            if let Some(h) = deep_head(&f.ret, f.self_ty.as_deref()) {
+                                if h != "Mutex" && h != "RwLock" {
+                                    ix.alias_class.entry(h).or_insert_with(|| class.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                Owner::Unknown => {}
+            }
+        }
+    }
+    // Accessor fns: return a `&Mutex`/`&RwLock` and reference a classed
+    // field of their own file (`fn shard(&self, …) -> &Mutex<…>`).
+    for (fi, info) in infos.iter().enumerate() {
+        for f in &info.ast.fns {
+            let returns_lock = f.ret.iter().any(|t| t == "Mutex" || t == "RwLock");
+            if !returns_lock {
+                continue;
+            }
+            let Some(self_ty) = &f.self_ty else { continue };
+            let Some((open, close)) = f.body else { continue };
+            for j in open..close {
+                if info.toks[j].kind != TokKind::Ident {
+                    continue;
+                }
+                if let Some(c) = ix.field_class_file.get(&(fi, info.toks[j].text.clone())) {
+                    ix.accessor_class
+                        .entry((self_ty.clone(), f.name.clone()))
+                        .or_insert_with(|| c.clone());
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Collect per-fn local typing: parameter types, `let` bindings (typed,
+/// lock-constructor results, guard shadows), and `for`-loop bindings
+/// over classed lock collections.
+fn harvest_locals(infos: &[FileInfo], ix: &mut Index) {
+    for (fi, info) in infos.iter().enumerate() {
+        let toks = &info.toks;
+        for (fnid, f) in info.ast.fns.iter().enumerate() {
+            // Parameters: from the name token, the list sits right after.
+            let mut j = f
+                .body
+                .map(|(open, _)| open)
+                .unwrap_or(usize::MAX)
+                .min(toks.len());
+            // Find the param open paren by scanning forward from the name.
+            let mut p = None;
+            for k in 0..toks.len() {
+                if toks[k].is_ident("fn")
+                    && toks.get(k + 1).is_some_and(|t| t.is_ident(&f.name))
+                    && toks[k + 1].line == f.line
+                {
+                    let mut m = k + 2;
+                    if toks.get(m).is_some_and(|t| t.is("<")) {
+                        let mut depth = 0i32;
+                        while m < toks.len() {
+                            match toks[m].text.as_str() {
+                                "<" => depth += 1,
+                                ">" => {
+                                    depth -= 1;
+                                    if depth <= 0 {
+                                        m += 1;
+                                        break;
+                                    }
+                                }
+                                "{" | ";" => break,
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                    }
+                    if toks.get(m).is_some_and(|t| t.is("(")) {
+                        p = Some(m);
+                    }
+                    break;
+                }
+            }
+            if let Some(open) = p {
+                let close = find_close(toks, open, "(", ")");
+                let mut k = open + 1;
+                let mut depth = 0i32;
+                while k < close {
+                    match toks[k].text.as_str() {
+                        "(" | "[" | "<" => depth += 1,
+                        ")" | "]" | ">" => depth -= 1,
+                        ":" if depth == 0 && toks[k - 1].kind == TokKind::Ident => {
+                            let name = toks[k - 1].text.clone();
+                            let mut ty = Vec::new();
+                            let mut m = k + 1;
+                            let mut d2 = 0i32;
+                            while m < close {
+                                match toks[m].text.as_str() {
+                                    "," if d2 == 0 => break,
+                                    "<" | "(" | "[" => d2 += 1,
+                                    ">" | ")" | "]" => d2 -= 1,
+                                    _ => {}
+                                }
+                                ty.push(toks[m].text.clone());
+                                m += 1;
+                            }
+                            if let Some(h) = deep_head(&ty, f.self_ty.as_deref()) {
+                                let key = (fi, fnid, name);
+                                if let Some(c) = ix.alias_class.get(&h) {
+                                    ix.local_class.entry(key).or_insert_with(|| c.clone());
+                                } else {
+                                    ix.local_ty.entry(key).or_insert(h);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            j = j.min(toks.len());
+            let Some((open, close)) = f.body else { continue };
+            let _ = j;
+            harvest_fn_body_locals(infos, ix, fi, fnid, open, close);
+        }
+    }
+}
+
+fn harvest_fn_body_locals(
+    infos: &[FileInfo],
+    ix: &mut Index,
+    fi: usize,
+    fnid: usize,
+    open: usize,
+    close: usize,
+) {
+    let info = &infos[fi];
+    let toks = &info.toks;
+    let mut i = open + 1;
+    while i < close {
+        // `for NAME in <chain> {` over a classed lock collection.
+        if toks[i].is_ident("for")
+            && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("in"))
+        {
+            let name = toks[i + 1].text.clone();
+            let mut j = i + 3;
+            let mut depth = 0i32;
+            while j < close {
+                match toks[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let mut e = j as i64 - 1;
+            // Peel a trailing `.iter()` / `.iter_mut()`.
+            if e >= 3
+                && toks[e as usize].is(")")
+                && toks[e as usize - 1].is("(")
+                && (toks[e as usize - 2].is_ident("iter")
+                    || toks[e as usize - 2].is_ident("iter_mut"))
+                && toks[e as usize - 3].is(".")
+            {
+                e -= 4;
+            }
+            if e > i as i64 + 2 {
+                let (segs, _) = parse_chain_back(toks, e as usize);
+                let has_acquire = segs
+                    .iter()
+                    .any(|s| s.kind == SegKind::Call && ACQUIRE_METHODS.contains(&s.name.as_str()));
+                if !segs.is_empty() && !has_acquire {
+                    let ctx = Ctx { infos, ix };
+                    if let St::Lock(c) = ctx.walk_chain(fi, fnid, &segs) {
+                        ix.local_class.insert((fi, fnid, name), c);
+                    }
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        // `let [mut] NAME [: TY] = RHS ;`
+        if toks[i].is_ident("let") {
+            let mut n = i + 1;
+            if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            let Some(name_tok) = toks.get(n) else {
+                i += 1;
+                continue;
+            };
+            if name_tok.kind != TokKind::Ident
+                || toks.get(n + 1).is_some_and(|t| t.is("(")) // destructure
+            {
+                i += 1;
+                continue;
+            }
+            let name = name_tok.text.clone();
+            let mut j = n + 1;
+            // Optional type ascription.
+            if toks.get(j).is_some_and(|t| t.is(":")) {
+                let mut ty = Vec::new();
+                let mut depth = 0i32;
+                let mut m = j + 1;
+                while m < close {
+                    match toks[m].text.as_str() {
+                        "=" if depth == 0 => break,
+                        ";" if depth == 0 => break,
+                        "<" | "(" | "[" => depth += 1,
+                        ">" | ")" | "]" => depth -= 1,
+                        _ => {}
+                    }
+                    ty.push(toks[m].text.clone());
+                    m += 1;
+                }
+                let self_ty = info.ast.fns[fnid].self_ty.clone();
+                if let Some(h) = deep_head(&ty, self_ty.as_deref()) {
+                    let key = (fi, fnid, name.clone());
+                    if let Some(c) = ix.alias_class.get(&h) {
+                        ix.local_class.entry(key).or_insert_with(|| c.clone());
+                    } else if h != "Mutex" && h != "RwLock" {
+                        ix.local_ty.entry(key).or_insert(h);
+                    }
+                }
+                j = m;
+            }
+            if !toks.get(j).is_some_and(|t| t.is("=")) {
+                i = j;
+                continue;
+            }
+            // RHS: up to the `;` at this depth.
+            let start = j + 1;
+            let mut depth = 0i32;
+            let mut end = start;
+            while end < close {
+                match toks[end].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                end += 1;
+            }
+            if end > start {
+                let mut e = end - 1;
+                if toks[e].is("?") && e > start {
+                    e -= 1;
+                }
+                let (segs, _) = parse_chain_back(toks, e);
+                if !segs.is_empty() {
+                    let last_is_acquire = segs.last().is_some_and(|s| {
+                        s.kind == SegKind::Call && ACQUIRE_METHODS.contains(&s.name.as_str())
+                    });
+                    if last_is_acquire {
+                        ix.local_shadow.insert((fi, fnid, name.clone()));
+                    } else {
+                        // `T::ctor(…)` path call: type via fn_ret_ty.
+                        let qualified = segs.len() == 1
+                            && toks.get(e).is_some_and(|t| t.is(")"))
+                            && {
+                                let op = match_back(toks, e, "(", ")");
+                                op >= 2 && toks[op - 2].is("::")
+                            };
+                        let st = if qualified {
+                            let op = match_back(toks, e, "(", ")");
+                            let q = &toks[op - 3];
+                            let fname = &toks[op - 1].text;
+                            let ty = if q.is_ident("Self") {
+                                info.ast.fns[fnid].self_ty.clone().unwrap_or_default()
+                            } else {
+                                q.text.clone()
+                            };
+                            match ix.fn_ret_ty.get(&(ty, fname.clone())) {
+                                Some(t) => St::Ty(t.clone()),
+                                None => St::Unknown,
+                            }
+                        } else {
+                            let ctx = Ctx { infos, ix };
+                            ctx.walk_chain(fi, fnid, &segs)
+                        };
+                        let key = (fi, fnid, name.clone());
+                        match st {
+                            St::Lock(c) => {
+                                ix.local_class.entry(key).or_insert(c);
+                            }
+                            St::Ty(t) => {
+                                if let Some(c) = ix.alias_class.get(&t) {
+                                    ix.local_class.entry(key).or_insert_with(|| c.clone());
+                                } else {
+                                    ix.local_ty.entry(key).or_insert(t);
+                                }
+                            }
+                            St::Unknown => {}
+                        }
+                    }
+                }
+            }
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+fn collect_acquisitions(ctx: &Ctx) -> (Vec<Acq>, Vec<String>) {
+    let mut out = Vec::new();
+    let mut debug = Vec::new();
+    for (fi, info) in ctx.infos.iter().enumerate() {
+        if info.rel.ends_with("/lockdep.rs") {
+            continue; // the instrumentation layer itself
+        }
+        let toks = &info.toks;
+        for i in 0..toks.len() {
+            if !toks[i].is(".") {
+                continue;
+            }
+            let Some(m) = toks.get(i + 1) else { continue };
+            if m.kind != TokKind::Ident || !ACQUIRE_METHODS.contains(&m.text.as_str()) {
+                continue;
+            }
+            if !(toks.get(i + 2).is_some_and(|t| t.is("("))
+                && toks.get(i + 3).is_some_and(|t| t.is(")")))
+            {
+                continue;
+            }
+            let Some(fnid) = parser::enclosing_fn(&info.ast, i) else {
+                continue;
+            };
+            let (segs, start) = parse_chain_back(toks, i.saturating_sub(1));
+            let class = ctx.resolve_acquisition(fi, fnid, &segs);
+            if class.is_none() {
+                debug.push(format!(
+                    "unresolved acquisition {}:{} (.{})",
+                    info.rel, m.line, m.text
+                ));
+            }
+            let after = i + 4;
+            // Guard binding: `let [mut] NAME = <chain>.lock();` — the
+            // acquire call must be the *final* postfix op of the RHS.
+            // `let v = shard.lock().iter()...collect();` binds `v` to the
+            // collected data, not the guard: that guard is a temporary
+            // dropped at the `;` (the ParentMap clone shape).
+            let rhs_ends_at_acquire = toks
+                .get(after)
+                .is_none_or(|t| t.is(";") || (t.is("?") && toks.get(after + 1).is_some_and(|t| t.is(";"))));
+            let binding = if rhs_ends_at_acquire && start >= 1 && toks[start - 1].is("=") {
+                let mut k = start as i64 - 2;
+                let mut found = None;
+                while k >= 0 {
+                    let kt = &toks[k as usize].text;
+                    if kt == ";" || kt == "{" || kt == "}" {
+                        break;
+                    }
+                    if toks[k as usize].is_ident("let") {
+                        let mut n = k as usize + 1;
+                        if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                            n += 1;
+                        }
+                        if let Some(nt) = toks.get(n) {
+                            if nt.kind == TokKind::Ident
+                                && nt.text != "_"
+                                && !toks.get(n + 1).is_some_and(|t| t.is("("))
+                            {
+                                found = Some(nt.text.clone());
+                            }
+                        }
+                        break;
+                    }
+                    k -= 1;
+                }
+                found
+            } else {
+                None
+            };
+            let scope_end = match &binding {
+                Some(name) => binding_scope_end(toks, after, name),
+                None => temporary_scope_end(toks, after),
+            };
+            out.push(Acq {
+                fi,
+                fnid,
+                dot: i,
+                after,
+                line: m.line,
+                class,
+                scope_end,
+            });
+        }
+    }
+    (out, debug)
+}
+
+/// One resolved call site inside a function body: token position, source
+/// line, and the `(file, fn)` ids it may dispatch to.
+type CallSite = (usize, usize, Vec<(usize, usize)>);
+
+/// Per-fn facts: directly acquired classes (with a witness site) and
+/// resolved call sites.
+#[derive(Default)]
+struct Facts {
+    direct: BTreeMap<String, (String, usize)>,
+    calls: Vec<CallSite>,
+}
+
+/// Method names we refuse to resolve by name alone. On an *untyped*
+/// receiver these are std-prelude / collection / io calls on plain data
+/// in practice; resolving them to same-named workspace methods (e.g.
+/// a HashMap guard's `.remove(..)` hitting `Ert::remove`) floods
+/// `MayAcquire` sets with false classes and manufactures cycles. Typed
+/// receivers still resolve workspace methods that share these names.
+const STD_METHODS: &[&str] = &[
+    "abs", "all", "and_then", "any", "append", "as_bytes", "as_mut", "as_ref", "as_slice",
+    "borrow", "borrow_mut", "chain", "clear", "clone", "cloned", "cmp", "collect",
+    "compare_exchange", "contains", "contains_key", "copied", "count", "create", "dedup",
+    "drain", "entry", "enumerate", "eq", "expect", "extend", "fetch_add", "fetch_and",
+    "fetch_or", "fetch_sub", "filter", "filter_map", "find", "first", "flat_map", "flatten",
+    "flush", "fmt", "fold", "get", "get_mut", "get_or_init", "hash", "insert", "into_iter",
+    "is_empty", "is_err", "is_none", "is_ok", "is_some", "iter", "iter_mut", "join", "keys",
+    "last", "len", "load", "map", "map_err", "max", "max_by_key", "metadata", "min",
+    "min_by_key", "next", "notify_all", "notify_one", "ok", "open", "or_else", "or_insert",
+    "or_insert_with", "parse", "partial_cmp", "pop", "position", "push", "read",
+    "read_exact", "read_to_end", "recv", "remove", "replace", "reserve", "resize", "retain",
+    "rev", "seek", "send", "set_len", "sort", "sort_by", "sort_by_key", "sort_unstable",
+    "split", "split_off", "store", "sum", "swap", "swap_remove", "sync_all", "sync_data",
+    "take", "to_owned", "to_string", "to_vec", "trim", "truncate", "try_recv", "unwrap_or",
+    "unwrap_or_default", "unwrap_or_else", "values", "values_mut", "wait", "wrapping_add",
+    "write", "write_all", "zip",
+];
+
+/// Name-based fallback for a call whose receiver (or free-fn path) could
+/// not be typed: same-file definitions win; otherwise the name must be
+/// *unambiguous* across the workspace (exactly one defining body).
+/// Ambiguous names over-approximate into false held-before cycles, so we
+/// drop them and let the runtime cross-check catch anything real we miss.
+fn fallback_by_name(ctx: &Ctx, fi: usize, n: &str, methods_only: bool) -> Vec<(usize, usize)> {
+    if STD_METHODS.contains(&n) {
+        return Vec::new();
+    }
+    let mut all: Vec<(usize, usize)> = Vec::new();
+    for ((self_ty, fname), ids) in &ctx.ix.fn_index {
+        if fname == n && (!methods_only || !self_ty.is_empty()) {
+            all.extend(
+                ids.iter()
+                    .copied()
+                    .filter(|&(f, id)| ctx.infos[f].ast.fns[id].body.is_some()),
+            );
+        }
+    }
+    if methods_only {
+        // No same-file shortcut for methods: `child.partition()` inside
+        // db.rs must not prefer `Database::partition` over
+        // `PhysAddr::partition` just by proximity — ambiguity drops both.
+        return if all.len() == 1 { all } else { Vec::new() };
+    }
+    let same_file: Vec<(usize, usize)> = all.iter().copied().filter(|(f, _)| *f == fi).collect();
+    if !same_file.is_empty() {
+        same_file
+    } else if all.len() == 1 {
+        all
+    } else {
+        Vec::new()
+    }
+}
+
+fn resolve_call(ctx: &Ctx, fi: usize, fnid: usize, i: usize) -> Vec<(usize, usize)> {
+    let toks = &ctx.infos[fi].toks;
+    let n = toks[i].text.clone();
+    // `0..foo(x)` tokenizes as `0 . . foo (` — two dots make a range, not
+    // a method call; fall through to the bare-call branch.
+    let is_method = i >= 1 && toks[i - 1].is(".") && !(i >= 2 && toks[i - 2].is("."));
+    if is_method {
+        let (segs, _) = parse_chain_back(toks, i.saturating_sub(2));
+        match ctx.walk_chain(fi, fnid, &segs) {
+            St::Ty(t) => ctx
+                .ix
+                .fn_index
+                .get(&(t, n))
+                .cloned()
+                .unwrap_or_default(),
+            St::Lock(_) => Vec::new(), // method on the lock wrapper itself
+            St::Unknown => fallback_by_name(ctx, fi, &n, true),
+        }
+    } else if i >= 2 && toks[i - 1].is("::") && toks[i - 2].kind == TokKind::Ident {
+        let q = &toks[i - 2].text;
+        let ty = if q == "Self" {
+            ctx.infos[fi].ast.fns[fnid].self_ty.clone().unwrap_or_default()
+        } else if ctx.ix.known_types.contains(q) {
+            q.clone()
+        } else {
+            return Vec::new(); // std/module path (`thread::spawn`, `mem::take`)
+        };
+        ctx.ix.fn_index.get(&(ty, n)).cloned().unwrap_or_default()
+    } else {
+        // Bare call: free fns, same file preferred, unique otherwise.
+        let all = ctx
+            .ix
+            .fn_index
+            .get(&(String::new(), n))
+            .cloned()
+            .unwrap_or_default();
+        let same_file: Vec<(usize, usize)> =
+            all.iter().copied().filter(|(f, _)| *f == fi).collect();
+        if !same_file.is_empty() {
+            same_file
+        } else if all.len() == 1 {
+            all
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+fn is_call_site(toks: &[Tok], i: usize) -> bool {
+    toks[i].kind == TokKind::Ident
+        && toks.get(i + 1).is_some_and(|t| t.is("("))
+        && !parser::is_keyword_call(&toks[i].text)
+        && !ACQUIRE_METHODS.contains(&toks[i].text.as_str())
+        && toks[i].text != "spawn"
+        && toks[i].text != "drop"
+}
+
+fn collect_facts(ctx: &Ctx, acqs: &[Acq]) -> BTreeMap<(usize, usize), Facts> {
+    let mut facts: BTreeMap<(usize, usize), Facts> = BTreeMap::new();
+    for a in acqs {
+        let Some(c) = &a.class else { continue };
+        let info = &ctx.infos[a.fi];
+        if in_any_spawn(&info.spawns, a.dot) {
+            continue; // runs on a spawned thread, not the enclosing fn
+        }
+        facts
+            .entry((a.fi, a.fnid))
+            .or_default()
+            .direct
+            .entry(c.clone())
+            .or_insert_with(|| (info.rel.clone(), a.line));
+    }
+    for (fi, info) in ctx.infos.iter().enumerate() {
+        if info.rel.ends_with("/lockdep.rs") {
+            continue;
+        }
+        let toks = &info.toks;
+        for (fnid, f) in info.ast.fns.iter().enumerate() {
+            let Some((open, close)) = f.body else { continue };
+            for i in open + 1..close {
+                if !is_call_site(toks, i) {
+                    continue;
+                }
+                if parser::enclosing_fn(&info.ast, i) != Some(fnid) {
+                    continue; // belongs to a nested fn
+                }
+                if in_any_spawn(&info.spawns, i) {
+                    continue;
+                }
+                let callees = resolve_call(ctx, fi, fnid, i);
+                if !callees.is_empty() {
+                    facts
+                        .entry((fi, fnid))
+                        .or_default()
+                        .calls
+                        .push((i, toks[i].line, callees));
+                }
+            }
+        }
+    }
+    facts
+}
+
+type May = BTreeMap<(usize, usize), BTreeMap<String, (String, usize)>>;
+
+fn fixpoint(facts: &BTreeMap<(usize, usize), Facts>) -> May {
+    let mut may: May = facts
+        .iter()
+        .map(|(k, f)| (*k, f.direct.clone()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (k, f) in facts {
+            let mut add: Vec<(String, (String, usize))> = Vec::new();
+            for (_, _, callees) in &f.calls {
+                for callee in callees {
+                    if let Some(set) = may.get(callee) {
+                        for (c, w) in set {
+                            add.push((c.clone(), w.clone()));
+                        }
+                    }
+                }
+            }
+            let entry = may.entry(*k).or_default();
+            for (c, w) in add {
+                if let std::collections::btree_map::Entry::Vacant(e) = entry.entry(c) {
+                    e.insert(w);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return may;
+        }
+    }
+}
+
+fn build_edges_and_blocking(
+    ctx: &Ctx,
+    files: &[SourceFile],
+    acqs: &[Acq],
+    facts: &BTreeMap<(usize, usize), Facts>,
+    may: &May,
+    graph: &mut StaticGraph,
+    violations: &mut Vec<Violation>,
+) {
+    // Blocking-op sites per file: (tok pos, line, op).
+    let mut blocking: BTreeMap<usize, Vec<(usize, usize, &'static str)>> = BTreeMap::new();
+    for (fi, info) in ctx.infos.iter().enumerate() {
+        if info.rel.ends_with("/lockdep.rs") {
+            continue;
+        }
+        let toks = &info.toks;
+        for j in 0..toks.len() {
+            let op = if toks[j].is_ident("sleep")
+                && j >= 2
+                && toks[j - 1].is("::")
+                && toks[j - 2].is_ident("thread")
+            {
+                Some("thread::sleep")
+            } else if toks[j].is_ident("retry_backoff") {
+                Some("retry_backoff")
+            } else if (toks[j].is_ident("hit") || toks[j].is_ident("observe"))
+                && j >= 2
+                && toks[j - 1].is(".")
+                && toks[j - 2].is_ident("fault")
+            {
+                Some("fault-site evaluation")
+            } else {
+                None
+            };
+            if let Some(op) = op {
+                blocking.entry(fi).or_default().push((j, toks[j].line, op));
+            }
+        }
+    }
+
+    let mut seen_blocking: BTreeSet<(String, usize, String, &'static str)> = BTreeSet::new();
+    for a in acqs {
+        let Some(held) = &a.class else { continue };
+        let info = &ctx.infos[a.fi];
+        // Direct nested acquisitions.
+        for b in acqs {
+            if b.fi != a.fi || b.dot <= a.after || b.dot >= a.scope_end {
+                continue;
+            }
+            if site_moved_to_thread(&info.spawns, a.after, b.dot) {
+                continue;
+            }
+            let Some(inner) = &b.class else { continue };
+            graph
+                .edges
+                .entry((held.clone(), inner.clone()))
+                .or_insert_with(|| EdgeProv {
+                    held_file: info.rel.clone(),
+                    held_line: a.line,
+                    acq_file: info.rel.clone(),
+                    acq_line: b.line,
+                    via: None,
+                });
+        }
+        // Call-derived edges.
+        if let Some(f) = facts.get(&(a.fi, a.fnid)) {
+            for (pos, line, callees) in &f.calls {
+                if *pos <= a.after || *pos >= a.scope_end {
+                    continue;
+                }
+                if site_moved_to_thread(&info.spawns, a.after, *pos) {
+                    continue;
+                }
+                for callee in callees {
+                    let Some(set) = may.get(callee) else { continue };
+                    let callee_name = &ctx.infos[callee.0].ast.fns[callee.1].name;
+                    for (inner, (wf, wl)) in set {
+                        graph
+                            .edges
+                            .entry((held.clone(), inner.clone()))
+                            .or_insert_with(|| EdgeProv {
+                                held_file: info.rel.clone(),
+                                held_line: a.line,
+                                acq_file: info.rel.clone(),
+                                acq_line: *line,
+                                via: Some(format!(
+                                    "via call to `{callee_name}`, lock taken at {wf}:{wl}"
+                                )),
+                            });
+                    }
+                }
+            }
+        }
+        // Pass 2: blocking operations inside the guard scope.
+        if let Some(sites) = blocking.get(&a.fi) {
+            for (pos, line, op) in sites {
+                if *pos <= a.after || *pos >= a.scope_end {
+                    continue;
+                }
+                if site_moved_to_thread(&info.spawns, a.after, *pos) {
+                    continue;
+                }
+                let key = (info.rel.clone(), *line, held.clone(), *op);
+                if !seen_blocking.insert(key) {
+                    continue;
+                }
+                let raw = files[a.fi]
+                    .lines
+                    .get(line - 1)
+                    .map(|l| l.raw.as_str())
+                    .unwrap_or("");
+                violations.push(violation(
+                    "guard-blocking",
+                    &info.rel,
+                    *line,
+                    format!(
+                        "{op} while a `{held}` guard is lexically held (acquired at {}:{}); \
+                         blocking with a lock held stalls every contender",
+                        info.rel, a.line
+                    ),
+                    raw,
+                ));
+            }
+        }
+    }
+
+    // Callback edges: a closure literal passed to a workspace fn runs
+    // with whatever that fn holds when it invokes the parameter — a
+    // higher-order call the name-based graph cannot see (the
+    // `MigrationMap::resolve_child` shape: shard guard held while the
+    // caller's `repoint` closure locks a TraversalShard). We
+    // over-approximate: every class the callee may acquire is assumed
+    // held around every class the closure argument acquires, directly
+    // or through its own resolved calls.
+    for ((fi, _), f) in facts {
+        let info = &ctx.infos[*fi];
+        let toks = &info.toks;
+        for (pos, line, callees) in &f.calls {
+            if callees.is_empty() {
+                continue;
+            }
+            let open = pos + 1;
+            let Some(close) = match_paren(toks, open) else { continue };
+            let Some(bar) = (open + 1..close).find(|&j| toks[j].is("|")) else {
+                continue;
+            };
+            // Classes acquired inside the closure argument.
+            let mut inner: BTreeMap<String, (String, usize)> = BTreeMap::new();
+            for a2 in acqs {
+                if a2.fi == *fi && a2.dot > bar && a2.dot < close {
+                    if let Some(c) = &a2.class {
+                        inner
+                            .entry(c.clone())
+                            .or_insert((info.rel.clone(), a2.line));
+                    }
+                }
+            }
+            for (pos2, _, callees2) in &f.calls {
+                if *pos2 <= bar || *pos2 >= close {
+                    continue;
+                }
+                for callee2 in callees2 {
+                    if let Some(set) = may.get(callee2) {
+                        for (c, w) in set {
+                            inner.entry(c.clone()).or_insert(w.clone());
+                        }
+                    }
+                }
+            }
+            if inner.is_empty() {
+                continue;
+            }
+            for callee in callees {
+                let Some(held_set) = may.get(callee) else { continue };
+                let callee_name = &ctx.infos[callee.0].ast.fns[callee.1].name;
+                for (held, (hf, hl)) in held_set {
+                    for (acq_class, (af, al)) in &inner {
+                        graph
+                            .edges
+                            .entry((held.clone(), acq_class.clone()))
+                            .or_insert_with(|| EdgeProv {
+                                held_file: hf.clone(),
+                                held_line: *hl,
+                                acq_file: af.clone(),
+                                acq_line: *al,
+                                via: Some(format!(
+                                    "via closure passed to `{callee_name}` at {}:{line}",
+                                    info.rel
+                                )),
+                            });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`, if any.
+fn match_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    if !toks.get(open)?.is("(") {
+        return None;
+    }
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is("(") {
+            depth += 1;
+        } else if t.is(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+fn cycle_findings(graph: &StaticGraph) -> Vec<Violation> {
+    // Adjacency without self-edges (same-class nesting is governed by
+    // the runtime order-key discipline, not the class graph).
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in graph.edges.keys() {
+        if a != b {
+            adj.entry(a).or_default().insert(b);
+        }
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    for &s in &nodes {
+        let mut path = vec![s];
+        let mut on: BTreeSet<&str> = [s].into();
+        dfs_cycles(s, s, &adj, &mut path, &mut on, &mut cycles);
+        if cycles.len() >= 50 {
+            break;
+        }
+    }
+    let mut out = Vec::new();
+    for cyc in cycles {
+        let sig = {
+            let mut s = cyc.join(" -> ");
+            s.push_str(" -> ");
+            s.push_str(&cyc[0]);
+            s
+        };
+        let mut msg = format!("static lock-order cycle: {sig}");
+        let mut first_edge: Option<&EdgeProv> = None;
+        for w in 0..cyc.len() {
+            let from = &cyc[w];
+            let to = &cyc[(w + 1) % cyc.len()];
+            if let Some(p) = graph.edges.get(&(from.clone(), to.clone())) {
+                if first_edge.is_none() {
+                    first_edge = Some(p);
+                }
+                msg.push_str(&format!(
+                    "\n    {from} -> {to}: {}:{} acquires {to} while {from} held since {}:{}{}",
+                    p.acq_file,
+                    p.acq_line,
+                    p.held_file,
+                    p.held_line,
+                    p.via
+                        .as_deref()
+                        .map(|v| format!(" ({v})"))
+                        .unwrap_or_default()
+                ));
+            }
+        }
+        let (file, line) = first_edge
+            .map(|p| (p.acq_file.clone(), p.acq_line))
+            .unwrap_or_default();
+        let mut v = violation("lock-graph", &file, line, msg, "");
+        v.excerpt = sig;
+        out.push(v);
+    }
+    out
+}
+
+fn dfs_cycles<'g>(
+    v: &'g str,
+    start: &'g str,
+    adj: &BTreeMap<&'g str, BTreeSet<&'g str>>,
+    path: &mut Vec<&'g str>,
+    on: &mut BTreeSet<&'g str>,
+    cycles: &mut Vec<Vec<String>>,
+) {
+    if cycles.len() >= 50 || path.len() > 8 {
+        return;
+    }
+    let Some(next) = adj.get(v) else { return };
+    for &w in next {
+        if w == start {
+            cycles.push(path.iter().map(|s| s.to_string()).collect());
+        } else if w > start && !on.contains(w) {
+            path.push(w);
+            on.insert(w);
+            dfs_cycles(w, start, adj, path, on, cycles);
+            path.pop();
+            on.remove(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::preprocess;
+
+    fn run(srcs: &[(&str, &str)]) -> Analysis {
+        let files: Vec<SourceFile> = srcs.iter().map(|(rel, text)| preprocess(rel, text)).collect();
+        analyze(&files)
+    }
+
+    const ABBA: &str = r#"
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+impl Pair {
+    pub fn new() -> Self {
+        Pair {
+            a: Mutex::new(LockClass::TestA, 0, 0u32),
+            b: Mutex::new(LockClass::TestB, 0, 0u32),
+        }
+    }
+    pub fn ab(&self) {
+        let g = self.a.lock();
+        *self.b.lock() += *g;
+    }
+    pub fn ba(&self) {
+        let g = self.b.lock();
+        *self.a.lock() += *g;
+    }
+}
+"#;
+
+    #[test]
+    fn abba_cycle_is_reported_with_both_edges() {
+        let an = run(&[("crates/x/src/pair.rs", ABBA)]);
+        assert!(an.graph.has("TestA", "TestB"));
+        assert!(an.graph.has("TestB", "TestA"));
+        let cyc: Vec<&Violation> = an
+            .violations
+            .iter()
+            .filter(|v| v.rule == "lock-graph")
+            .collect();
+        assert_eq!(cyc.len(), 1, "one canonical cycle: {:?}", an.violations);
+        assert!(cyc[0].message.contains("TestA -> TestB -> TestA"));
+        assert!(cyc[0].message.contains("pair.rs:15"), "{}", cyc[0].message);
+        assert!(cyc[0].message.contains("pair.rs:19"), "{}", cyc[0].message);
+    }
+
+    #[test]
+    fn one_direction_only_is_clean() {
+        let src = r#"
+pub struct Pair { a: Mutex<u32>, b: Mutex<u32> }
+impl Pair {
+    pub fn new() -> Self {
+        Pair { a: Mutex::new(LockClass::TestA, 0, 0u32), b: Mutex::new(LockClass::TestB, 0, 0u32) }
+    }
+    pub fn ab(&self) {
+        let g = self.a.lock();
+        *self.b.lock() += *g;
+    }
+    pub fn ab2(&self) {
+        let g = self.a.lock();
+        *self.b.lock() += *g;
+    }
+}
+"#;
+        let an = run(&[("crates/x/src/pair.rs", src)]);
+        assert!(an.graph.has("TestA", "TestB"));
+        assert!(!an.graph.has("TestB", "TestA"));
+        assert!(an.violations.iter().all(|v| v.rule != "lock-graph"));
+    }
+
+    #[test]
+    fn call_graph_propagates_held_sets() {
+        let src = r#"
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    pub fn new() -> Self {
+        S { a: Mutex::new(LockClass::TestA, 0, 0u32), b: Mutex::new(LockClass::TestB, 0, 0u32) }
+    }
+    fn deep(&self) -> u32 {
+        *self.b.lock()
+    }
+    pub fn outer(&self) -> u32 {
+        let g = self.a.lock();
+        *g + self.deep()
+    }
+}
+"#;
+        let an = run(&[("crates/x/src/s.rs", src)]);
+        let p = an
+            .graph
+            .edges
+            .get(&("TestA".to_string(), "TestB".to_string()))
+            .expect("call-derived edge");
+        assert!(p.via.is_some(), "edge should be call-derived: {p:?}");
+    }
+
+    #[test]
+    fn drop_ends_a_guard_scope() {
+        let src = r#"
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    pub fn new() -> Self {
+        S { a: Mutex::new(LockClass::TestA, 0, 0u32), b: Mutex::new(LockClass::TestB, 0, 0u32) }
+    }
+    pub fn disjoint(&self) {
+        let g = self.a.lock();
+        let x = *g;
+        drop(g);
+        *self.b.lock() += x;
+    }
+}
+"#;
+        let an = run(&[("crates/x/src/s.rs", src)]);
+        assert!(!an.graph.has("TestA", "TestB"), "{:?}", an.graph.edges);
+    }
+
+    #[test]
+    fn spawned_closures_do_not_inherit_held_guards() {
+        let src = r#"
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    pub fn new() -> Self {
+        S { a: Mutex::new(LockClass::TestA, 0, 0u32), b: Mutex::new(LockClass::TestB, 0, 0u32) }
+    }
+    pub fn go(&self) {
+        let g = self.a.lock();
+        std::thread::spawn(move || {
+            let _h = self.b.lock();
+        });
+        let _ = *g;
+    }
+}
+"#;
+        let an = run(&[("crates/x/src/s.rs", src)]);
+        assert!(!an.graph.has("TestA", "TestB"), "{:?}", an.graph.edges);
+    }
+
+    #[test]
+    fn accessor_fn_resolves_to_its_field_class() {
+        let src = r#"
+pub struct Map { shards: Vec<Mutex<u32>> }
+impl Map {
+    pub fn new() -> Self {
+        Map { shards: (0..4).map(|i| Mutex::new(LockClass::TestA, i as u64, 0u32)).collect() }
+    }
+    fn shard(&self, k: usize) -> &Mutex<u32> {
+        &self.shards[k % 4]
+    }
+    pub fn bump(&self, k: usize, other: &Mutex<u32>) {
+        let g = self.shard(k).lock();
+        let _ = *g;
+    }
+}
+"#;
+        let an = run(&[("crates/x/src/map.rs", src)]);
+        // The accessor chain must resolve: no unresolved sites.
+        assert!(
+            an.debug.iter().all(|d| !d.contains("unresolved")),
+            "{:?}",
+            an.debug
+        );
+    }
+
+    #[test]
+    fn guard_blocking_flags_sleep_under_guard() {
+        let src = r#"
+pub struct S { a: Mutex<u32> }
+impl S {
+    pub fn new() -> Self {
+        S { a: Mutex::new(LockClass::TestA, 0, 0u32) }
+    }
+    pub fn bad(&self) {
+        let g = self.a.lock();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let _ = *g;
+    }
+    pub fn fine(&self) {
+        {
+            let g = self.a.lock();
+            let _ = *g;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+"#;
+        let an = run(&[("crates/x/src/s.rs", src)]);
+        let hits: Vec<&Violation> = an
+            .violations
+            .iter()
+            .filter(|v| v.rule == "guard-blocking")
+            .collect();
+        assert_eq!(hits.len(), 1, "{:?}", an.violations);
+        assert_eq!(hits[0].line, 9);
+        assert!(hits[0].message.contains("TestA"));
+    }
+
+    #[test]
+    fn for_loop_over_classed_shards_binds_the_element() {
+        let src = r#"
+pub struct Map { shards: Vec<Mutex<u32>> }
+impl Map {
+    pub fn new() -> Self {
+        Map { shards: (0..4).map(|i| Mutex::new(LockClass::TestA, i as u64, 0u32)).collect() }
+    }
+    pub fn total(&self) -> u32 {
+        let mut t = 0;
+        for shard in &self.shards {
+            t += *shard.lock();
+        }
+        t
+    }
+}
+"#;
+        let an = run(&[("crates/x/src/map.rs", src)]);
+        assert!(
+            an.debug.iter().all(|d| !d.contains("unresolved")),
+            "{:?}",
+            an.debug
+        );
+    }
+}

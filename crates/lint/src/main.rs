@@ -1,1195 +1,71 @@
-//! Static lint pass over the substrate (DESIGN.md §11).
+//! CI driver: run every pass over the workspace, report through the
+//! baseline, and enforce the wall-clock budget.
 //!
-//! `cargo run -p lint` walks the workspace's own `.rs` sources — skipping
-//! `shims/`, `target/`, and this crate (whose sources carry the rule
-//! patterns as data) — classifies every line (test region, doc comment,
-//! code with comments stripped), and enforces six repo rules:
-//!
-//! | Rule id | What it forbids |
-//! |---|---|
-//! | `sleep` | `thread::sleep` outside `RetryPolicy` and test code |
-//! | `unwrap` | `.unwrap()` / `.expect(` in `crates/brahma` + `crates/ira` non-test code |
-//! | `obs-doc` | drift between obs counter keys set in code and the DESIGN.md §8 table |
-//! | `fault-site` | fault-site string literals missing from the `site` catalogs, and catalog consts missing from their `ALL` list |
-//! | `deprecated-reorg` | any definition or call of the removed free reorg entry points |
-//! | `raw-parking-lot` | direct `parking_lot` primitives in `brahma`/`ira` outside `lockdep.rs` |
-//!
-//! Pre-existing debt is frozen in `lint-baseline.toml` at the repo root:
-//! a violation matching a baseline entry (same rule, same file, line
-//! containing the entry's `pattern`) is waived; anything else fails the
-//! run with a `file:line` diagnostic. Burning down an entry means fixing
-//! the code and deleting the entry — unused entries are reported so the
-//! baseline can only shrink.
+//! Environment:
+//! - `LINT_BUDGET_MS` — fail if the analysis takes longer than this
+//!   (ci.sh sets 5000; the budget is measured inside the binary so
+//!   compile time does not count).
+//! - `LINT_DEBUG=1` — dump the static lock graph and resolution
+//!   diagnostics (unresolved receivers) to stderr.
 
-use std::collections::{BTreeMap, BTreeSet};
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
-
-// ---------------------------------------------------------------------------
-// Line-oriented source model
-// ---------------------------------------------------------------------------
-
-/// One source line, pre-classified for the rules.
-#[derive(Debug)]
-struct Line {
-    /// The raw text, for diagnostics and baseline pattern matching.
-    raw: String,
-    /// The raw text with comments removed (string literal contents are
-    /// kept — several rules match keys inside them).
-    code: String,
-    /// Inside a `#[cfg(test)]` item, or in a file under a `tests/` dir.
-    test: bool,
-    /// A `///` or `//!` doc-comment line (doc examples are not real code).
-    doc: bool,
-}
-
-#[derive(Debug)]
-struct SourceFile {
-    /// Path relative to the repo root, `/`-separated.
-    rel: String,
-    lines: Vec<Line>,
-}
-
-impl SourceFile {
-    /// Lines a code rule should look at: 1-based number + line, excluding
-    /// test regions and doc comments.
-    fn code_lines(&self) -> impl Iterator<Item = (usize, &Line)> {
-        self.lines
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| !l.test && !l.doc)
-            .map(|(i, l)| (i + 1, l))
-    }
-}
-
-/// Lexer state carried across lines (strings and block comments span
-/// lines; a trailing `\` keeps a normal string open).
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum LexState {
-    Code,
-    Str,
-    /// Raw string with this many `#`s in its delimiter.
-    RawStr(usize),
-    BlockComment,
-}
-
-/// Scan one line: append everything that is not a comment to `code`,
-/// count braces that appear outside strings and comments into `depth`,
-/// and return the state to carry into the next line.
-fn scan_line(line: &str, state: LexState, code: &mut String, depth: &mut i64) -> LexState {
-    let b = line.as_bytes();
-    let mut st = state;
-    let mut i = 0;
-    while i < b.len() {
-        match st {
-            LexState::BlockComment => {
-                if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
-                    st = LexState::Code;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-            LexState::Str => {
-                if b[i] == b'\\' {
-                    if let Some(&c) = b.get(i + 1) {
-                        code.push(c as char);
-                    }
-                    code.push('\\');
-                    i += 2;
-                } else {
-                    if b[i] == b'"' {
-                        st = LexState::Code;
-                    }
-                    code.push(b[i] as char);
-                    i += 1;
-                }
-            }
-            LexState::RawStr(hashes) => {
-                if b[i] == b'"' && b[i + 1..].iter().take_while(|&&c| c == b'#').count() >= hashes
-                {
-                    for &c in &b[i..=i + hashes] {
-                        code.push(c as char);
-                    }
-                    st = LexState::Code;
-                    i += 1 + hashes;
-                } else {
-                    code.push(b[i] as char);
-                    i += 1;
-                }
-            }
-            LexState::Code => {
-                let c = b[i];
-                if c == b'/' && b.get(i + 1) == Some(&b'/') {
-                    break; // line comment: drop the rest of the line
-                }
-                if c == b'/' && b.get(i + 1) == Some(&b'*') {
-                    st = LexState::BlockComment;
-                    i += 2;
-                    continue;
-                }
-                if c == b'r' || c == b'b' {
-                    // Possible raw-string opener r"…", r#"…"#, br"…".
-                    let mut j = i + 1;
-                    if c == b'b' && b.get(j) == Some(&b'r') {
-                        j += 1;
-                    }
-                    let hashes = b[j..].iter().take_while(|&&x| x == b'#').count();
-                    if b.get(j + hashes) == Some(&b'"') {
-                        for &x in &b[i..=j + hashes] {
-                            code.push(x as char);
-                        }
-                        st = LexState::RawStr(hashes);
-                        i = j + hashes + 1;
-                        continue;
-                    }
-                }
-                if c == b'"' {
-                    st = LexState::Str;
-                    code.push('"');
-                    i += 1;
-                    continue;
-                }
-                if c == b'\'' {
-                    // Char literal ('x', '\n', '\'') vs lifetime ('a in
-                    // <'a>). A literal closes within a few bytes; copy it
-                    // whole so a '{' char cannot skew the brace depth.
-                    if b.get(i + 1) == Some(&b'\\') {
-                        let end = b[i + 2..].iter().position(|&x| x == b'\'');
-                        if let Some(off) = end {
-                            for &x in &b[i..=i + 2 + off] {
-                                code.push(x as char);
-                            }
-                            i += 3 + off;
-                            continue;
-                        }
-                    } else if b.get(i + 2) == Some(&b'\'') {
-                        for &x in &b[i..i + 3] {
-                            code.push(x as char);
-                        }
-                        i += 3;
-                        continue;
-                    }
-                    code.push('\'');
-                    i += 1;
-                    continue;
-                }
-                if c == b'{' {
-                    *depth += 1;
-                } else if c == b'}' {
-                    *depth -= 1;
-                }
-                code.push(c as char);
-                i += 1;
-            }
-        }
-    }
-    st
-}
-
-/// Classify a whole file: strip comments, track `#[cfg(test)]` brace
-/// regions, flag doc-comment lines.
-fn preprocess(rel: &str, text: &str) -> SourceFile {
-    let whole_file_test = rel.starts_with("tests/") || rel.contains("/tests/");
-    let mut lines = Vec::new();
-    let mut st = LexState::Code;
-    let mut depth: i64 = 0;
-    // Brace depths at which a `#[cfg(test)]` item opened a region.
-    let mut test_regions: Vec<i64> = Vec::new();
-    let mut pending_cfg_test = false;
-
-    for raw in text.lines() {
-        let depth_before = depth;
-        let st_before = st;
-        let mut code = String::new();
-        st = scan_line(raw, st, &mut code, &mut depth);
-
-        let trimmed_raw = raw.trim_start();
-        let doc = st_before == LexState::Code
-            && (trimmed_raw.starts_with("///") || trimmed_raw.starts_with("//!"));
-
-        let trimmed = code.trim();
-        if !trimmed.is_empty() {
-            if trimmed.contains("#[cfg(test)]") {
-                pending_cfg_test = true;
-            } else if pending_cfg_test && !trimmed.starts_with("#[") {
-                if depth > depth_before {
-                    // The gated item opens a brace region (mod/fn/impl).
-                    test_regions.push(depth_before);
-                    pending_cfg_test = false;
-                } else if trimmed.ends_with(';') {
-                    // Braceless gated item (`use …;`): just this line.
-                    pending_cfg_test = false;
-                }
-            }
-        }
-        let test = whole_file_test || !test_regions.is_empty() || pending_cfg_test;
-        while let Some(&d) = test_regions.last() {
-            if depth <= d && depth < depth_before {
-                test_regions.pop();
-            } else {
-                break;
-            }
-        }
-
-        lines.push(Line {
-            raw: raw.to_string(),
-            code,
-            test,
-            doc,
-        });
-    }
-    SourceFile {
-        rel: rel.to_string(),
-        lines,
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Workspace walking
-// ---------------------------------------------------------------------------
-
-fn repo_root() -> PathBuf {
-    // crates/lint/ → repo root is two levels up from this manifest.
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
-}
-
-fn collect_paths(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        if path.is_dir() {
-            if name == "target" || name == "shims" || path.ends_with("crates/lint") {
-                continue;
-            }
-            collect_paths(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-fn load_sources(root: &Path) -> Vec<SourceFile> {
-    let mut paths = Vec::new();
-    for top in ["crates", "src", "tests", "examples"] {
-        collect_paths(&root.join(top), &mut paths);
-    }
-    paths.sort();
-    paths
-        .iter()
-        .map(|p| {
-            let rel = p
-                .strip_prefix(root)
-                .unwrap_or(p)
-                .to_string_lossy()
-                .replace('\\', "/");
-            let text = fs::read_to_string(p).unwrap_or_default();
-            preprocess(&rel, &text)
-        })
-        .collect()
-}
-
-// ---------------------------------------------------------------------------
-// Violations and the baseline
-// ---------------------------------------------------------------------------
-
-#[derive(Debug)]
-struct Violation {
-    rule: &'static str,
-    file: String,
-    line: usize,
-    message: String,
-    /// The offending line text, matched against baseline `pattern`s.
-    excerpt: String,
-}
-
-fn violation(
-    rule: &'static str,
-    file: &str,
-    line: usize,
-    message: String,
-    excerpt: &str,
-) -> Violation {
-    Violation {
-        rule,
-        file: file.to_string(),
-        line,
-        message,
-        excerpt: excerpt.trim().to_string(),
-    }
-}
-
-/// One `[[allow]]` entry of `lint-baseline.toml`.
-#[derive(Debug, Default, Clone)]
-struct AllowEntry {
-    rule: String,
-    file: String,
-    /// Substring of the offending line; empty waives the whole file for
-    /// this rule.
-    pattern: String,
-    reason: String,
-    toml_line: usize,
-}
-
-struct Baseline {
-    entries: Vec<AllowEntry>,
-    used: Vec<bool>,
-}
-
-impl Baseline {
-    fn parse(text: &str) -> Result<Baseline, String> {
-        let mut entries: Vec<AllowEntry> = Vec::new();
-        let mut current: Option<AllowEntry> = None;
-        for (idx, raw) in text.lines().enumerate() {
-            let line = raw.trim();
-            let line_no = idx + 1;
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            if line == "[[allow]]" {
-                if let Some(entry) = current.take() {
-                    entries.push(Self::finish(entry)?);
-                }
-                current = Some(AllowEntry {
-                    toml_line: line_no,
-                    ..AllowEntry::default()
-                });
-                continue;
-            }
-            let Some(entry) = current.as_mut() else {
-                return Err(format!(
-                    "lint-baseline.toml:{line_no}: key outside an [[allow]] section"
-                ));
-            };
-            let Some((key, value)) = line.split_once('=') else {
-                return Err(format!("lint-baseline.toml:{line_no}: expected `key = \"value\"`"));
-            };
-            let value = value.trim();
-            let Some(value) = value
-                .strip_prefix('"')
-                .and_then(|v| v.strip_suffix('"'))
-            else {
-                return Err(format!(
-                    "lint-baseline.toml:{line_no}: value must be double-quoted"
-                ));
-            };
-            let value = value.replace("\\\"", "\"");
-            match key.trim() {
-                "rule" => entry.rule = value,
-                "file" => entry.file = value,
-                "pattern" => entry.pattern = value,
-                "reason" => entry.reason = value,
-                other => {
-                    return Err(format!(
-                        "lint-baseline.toml:{line_no}: unknown key `{other}`"
-                    ));
-                }
-            }
-        }
-        if let Some(entry) = current.take() {
-            entries.push(Self::finish(entry)?);
-        }
-        let used = vec![false; entries.len()];
-        Ok(Baseline { entries, used })
-    }
-
-    fn finish(entry: AllowEntry) -> Result<AllowEntry, String> {
-        if entry.rule.is_empty() || entry.file.is_empty() || entry.reason.is_empty() {
-            return Err(format!(
-                "lint-baseline.toml:{}: [[allow]] needs non-empty `rule`, `file`, and `reason`",
-                entry.toml_line
-            ));
-        }
-        Ok(entry)
-    }
-
-    /// Waive `v` if a matching entry exists; marks the entry used.
-    fn waives(&mut self, v: &Violation) -> bool {
-        for (entry, used) in self.entries.iter().zip(self.used.iter_mut()) {
-            if entry.rule == v.rule
-                && entry.file == v.file
-                && (entry.pattern.is_empty() || v.excerpt.contains(&entry.pattern))
-            {
-                *used = true;
-                return true;
-            }
-        }
-        false
-    }
-
-    fn unused(&self) -> impl Iterator<Item = &AllowEntry> {
-        self.entries
-            .iter()
-            .zip(self.used.iter())
-            .filter(|(_, &used)| !used)
-            .map(|(e, _)| e)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: sleep
-// ---------------------------------------------------------------------------
-
-/// `thread::sleep` in non-test code parks a thread the scheduler knows
-/// nothing about; only `RetryPolicy`'s backoff may sleep.
-fn rule_sleep(files: &[SourceFile]) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for f in files {
-        if f.rel == "crates/brahma/src/retry.rs" {
-            continue;
-        }
-        for (no, line) in f.code_lines() {
-            if line.code.contains("thread::sleep") {
-                out.push(violation(
-                    "sleep",
-                    &f.rel,
-                    no,
-                    "thread::sleep outside RetryPolicy/test code (use RetryPolicy backoff or a Condvar wait)"
-                        .to_string(),
-                    &line.raw,
-                ));
-            }
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Rule: unwrap
-// ---------------------------------------------------------------------------
-
-/// Substrate code must surface failures as `Error` values, not panics.
-fn rule_unwrap(files: &[SourceFile]) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for f in files {
-        if !(f.rel.starts_with("crates/brahma/src") || f.rel.starts_with("crates/ira/src")) {
-            continue;
-        }
-        for (no, line) in f.code_lines() {
-            for pat in [".unwrap()", ".expect("] {
-                if line.code.contains(pat) {
-                    out.push(violation(
-                        "unwrap",
-                        &f.rel,
-                        no,
-                        format!("`{pat}` in substrate non-test code (return an Error, or baseline with a documented invariant)"),
-                        &line.raw,
-                    ));
-                }
-            }
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Rule: obs-doc
-// ---------------------------------------------------------------------------
-
-/// Pull every string literal that directly follows `pat` on the line.
-fn literals_after<'a>(code: &'a str, pat: &str) -> Vec<&'a str> {
-    let mut out = Vec::new();
-    let mut rest = code;
-    while let Some(idx) = rest.find(pat) {
-        let tail = &rest[idx + pat.len()..];
-        if let Some(end) = tail.find('"') {
-            out.push(&tail[..end]);
-            rest = &tail[end..];
-        } else {
-            break;
-        }
-    }
-    out
-}
-
-/// `format!("fault.fired.{site}")` templates → the §8 placeholder
-/// spelling `fault.fired.<site>`.
-fn normalize_template(key: &str) -> String {
-    key.replace('{', "<").replace('}', ">")
-}
-
-/// Expand one §8 key cell: `` `lock.wait_us_sum` / `wait_us_max` `` means
-/// both keys share the first key's `lock.` prefix.
-fn expand_key_cell(cell: &str) -> Vec<String> {
-    let keys: Vec<&str> = cell
-        .split('`')
-        .enumerate()
-        .filter(|(i, _)| i % 2 == 1)
-        .map(|(_, k)| k)
-        .collect();
-    let prefix = keys
-        .first()
-        .and_then(|k| k.find('.').map(|i| k[..=i].to_string()))
-        .unwrap_or_default();
-    keys.iter()
-        .enumerate()
-        .map(|(i, k)| {
-            if i == 0 || k.contains('.') {
-                (*k).to_string()
-            } else {
-                format!("{prefix}{k}")
-            }
-        })
-        .collect()
-}
-
-/// Keys documented in the DESIGN.md §8 table, with their line numbers.
-fn design_section8_keys(design: &str) -> BTreeMap<String, usize> {
-    let mut keys = BTreeMap::new();
-    let mut in_section8 = false;
-    for (idx, raw) in design.lines().enumerate() {
-        if raw.starts_with("## ") {
-            in_section8 = raw.starts_with("## 8");
-            continue;
-        }
-        if !in_section8 {
-            continue;
-        }
-        let trimmed = raw.trim();
-        if !trimmed.starts_with("| `") {
-            continue;
-        }
-        let Some(cell) = trimmed.split('|').nth(1) else {
-            continue;
-        };
-        for key in expand_key_cell(cell) {
-            keys.entry(key).or_insert(idx + 1);
-        }
-    }
-    keys
-}
-
-/// Counter keys set in non-test code, with one representative site each.
-/// Works over the file's joined code text so a `.set(` whose key literal
-/// sits on the next line (rustfmt wraps long calls) is still found.
-fn code_obs_keys(files: &[SourceFile]) -> BTreeMap<String, (String, usize)> {
-    let mut keys = BTreeMap::new();
-    for f in files {
-        let mut joined = String::new();
-        for line in &f.lines {
-            if !line.test && !line.doc {
-                joined.push_str(&line.code);
-            }
-            joined.push('\n');
-        }
-        let mut pos = 0;
-        while let Some(idx) = joined[pos..].find(".set(") {
-            let after = pos + idx + ".set(".len();
-            let mut key_src = joined[after..].trim_start();
-            let mut template = false;
-            if let Some(rest) = key_src.strip_prefix("&format!(") {
-                key_src = rest.trim_start();
-                template = true;
-            }
-            if let Some(rest) = key_src.strip_prefix('"') {
-                if let Some(end) = rest.find('"') {
-                    let key = if template {
-                        normalize_template(&rest[..end])
-                    } else {
-                        rest[..end].to_string()
-                    };
-                    let line_no = joined[..after].matches('\n').count() + 1;
-                    keys.entry(key).or_insert((f.rel.clone(), line_no));
-                }
-            }
-            pos = after;
-        }
-    }
-    keys
-}
-
-/// Every counter key set in code must appear in the §8 table, and every
-/// documented key must still be set somewhere (no dead rows).
-fn rule_obs_doc(files: &[SourceFile], design: &str) -> Vec<Violation> {
-    let documented = design_section8_keys(design);
-    let in_code = code_obs_keys(files);
-    let mut out = Vec::new();
-    for (key, (file, line)) in &in_code {
-        if !documented.contains_key(key) {
-            out.push(violation(
-                "obs-doc",
-                file,
-                *line,
-                format!("counter key `{key}` is set here but missing from the DESIGN.md \u{a7}8 table"),
-                key,
-            ));
-        }
-    }
-    for (key, line) in &documented {
-        if !in_code.contains_key(key) {
-            out.push(violation(
-                "obs-doc",
-                "DESIGN.md",
-                *line,
-                format!("documented counter key `{key}` is never set in code (dead row)"),
-                key,
-            ));
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Rule: fault-site
-// ---------------------------------------------------------------------------
-
-/// The two files whose `pub mod site` blocks form the fault-site catalog.
-const SITE_CATALOG_FILES: [&str; 2] = ["crates/brahma/src/fault.rs", "crates/ira/src/chaos.rs"];
-
-#[derive(Debug)]
-struct SiteConst {
-    name: String,
-    value: String,
-    file: String,
-    line: usize,
-}
-
-/// `pub const NAME: &str = "dotted.value";` declarations in a catalog file.
-fn catalog_consts(f: &SourceFile) -> Vec<SiteConst> {
-    let mut out = Vec::new();
-    for (no, line) in f.code_lines() {
-        let Some(idx) = line.code.find("pub const ") else {
-            continue;
-        };
-        let tail = &line.code[idx + "pub const ".len()..];
-        let Some((name, rest)) = tail.split_once(':') else {
-            continue;
-        };
-        let rest = rest.trim_start();
-        let Some(rest) = rest.strip_prefix("&str") else {
-            continue;
-        };
-        let Some(value) = literals_after(rest, "\"").first().copied() else {
-            continue;
-        };
-        out.push(SiteConst {
-            name: name.trim().to_string(),
-            value: value.to_string(),
-            file: f.rel.clone(),
-            line: no,
-        });
-    }
-    out
-}
-
-/// The identifiers listed in a catalog file's sweep arrays: every
-/// `…ALL: &[&str] = &[…];` declaration (e.g. `ALL` and `FILE_ALL`),
-/// concatenated — the caller only tokenizes this text.
-fn catalog_all_list(f: &SourceFile) -> String {
-    let mut collecting = false;
-    let mut text = String::new();
-    for (_, line) in f.code_lines() {
-        if !collecting {
-            if let Some(idx) = line.code.find("ALL: &[&str]") {
-                let tail = &line.code[idx..];
-                text.push_str(tail);
-                text.push(' ');
-                collecting = !tail.contains("];");
-            }
-        } else {
-            text.push_str(&line.code);
-            text.push(' ');
-            collecting = !line.code.contains("];");
-        }
-    }
-    text
-}
-
-/// Fault-site literals must come from the catalog; every catalog const
-/// must be swept (listed in its module's `ALL`).
-fn rule_fault_site(files: &[SourceFile]) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let mut registered: BTreeSet<String> = BTreeSet::new();
-    for f in files {
-        if !SITE_CATALOG_FILES.contains(&f.rel.as_str()) {
-            continue;
-        }
-        let consts = catalog_consts(f);
-        let all = catalog_all_list(f);
-        for c in &consts {
-            registered.insert(c.value.clone());
-            let listed = all
-                .split(|ch: char| !(ch.is_alphanumeric() || ch == '_'))
-                .any(|tok| tok == c.name);
-            if !listed {
-                out.push(violation(
-                    "fault-site",
-                    &c.file,
-                    c.line,
-                    format!(
-                        "site const `{}` (\"{}\") is not listed in its module's `ALL` sweep array",
-                        c.name, c.value
-                    ),
-                    &c.name,
-                ));
-            }
-        }
-    }
-    for f in files {
-        for (no, line) in f.code_lines() {
-            for pat in [".observe(\"", "site: \""] {
-                for lit in literals_after(&line.code, pat) {
-                    if !registered.contains(lit) {
-                        out.push(violation(
-                            "fault-site",
-                            &f.rel,
-                            no,
-                            format!(
-                                "fault-site literal \"{lit}\" is not registered in a `site` catalog (use the catalog const)"
-                            ),
-                            &line.raw,
-                        ));
-                    }
-                }
-            }
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Rule: deprecated-reorg
-// ---------------------------------------------------------------------------
-
-/// The free reorg entry points removed when the `Reorg` builder became the
-/// only public way in. The rule bans them outright — definitions and calls
-/// alike — so they cannot grow back under the same names.
-const BANNED_REORG_FNS: [&str; 5] = [
-    "incremental_reorganize",
-    "partition_quiesce_reorganize",
-    "partition_quiesce_reorganize_with",
-    "offline_reorganize",
-    "resume_reorganization",
-];
-
-/// True when `code` defines `fn <name>`.
-fn defines_fn(code: &str, name: &str) -> bool {
-    code.find("fn ").is_some_and(|idx| {
-        let tail = &code[idx + 3..];
-        tail.starts_with(name)
-            && !tail[name.len()..]
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_')
-    })
-}
-
-/// True when `code` calls `name(` as a standalone identifier.
-fn calls_fn(code: &str, name: &str) -> bool {
-    let mut rest = code;
-    while let Some(idx) = rest.find(name) {
-        let before_ok = rest[..idx]
-            .chars()
-            .next_back()
-            .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
-        let after = &rest[idx + name.len()..];
-        if before_ok && after.starts_with('(') {
-            return true;
-        }
-        rest = &rest[idx + name.len()..];
-    }
-    false
-}
-
-/// The free reorg entry points were removed in favor of the `Reorg`
-/// builder. Any definition or call under the old names — anywhere in the
-/// workspace — is a violation; there is no exempt defining file anymore.
-fn rule_deprecated(files: &[SourceFile]) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for f in files {
-        for (no, line) in f.code_lines() {
-            for name in BANNED_REORG_FNS {
-                if defines_fn(&line.code, name) {
-                    out.push(violation(
-                        "deprecated-reorg",
-                        &f.rel,
-                        no,
-                        format!("reintroduces removed `{name}` (use the Reorg builder)"),
-                        &line.raw,
-                    ));
-                } else if calls_fn(&line.code, name) {
-                    out.push(violation(
-                        "deprecated-reorg",
-                        &f.rel,
-                        no,
-                        format!("call to removed `{name}` (use the Reorg builder)"),
-                        &line.raw,
-                    ));
-                }
-            }
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Rule: raw-parking-lot
-// ---------------------------------------------------------------------------
-
-/// All substrate locking must flow through the `lockdep`-instrumented
-/// wrappers, or lock-order checking silently loses coverage.
-fn rule_parking_lot(files: &[SourceFile]) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for f in files {
-        if !(f.rel.starts_with("crates/brahma/src") || f.rel.starts_with("crates/ira/src")) {
-            continue;
-        }
-        if f.rel == "crates/brahma/src/lockdep.rs" {
-            continue; // the instrumentation layer itself
-        }
-        for (no, line) in f.code_lines() {
-            if line.code.contains("parking_lot") {
-                out.push(violation(
-                    "raw-parking-lot",
-                    &f.rel,
-                    no,
-                    "direct parking_lot primitive outside the lockdep wrappers (use brahma::lockdep::{Mutex, RwLock, Condvar})"
-                        .to_string(),
-                    &line.raw,
-                ));
-            }
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
-
-fn run_all_rules(files: &[SourceFile], design: &str) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    violations.extend(rule_sleep(files));
-    violations.extend(rule_unwrap(files));
-    violations.extend(rule_obs_doc(files, design));
-    violations.extend(rule_fault_site(files));
-    violations.extend(rule_deprecated(files));
-    violations.extend(rule_parking_lot(files));
-    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    violations
-}
+use std::time::Instant;
 
 fn main() -> ExitCode {
-    let root = repo_root();
-    let files = load_sources(&root);
-    if files.is_empty() {
-        eprintln!("lint: no sources found under {}", root.display());
-        return ExitCode::FAILURE;
-    }
-    let design = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
-    let baseline_text = fs::read_to_string(root.join("lint-baseline.toml")).unwrap_or_default();
-    let mut baseline = match Baseline::parse(&baseline_text) {
-        Ok(b) => b,
+    let start = Instant::now();
+    let root: PathBuf = lint::source::repo_root();
+
+    let result = match lint::run(&root) {
+        Ok(r) => r,
         Err(e) => {
-            eprintln!("lint: {e}");
+            eprintln!("lint: error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let elapsed_ms = start.elapsed().as_millis();
 
-    let violations = run_all_rules(&files, &design);
-    let mut fresh = 0usize;
-    let mut waived = 0usize;
-    for v in &violations {
-        if baseline.waives(v) {
-            waived += 1;
-        } else {
-            println!("lint: {}: {}:{}: {}", v.rule, v.file, v.line, v.message);
-            fresh += 1;
+    if std::env::var("LINT_DEBUG").is_ok() {
+        for line in &result.debug {
+            eprintln!("lint[debug]: {line}");
         }
     }
-    for entry in baseline.unused() {
-        eprintln!(
-            "lint: warning: unused baseline entry (lint-baseline.toml:{}) rule={} file={} — debt paid down, delete it",
+
+    let mut failed = false;
+    for v in &result.violations {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        failed = true;
+    }
+    for entry in &result.unused {
+        println!(
+            "lint-baseline.toml:{}: unused [[allow]] entry (rule `{}`, file `{}`): remove it",
             entry.toml_line, entry.rule, entry.file
         );
+        failed = true;
     }
-    println!(
-        "lint: {} files, {} violations ({} baselined, {} new)",
-        files.len(),
-        violations.len(),
-        waived,
-        fresh
-    );
-    if fresh > 0 {
+
+    if let Ok(budget) = std::env::var("LINT_BUDGET_MS") {
+        if let Ok(budget_ms) = budget.parse::<u128>() {
+            if elapsed_ms > budget_ms {
+                println!("lint: budget exceeded: {elapsed_ms}ms > {budget_ms}ms");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        println!(
+            "lint: FAILED ({} findings, {} unused baseline entries)",
+            result.violations.len(),
+            result.unused.len()
+        );
         ExitCode::FAILURE
     } else {
+        println!(
+            "lint: OK ({} files, {} static lock edges, {elapsed_ms}ms)",
+            result.files,
+            result.graph.edges.len()
+        );
         ExitCode::SUCCESS
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Tests
-// ---------------------------------------------------------------------------
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn src(rel: &str, text: &str) -> SourceFile {
-        preprocess(rel, text)
-    }
-
-    #[test]
-    fn scanner_strips_comments_and_keeps_strings() {
-        let mut code = String::new();
-        let mut depth = 0;
-        let st = scan_line(
-            "let x = \"a // not a comment {\"; // real comment {",
-            LexState::Code,
-            &mut code,
-            &mut depth,
-        );
-        assert_eq!(st, LexState::Code);
-        assert_eq!(code, "let x = \"a // not a comment {\"; ");
-        assert_eq!(depth, 0, "braces inside strings must not count");
-    }
-
-    #[test]
-    fn scanner_carries_strings_and_block_comments_across_lines() {
-        let mut code = String::new();
-        let mut depth = 0;
-        let st = scan_line("let s = \"open \\", LexState::Code, &mut code, &mut depth);
-        assert_eq!(st, LexState::Str);
-        let st = scan_line("still inside\";", st, &mut code, &mut depth);
-        assert_eq!(st, LexState::Code);
-
-        let mut code = String::new();
-        let st = scan_line("/* begin {", LexState::Code, &mut code, &mut depth);
-        assert_eq!(st, LexState::BlockComment);
-        let st = scan_line("end } */ let y = 1;", st, &mut code, &mut depth);
-        assert_eq!(st, LexState::Code);
-        assert_eq!(code.trim(), "let y = 1;");
-        assert_eq!(depth, 0);
-    }
-
-    #[test]
-    fn scanner_handles_raw_strings_and_char_literals() {
-        let mut code = String::new();
-        let mut depth = 0;
-        let st = scan_line(
-            "let r = r#\"{ // not code \"#; let c = '{';",
-            LexState::Code,
-            &mut code,
-            &mut depth,
-        );
-        assert_eq!(st, LexState::Code);
-        assert_eq!(depth, 0, "raw-string and char-literal braces must not count");
-    }
-
-    #[test]
-    fn cfg_test_regions_are_excluded() {
-        let f = src(
-            "crates/brahma/src/x.rs",
-            "fn hot() {\n    work();\n}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        x.unwrap();\n    }\n}\nfn after() {}\n",
-        );
-        let flags: Vec<bool> = f.lines.iter().map(|l| l.test).collect();
-        assert!(!flags[0] && !flags[1], "real code is not test");
-        assert!(flags[5] && flags[6], "inside the cfg(test) mod is test");
-        assert!(!flags[9], "code after the mod closes is not test");
-    }
-
-    #[test]
-    fn files_under_tests_dirs_are_all_test() {
-        let f = src("crates/ira/tests/sweep.rs", "fn x() { y.unwrap(); }\n");
-        assert!(f.lines[0].test);
-    }
-
-    #[test]
-    fn sleep_rule_fires_outside_retry_and_tests() {
-        let hot = src(
-            "crates/ira/src/pqr.rs",
-            "fn f() {\n    std::thread::sleep(d);\n}\n",
-        );
-        let retry = src(
-            "crates/brahma/src/retry.rs",
-            "fn f() {\n    std::thread::sleep(d);\n}\n",
-        );
-        let test = src(
-            "crates/ira/src/pqr.rs",
-            "#[cfg(test)]\nmod tests {\n    fn f() { std::thread::sleep(d); }\n}\n",
-        );
-        assert_eq!(rule_sleep(&[hot]).len(), 1);
-        assert_eq!(rule_sleep(&[retry]).len(), 0);
-        assert_eq!(rule_sleep(&[test]).len(), 0);
-    }
-
-    #[test]
-    fn unwrap_rule_scopes_to_substrate_crates() {
-        let brahma = src("crates/brahma/src/lock.rs", "fn f() { x.unwrap(); }\n");
-        let ira = src("crates/ira/src/driver.rs", "fn f() { x.expect(\"m\"); }\n");
-        let workload = src("crates/workload/src/driver.rs", "fn f() { x.unwrap(); }\n");
-        let doc = src(
-            "crates/brahma/src/lib.rs",
-            "/// let v = x.unwrap();\nfn f() {}\n",
-        );
-        assert_eq!(rule_unwrap(&[brahma]).len(), 1);
-        assert_eq!(rule_unwrap(&[ira]).len(), 1);
-        assert_eq!(rule_unwrap(&[workload]).len(), 0);
-        assert_eq!(rule_unwrap(&[doc]).len(), 0);
-    }
-
-    const DESIGN_FIXTURE: &str = "\
-## 8. Observability
-
-| Key | Incremented at |
-|---|---|
-| `lock.waits` / `wait_us_sum` | the lock manager |
-| `fault.fired.<site>` | the injector |
-| `dead.key` | nowhere |
-
-## 9. Next section
-| `not.parsed` | outside section 8 |
-";
-
-    #[test]
-    fn design_key_expansion_handles_prefix_shorthand() {
-        let keys = design_section8_keys(DESIGN_FIXTURE);
-        assert!(keys.contains_key("lock.waits"));
-        assert!(keys.contains_key("lock.wait_us_sum"), "prefix carried over");
-        assert!(keys.contains_key("fault.fired.<site>"));
-        assert!(!keys.contains_key("not.parsed"), "only §8 rows count");
-    }
-
-    #[test]
-    fn obs_doc_rule_catches_drift_both_ways() {
-        let code = src(
-            "crates/brahma/src/lock.rs",
-            "fn export(s: &mut Snapshot) {\n    s.set(\"lock.waits\", 1);\n    s.set(\n        \"lock.wait_us_sum\",\n        2,\n    );\n    s.set(\"lock.rogue\", 3);\n    s.set(&format!(\"fault.fired.{site}\"), 4);\n}\n",
-        );
-        let vs = rule_obs_doc(&[code], DESIGN_FIXTURE);
-        let msgs: Vec<&str> = vs.iter().map(|v| v.message.as_str()).collect();
-        assert_eq!(vs.len(), 2, "{msgs:?}");
-        assert!(
-            msgs.iter().any(|m| m.contains("lock.rogue")),
-            "undocumented key flagged"
-        );
-        assert!(
-            msgs.iter().any(|m| m.contains("dead.key")),
-            "dead doc row flagged; wrapped .set( calls must still count"
-        );
-    }
-
-    const CATALOG_FIXTURE: &str = "\
-pub mod site {
-    pub const A: &str = \"x.a\";
-    pub const B: &str = \"x.b\";
-    pub const ALL: &[&str] = &[A];
-}
-";
-
-    #[test]
-    fn fault_site_rule_checks_all_list_and_literals() {
-        let catalog = src("crates/brahma/src/fault.rs", CATALOG_FIXTURE);
-        let user = src(
-            "crates/ira/src/driver.rs",
-            "fn f(db: &Db) {\n    db.fault.observe(\"x.a\");\n    db.fault.observe(\"x.rogue\");\n}\n",
-        );
-        let vs = rule_fault_site(&[catalog, user]);
-        assert_eq!(vs.len(), 2, "{vs:?}");
-        assert!(vs.iter().any(|v| v.message.contains("`B`")), "B not in ALL");
-        assert!(vs.iter().any(|v| v.message.contains("x.rogue")));
-    }
-
-    #[test]
-    fn deprecated_rule_bans_definitions_and_calls() {
-        let def = src(
-            "crates/ira/src/pqr.rs",
-            "pub fn incremental_reorganize(db: &Db) {\n}\n",
-        );
-        let caller = src(
-            "crates/ira/src/driver.rs",
-            "fn f(db: &Db) {\n    offline_reorganize(db);\n}\n",
-        );
-        let clean = src(
-            "crates/ira/src/builder.rs",
-            "fn g(db: &Db) {\n    Reorg::on(db, p).run();\n    my_offline_reorganizer(db);\n}\n",
-        );
-        let vs = rule_deprecated(&[def, caller, clean]);
-        assert_eq!(vs.len(), 2, "{vs:?}");
-        assert!(vs.iter().any(|v| v.file == "crates/ira/src/pqr.rs"
-            && v.message.contains("reintroduces")));
-        assert!(vs.iter().any(|v| v.file == "crates/ira/src/driver.rs"
-            && v.message.contains("call to removed")));
-    }
-
-    #[test]
-    fn parking_lot_rule_exempts_lockdep_only() {
-        let lockdep = src(
-            "crates/brahma/src/lockdep.rs",
-            "use parking_lot::Mutex;\n",
-        );
-        let raw = src("crates/brahma/src/lock.rs", "use parking_lot::Mutex;\n");
-        assert_eq!(rule_parking_lot(&[lockdep]).len(), 0);
-        assert_eq!(rule_parking_lot(&[raw]).len(), 1);
-    }
-
-    #[test]
-    fn baseline_waives_matching_violations_and_tracks_unused() {
-        let toml = "\
-# frozen debt
-[[allow]]
-rule = \"sleep\"
-file = \"crates/ira/src/pqr.rs\"
-pattern = \"thread::sleep\"
-reason = \"poll loop, pre-lint\"
-
-[[allow]]
-rule = \"unwrap\"
-file = \"crates/brahma/src/gone.rs\"
-reason = \"already fixed\"
-";
-        let mut baseline = Baseline::parse(toml).expect("parses");
-        let hit = violation(
-            "sleep",
-            "crates/ira/src/pqr.rs",
-            9,
-            "m".into(),
-            "std::thread::sleep(d);",
-        );
-        let miss = violation(
-            "sleep",
-            "crates/ira/src/driver.rs",
-            2,
-            "m".into(),
-            "std::thread::sleep(d);",
-        );
-        assert!(baseline.waives(&hit));
-        assert!(!baseline.waives(&miss));
-        let unused: Vec<_> = baseline.unused().collect();
-        assert_eq!(unused.len(), 1);
-        assert_eq!(unused[0].file, "crates/brahma/src/gone.rs");
-    }
-
-    #[test]
-    fn baseline_rejects_malformed_entries() {
-        assert!(Baseline::parse("rule = \"sleep\"\n").is_err(), "key outside section");
-        assert!(
-            Baseline::parse("[[allow]]\nrule = \"sleep\"\n").is_err(),
-            "missing file/reason"
-        );
-        assert!(
-            Baseline::parse("[[allow]]\nrule = unquoted\n").is_err(),
-            "unquoted value"
-        );
-    }
-
-    /// The acceptance criterion in one test: a seeded violation in an
-    /// otherwise-clean tree fails the run.
-    #[test]
-    fn seeded_violation_fails_a_clean_tree() {
-        let clean = src("crates/brahma/src/ok.rs", "fn f() -> R { g() }\n");
-        let seeded = src(
-            "crates/brahma/src/bad.rs",
-            "fn f() {\n    x.lock().unwrap();\n}\n",
-        );
-        assert!(run_all_rules(&[clean], "").is_empty());
-        let vs = run_all_rules(&[seeded], "");
-        assert_eq!(vs.len(), 1);
-        assert_eq!(vs[0].rule, "unwrap");
-        assert_eq!(vs[0].line, 2);
     }
 }

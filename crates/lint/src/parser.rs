@@ -1,0 +1,451 @@
+//! A lightweight hand-rolled item parser over the token stream: `fn`
+//! items (with the enclosing `impl` type and return-type tokens),
+//! `struct` field types, and a brace-match map. No external deps — this
+//! is deliberately *not* a full Rust parser; DESIGN.md §17.2 documents
+//! the subset and the over-approximation policy that makes the subset
+//! sound for the lock-graph pass.
+
+use crate::tokens::{Tok, TokKind};
+
+/// One `fn` item. `body` is the token range `[open_brace, close_brace]`
+/// (inclusive); trait-method signatures without bodies are not recorded.
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Head identifier of the enclosing `impl` type (`impl Partition`,
+    /// `impl fmt::Debug for Wal` → `Wal`), `None` for free functions.
+    pub self_ty: Option<String>,
+    /// Return-type token texts (between `->` and the body/`;`).
+    pub ret: Vec<String>,
+    pub body: Option<(usize, usize)>,
+    pub line: usize,
+}
+
+/// One struct field: `struct Owner { name: … }` with the unwrapped head
+/// identifier of its type (`Arc<FaultInjector>` → `FaultInjector`).
+#[derive(Debug)]
+pub struct FieldDef {
+    pub owner: String,
+    pub name: String,
+    pub ty_head: Option<String>,
+}
+
+#[derive(Debug)]
+pub struct FileAst {
+    pub fns: Vec<FnItem>,
+    pub fields: Vec<FieldDef>,
+    /// `brace_match[i] = j` for every `{` at token index `i` whose
+    /// matching `}` is at `j`, and vice versa.
+    pub brace_match: Vec<usize>,
+}
+
+const KEYWORDS_BEFORE_PAREN: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "in", "move", "else",
+];
+
+pub fn is_keyword_call(name: &str) -> bool {
+    KEYWORDS_BEFORE_PAREN.contains(&name)
+}
+
+/// Strip reference/wrapper noise off a type token slice and return the
+/// head identifier: `&'a mut Arc<Box<Option<Foo>>>` → `Foo`;
+/// `Vec<Mutex<T>>` → `Vec` (containers are kept — element typing is the
+/// lock-decl back-scan's job, not the field table's).
+pub fn type_head(ty: &[String]) -> Option<String> {
+    let mut i = 0;
+    loop {
+        let t = ty.get(i)?;
+        match t.as_str() {
+            "&" | "mut" | "dyn" => i += 1,
+            s if s.starts_with('\'') => i += 1,
+            "Arc" | "Box" | "Rc" | "Option" if ty.get(i + 1).is_some_and(|n| n == "<") => i += 2,
+            _ => break,
+        }
+    }
+    let t = ty.get(i)?;
+    (!t.is_empty() && t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_'))
+        .then(|| t.clone())
+}
+
+fn compute_brace_match(toks: &[Tok]) -> Vec<usize> {
+    let mut out = vec![usize::MAX; toks.len()];
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => stack.push(i),
+            "}" => {
+                if let Some(open) = stack.pop() {
+                    out[open] = i;
+                    out[i] = open;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Skip a balanced `< … >` generic group starting at `i` (which must be
+/// `<`); returns the index just past the matching `>`. Tolerant of `>>`
+/// (two tokens) and gives up at `{`/`;` so a stray comparison cannot
+/// swallow a body.
+fn skip_generics(toks: &[Tok], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            "{" | ";" => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skip a balanced `( … )` group starting at `i` (which must be `(`);
+/// returns the index just past the matching `)`.
+fn skip_parens(toks: &[Tok], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse the head of an `impl` item starting right after the `impl`
+/// token; returns (self-type head, index of the body `{`), or `None`
+/// when no body is found.
+fn parse_impl_head(toks: &[Tok], mut i: usize) -> Option<(String, usize)> {
+    if toks.get(i).is_some_and(|t| t.is("<")) {
+        i = skip_generics(toks, i);
+    }
+    let mut last_path_ident: Option<String> = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => return last_path_ident.map(|ty| (ty, i)),
+            ";" => return None,
+            "for" => {
+                // `impl Trait for Type`: restart — the Self type follows.
+                last_path_ident = None;
+                i += 1;
+            }
+            "<" => i = skip_generics(toks, i),
+            "(" => i = skip_parens(toks, i),
+            "where" => {
+                // Scan forward to the body; the path is already complete.
+                while i < toks.len() && !toks[i].is("{") {
+                    if toks[i].is("<") {
+                        i = skip_generics(toks, i);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            _ => {
+                if t.kind == TokKind::Ident {
+                    last_path_ident = Some(t.text.clone());
+                }
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Parse `struct Name { fields }` starting right after the `struct`
+/// token. Tuple structs and unit structs yield no fields.
+fn parse_struct(toks: &[Tok], brace_match: &[usize], i: usize, out: &mut Vec<FieldDef>) {
+    let Some(name_tok) = toks.get(i) else { return };
+    if name_tok.kind != TokKind::Ident {
+        return;
+    }
+    let owner = name_tok.text.clone();
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is("<")) {
+        j = skip_generics(toks, j);
+    }
+    // `where` clauses may precede the brace.
+    while j < toks.len() && !toks[j].is("{") {
+        if toks[j].is(";") || toks[j].is("(") {
+            return; // unit or tuple struct
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return;
+    }
+    let close = brace_match[j];
+    if close == usize::MAX {
+        return;
+    }
+    // Fields: at depth 1 inside the braces, `name : type-tokens` up to a
+    // `,` at depth 1 (angle-bracket commas are skipped via generics).
+    let mut k = j + 1;
+    while k < close {
+        let t = &toks[k];
+        if t.kind == TokKind::Ident
+            && toks.get(k + 1).is_some_and(|n| n.is(":"))
+            && !t.is_ident("pub")
+        {
+            let name = t.text.clone();
+            let mut ty = Vec::new();
+            let mut m = k + 2;
+            while m < close {
+                match toks[m].text.as_str() {
+                    "," => break,
+                    "<" => {
+                        let end = skip_generics(toks, m);
+                        for tt in &toks[m..end.min(close)] {
+                            ty.push(tt.text.clone());
+                        }
+                        m = end;
+                    }
+                    "(" => {
+                        let end = skip_parens(toks, m);
+                        for tt in &toks[m..end.min(close)] {
+                            ty.push(tt.text.clone());
+                        }
+                        m = end;
+                    }
+                    _ => {
+                        ty.push(toks[m].text.clone());
+                        m += 1;
+                    }
+                }
+            }
+            out.push(FieldDef {
+                owner: owner.clone(),
+                name,
+                ty_head: type_head(&ty),
+            });
+            k = m + 1;
+            continue;
+        }
+        // `pub` / attributes / commas between fields.
+        k += 1;
+    }
+}
+
+/// Parse every `fn` item, `impl` block, and `struct` in the token
+/// stream.
+pub fn parse(toks: &[Tok]) -> FileAst {
+    let brace_match = compute_brace_match(toks);
+    let mut fns = Vec::new();
+    let mut fields = Vec::new();
+    // (self_ty, body_close_index) for the innermost impl at a position.
+    let mut impl_stack: Vec<(String, usize)> = Vec::new();
+
+    let mut i = 0;
+    while i < toks.len() {
+        while let Some(&(_, close)) = impl_stack.last() {
+            if i > close {
+                impl_stack.pop();
+            } else {
+                break;
+            }
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" => {
+                if let Some((ty, open)) = parse_impl_head(toks, i + 1) {
+                    let close = brace_match[open];
+                    if close != usize::MAX {
+                        impl_stack.push((ty, close));
+                        i = open + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "struct" => {
+                parse_struct(toks, &brace_match, i + 1, &mut fields);
+                i += 1;
+            }
+            "fn" => {
+                // Item fn iff followed by a name (a fn-pointer type has
+                // `fn (`).
+                let Some(name_tok) = toks.get(i + 1) else {
+                    break;
+                };
+                if name_tok.kind != TokKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                let name = name_tok.text.clone();
+                let line = name_tok.line;
+                let mut j = i + 2;
+                if toks.get(j).is_some_and(|t| t.is("<")) {
+                    j = skip_generics(toks, j);
+                }
+                if !toks.get(j).is_some_and(|t| t.is("(")) {
+                    i += 1;
+                    continue;
+                }
+                j = skip_parens(toks, j);
+                // Collect the return type and find the body/`;`.
+                let mut ret = Vec::new();
+                let mut in_ret = false;
+                let mut body = None;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "{" => {
+                            let close = brace_match[j];
+                            if close != usize::MAX {
+                                body = Some((j, close));
+                            }
+                            break;
+                        }
+                        ";" => break,
+                        "->" => {
+                            in_ret = true;
+                            j += 1;
+                        }
+                        "where" => {
+                            in_ret = false;
+                            j += 1;
+                        }
+                        "<" => {
+                            let end = skip_generics(toks, j);
+                            if in_ret {
+                                for tt in &toks[j..end.min(toks.len())] {
+                                    ret.push(tt.text.clone());
+                                }
+                            }
+                            j = end;
+                        }
+                        _ => {
+                            if in_ret {
+                                ret.push(toks[j].text.clone());
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+                fns.push(FnItem {
+                    name,
+                    self_ty: impl_stack.last().map(|(ty, _)| ty.clone()),
+                    ret,
+                    body,
+                    line,
+                });
+                // Continue scanning *inside* the body too (nested fns).
+                i = j + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    FileAst {
+        fns,
+        fields,
+        brace_match,
+    }
+}
+
+/// Index of the innermost fn whose body contains token position `pos`.
+pub fn enclosing_fn(ast: &FileAst, pos: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    let mut best_span = usize::MAX;
+    for (idx, f) in ast.fns.iter().enumerate() {
+        if let Some((open, close)) = f.body {
+            if pos > open && pos < close && close - open < best_span {
+                best = Some(idx);
+                best_span = close - open;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::preprocess;
+    use crate::tokens::tokenize;
+
+    fn ast_of(text: &str) -> (Vec<Tok>, FileAst) {
+        let f = preprocess("crates/x/src/a.rs", text);
+        let toks = tokenize(&f);
+        let ast = parse(&toks);
+        (toks, ast)
+    }
+
+    #[test]
+    fn fns_get_impl_self_types() {
+        let (_, ast) = ast_of(
+            "impl<'a> Partition {\n  pub fn allocate(&self) -> Result<PhysAddr> {\n    self.x()\n  }\n}\nfn free_fn() {}\nimpl fmt::Debug for Wal { fn fmt(&self) {} }\n",
+        );
+        let names: Vec<(String, Option<String>)> = ast
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.self_ty.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("allocate".into(), Some("Partition".into())),
+                ("free_fn".into(), None),
+                ("fmt".into(), Some("Wal".into())),
+            ]
+        );
+        assert_eq!(ast.fns[0].ret, vec!["Result", "<", "PhysAddr", ">"]);
+    }
+
+    #[test]
+    fn struct_fields_unwrap_wrappers() {
+        let (_, ast) = ast_of(
+            "pub struct Database {\n  pub fault: Arc<FaultInjector>,\n  partitions: RwLock<Vec<Arc<Partition>>>,\n  n: u32,\n}\n",
+        );
+        let f: Vec<(String, Option<String>)> = ast
+            .fields
+            .iter()
+            .map(|f| (f.name.clone(), f.ty_head.clone()))
+            .collect();
+        assert_eq!(
+            f,
+            vec![
+                ("fault".into(), Some("FaultInjector".into())),
+                ("partitions".into(), Some("RwLock".into())),
+                ("n".into(), Some("u32".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let (_, ast) = ast_of("struct H { hook: fn(u32) -> u32 }\nfn real() {}\n");
+        assert_eq!(ast.fns.len(), 1);
+        assert_eq!(ast.fns[0].name, "real");
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let (toks, ast) = ast_of("fn outer() {\n  fn inner() {\n    leaf();\n  }\n}\n");
+        let leaf_pos = toks.iter().position(|t| t.is_ident("leaf")).unwrap();
+        let idx = enclosing_fn(&ast, leaf_pos).unwrap();
+        assert_eq!(ast.fns[idx].name, "inner");
+    }
+}

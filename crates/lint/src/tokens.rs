@@ -1,0 +1,210 @@
+//! Token stream over a [`SourceFile`]'s comment-stripped, non-test,
+//! non-doc code, with 1-based line numbers preserved for diagnostics.
+//!
+//! `#[cfg(test)]` regions are dropped before tokenizing: they are whole
+//! items, so brace balance survives their removal and the lock-graph
+//! passes never see deliberate test violations (lockdep's own ABBA
+//! tests would otherwise "report" themselves).
+
+use crate::source::SourceFile;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    /// Integer/float literal (single token, value unused).
+    Num,
+    /// String or char literal (single token; contents kept for debugging).
+    Lit,
+    /// `'a` — distinct from `Lit` so lifetimes never look like chars.
+    Lifetime,
+    /// Single punctuation char, or one of the fused ops `::`, `->`, `=>`.
+    Punct,
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Tok {
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Tokenize the non-test, non-doc code lines of `f`.
+pub fn tokenize(f: &SourceFile) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (idx, line) in f.lines.iter().enumerate() {
+        if line.test || line.doc {
+            continue;
+        }
+        tokenize_line(&line.code, idx + 1, &mut out);
+    }
+    out
+}
+
+fn tokenize_line(code: &str, line: usize, out: &mut Vec<Tok>) {
+    let b = code.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(Tok {
+                kind: TokKind::Ident,
+                text: code[start..i].to_string(),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.') {
+                // `0..10` must not swallow the range: stop a trailing `.`
+                // when the char after it is another `.`.
+                if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                    break;
+                }
+                i += 1;
+            }
+            out.push(Tok {
+                kind: TokKind::Num,
+                text: code[start..i].to_string(),
+                line,
+            });
+            continue;
+        }
+        if c == b'"' {
+            // The scanner kept literal contents; consume to the closing
+            // quote (escapes were preserved with their backslash).
+            let start = i;
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            out.push(Tok {
+                kind: TokKind::Lit,
+                text: code[start..i.min(code.len())].to_string(),
+                line,
+            });
+            continue;
+        }
+        if c == b'\'' {
+            // Closed char literal ('x', '\n') or a lifetime ('a).
+            let is_char = b.get(i + 1) == Some(&b'\\') && b[i + 2..].contains(&b'\'')
+                || b.get(i + 2) == Some(&b'\'');
+            if is_char {
+                let close = b[i + 1..]
+                    .iter()
+                    .position(|&x| x == b'\'')
+                    .map(|p| i + 1 + p)
+                    .unwrap_or(i + 1);
+                out.push(Tok {
+                    kind: TokKind::Lit,
+                    text: code[i..=close.min(code.len() - 1)].to_string(),
+                    line,
+                });
+                i = close + 1;
+            } else {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: code[start..i].to_string(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Fused multi-char operators the parser matches on.
+        if let Some(op) = ["::", "->", "=>"].iter().find(|op| code[i..].starts_with(**op)) {
+            out.push(Tok {
+                kind: TokKind::Punct,
+                text: (*op).to_string(),
+                line,
+            });
+            i += op.len();
+            continue;
+        }
+        out.push(Tok {
+            kind: TokKind::Punct,
+            text: (c as char).to_string(),
+            line,
+        });
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::preprocess;
+
+    fn toks(text: &str) -> Vec<String> {
+        let f = preprocess("crates/x/src/a.rs", text);
+        tokenize(&f).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn fused_ops_and_idents() {
+        assert_eq!(
+            toks("fn f() -> &Mutex<T> { self.a::<u8>() }"),
+            vec![
+                "fn", "f", "(", ")", "->", "&", "Mutex", "<", "T", ">", "{", "self", ".", "a",
+                "::", "<", "u8", ">", "(", ")", "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_do_not_eat_numbers() {
+        assert_eq!(toks("0..workers"), vec!["0", ".", ".", "workers"]);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        assert_eq!(toks("<'a> 'x'"), vec!["<", "'a", ">", "'x'"]);
+    }
+
+    #[test]
+    fn test_regions_are_dropped() {
+        let t = toks("fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}");
+        assert!(t.contains(&"a".to_string()));
+        assert!(!t.contains(&"b".to_string()));
+        assert!(t.contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_source_lines() {
+        let f = preprocess("crates/x/src/a.rs", "fn a()\n{\n    b();\n}\n");
+        let toks = tokenize(&f);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

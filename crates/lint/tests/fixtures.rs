@@ -1,0 +1,101 @@
+//! Golden tests for the three analysis passes: each fixture must yield
+//! exactly one finding, with a stable file:line, and nothing else. The
+//! fixtures live under `crates/lint/fixtures/` — a directory the
+//! workspace walk deliberately skips, so the deliberate violations never
+//! leak into the CI run over the real tree.
+
+static ABBA: &str = include_str!("../fixtures/abba.rs");
+static GUARD_SLEEP: &str = include_str!("../fixtures/guard_sleep.rs");
+static BARE_ORDERING: &str = include_str!("../fixtures/bare_ordering.rs");
+
+#[test]
+fn abba_fixture_reports_exactly_the_partition_cycle() {
+    let rel = "crates/fixture/src/abba.rs";
+    let (violations, graph) = lint::analyze_sources(&[(rel, ABBA)]);
+
+    // Both directions present in the static graph, no execution involved.
+    assert!(graph.has("PartitionAlloc", "PartitionPages"));
+    assert!(graph.has("PartitionPages", "PartitionAlloc"));
+
+    assert_eq!(violations.len(), 1, "exactly one finding: {violations:#?}");
+    let v = &violations[0];
+    assert_eq!(v.rule, "lock-graph");
+    assert_eq!(v.file, rel);
+    // The report anchors at the canonical cycle's first edge: `allocate`
+    // taking the pages lock while the alloc lock is held.
+    assert_eq!(v.line, 24);
+    assert!(
+        v.message
+            .contains("PartitionAlloc -> PartitionPages -> PartitionAlloc"),
+        "cycle signature missing: {}",
+        v.message
+    );
+    // Per-edge provenance: each edge names its acquisition site and the
+    // line the held guard was taken on.
+    assert!(
+        v.message.contains(&format!("{rel}:24 acquires PartitionPages"))
+            && v.message.contains(&format!("{rel}:23")),
+        "alloc->pages edge provenance missing: {}",
+        v.message
+    );
+    assert!(
+        v.message.contains(&format!("{rel}:34 acquires PartitionAlloc"))
+            && v.message.contains(&format!("{rel}:33")),
+        "pages->alloc edge provenance missing: {}",
+        v.message
+    );
+}
+
+#[test]
+fn guard_sleep_fixture_reports_exactly_one_blocking_finding() {
+    let rel = "crates/fixture/src/guard_sleep.rs";
+    let (violations, graph) = lint::analyze_sources(&[(rel, GUARD_SLEEP)]);
+    assert!(graph.edges.is_empty(), "no nesting in this fixture");
+
+    assert_eq!(violations.len(), 1, "exactly one finding: {violations:#?}");
+    let v = &violations[0];
+    assert_eq!(v.rule, "guard-blocking");
+    assert_eq!(v.file, rel);
+    assert_eq!(v.line, 17);
+    assert!(
+        v.message.contains("thread::sleep") && v.message.contains("WalInner"),
+        "unexpected message: {}",
+        v.message
+    );
+}
+
+#[test]
+fn bare_ordering_fixture_reports_exactly_one_finding() {
+    let rel = "crates/fixture/src/bare_ordering.rs";
+    let (violations, _) = lint::analyze_sources(&[(rel, BARE_ORDERING)]);
+
+    assert_eq!(violations.len(), 1, "exactly one finding: {violations:#?}");
+    let v = &violations[0];
+    assert_eq!(v.rule, "atomic-ordering");
+    assert_eq!(v.file, rel);
+    assert_eq!(v.line, 8);
+}
+
+/// The fixture trio analyzed together still yields exactly three
+/// findings, sorted by (file, line, rule) — the deterministic output
+/// order ci.sh depends on.
+#[test]
+fn combined_fixtures_sort_deterministically() {
+    let (violations, _) = lint::analyze_sources(&[
+        ("crates/fixture/src/guard_sleep.rs", GUARD_SLEEP),
+        ("crates/fixture/src/abba.rs", ABBA),
+        ("crates/fixture/src/bare_ordering.rs", BARE_ORDERING),
+    ]);
+    let got: Vec<(&str, usize, &str)> = violations
+        .iter()
+        .map(|v| (v.file.as_str(), v.line, v.rule))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("crates/fixture/src/abba.rs", 24, "lock-graph"),
+            ("crates/fixture/src/bare_ordering.rs", 8, "atomic-ordering"),
+            ("crates/fixture/src/guard_sleep.rs", 17, "guard-blocking"),
+        ]
+    );
+}
