@@ -17,8 +17,13 @@ cargo test --workspace -q
 # this pins the --quick configuration explicitly.
 CHAOS_QUICK=1 cargo test -q -p ira --test chaos_sweep
 # Parallel wave-executor smoke: isomorphism vs serial and mid-wave
-# crash/resume at the reduced PAR_QUICK sizes.
+# crash/resume at the reduced PAR_QUICK sizes, at the 4-worker pool size
+# the trajectory criterion is stated at. The release pass repeats it with
+# the optimized lock fast path — the configuration the BENCH numbers run
+# under — so a fast-path/slow-path handoff bug cannot hide behind
+# debug-build timing.
 PAR_QUICK=1 cargo test -q -p ira --test parallel_exec
+PAR_QUICK=1 cargo test --release -q -p ira --test parallel_exec
 # Disk-chaos smoke (DESIGN.md §14): kill the process at every file-backend
 # fault site at one stride, reopen cold from the on-disk log, recover, and
 # re-verify the graph — plus the deterministic multi-partition mid-reorg
@@ -49,6 +54,10 @@ TRAJ_QUICK=1 TRAJ_DIR="$TRAJ_SCRATCH" \
 cargo run --release -p bench --bin paper_figures -- \
   trajectory-validate "$TRAJ_SCRATCH/BENCH_1.json"
 rm -rf "$TRAJ_SCRATCH"
+# The newest checked-in trajectory file must also satisfy the schema —
+# catches a hand-edited or truncated BENCH_<n>.json at commit time.
+cargo run --release -p bench --bin paper_figures -- \
+  trajectory-validate BENCH_8.json
 # Locality smoke (DESIGN.md §15): observe walkers on a fragmented
 # placement, reorganize from the collected stats, and fail unless the
 # stats-derived plan beat the fragmented placement on the cost metric.

@@ -146,6 +146,13 @@ pub fn run_trajectory(opts: &TrajectoryOptions) -> Trajectory {
             if workers > 0 {
                 cfg.ira.workers = workers;
             }
+            if workers > 1 {
+                // Multi-worker cells plan parent-group waves: components
+                // sharing an external parent land on one worker, which
+                // acquires that anchor once per batch instead of once per
+                // component (the MPL-60 contention fix).
+                cfg.ira.order = ira::MigrationOrder::ParentGroup;
+            }
             let cell_dir = file_backend.then(|| {
                 std::env::temp_dir().join(format!(
                     "brahma-traj-{}-{mpl}-{mode}",
@@ -699,7 +706,12 @@ pub fn compare(prior: &Json, current: &Trajectory) -> Comparison {
         (None, Some(_)) => cmp
             .lines
             .push("locality: new section (no prior to compare)".into()),
-        _ => {}
+        (Some(_), None) => cmp.lines.push(
+            "locality: prior file has the section but this run did not produce one; \
+             cell diff above is still valid"
+                .into(),
+        ),
+        (None, None) => {}
     }
     Comparison {
         lines: cmp.lines,
@@ -850,6 +862,46 @@ mod tests {
         assert!(validate(&bad)
             .unwrap_err()
             .contains("did not improve"));
+    }
+
+    #[test]
+    fn comparator_diffs_across_missing_locality_sections_both_ways() {
+        // Newer direction: prior lacks the section (BENCH_5/6-era file),
+        // current has it — the cell diff must run, nothing regresses, and
+        // the section is announced as new.
+        let old = sample();
+        let prior = parse_json(&old.to_json(6)).unwrap();
+        let mut new = sample();
+        new.locality = Some(sample_locality());
+        let cmp = compare(&prior, &new);
+        assert_eq!(
+            cmp.lines.iter().filter(|l| l.starts_with("mpl=")).count(),
+            9,
+            "every cell still diffs"
+        );
+        assert!(cmp.lines.iter().any(|l| l.contains("locality: new section")));
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+
+        // Older direction: prior has the section, current does not — the
+        // diff must not refuse or fall silent; it names the absence.
+        let mut old = sample();
+        old.locality = Some(sample_locality());
+        let prior = parse_json(&old.to_json(7)).unwrap();
+        let new = sample();
+        let cmp = compare(&prior, &new);
+        assert_eq!(
+            cmp.lines.iter().filter(|l| l.starts_with("mpl=")).count(),
+            9,
+            "every cell still diffs"
+        );
+        assert!(
+            cmp.lines
+                .iter()
+                .any(|l| l.contains("did not produce one")),
+            "{:?}",
+            cmp.lines
+        );
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
     }
 
     #[test]

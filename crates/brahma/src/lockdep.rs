@@ -90,9 +90,15 @@ pub enum LockClass {
     /// the worker index. Never nested: a worker releases its own deque
     /// before probing a victim's.
     WaveDeque,
+    /// The file backend's staging buffer of encoded-but-unwritten WAL
+    /// frames (`storage::FileBackend::stage`). Never held across segment
+    /// I/O: the drainer pops a contiguous batch, drops this lock, then
+    /// takes `FileBackend` to write.
+    WalStage,
     /// The file backend's segment-writer state (`storage::FileBackend`).
-    /// Ordered after `WalInner`: the append mirror runs under the log
-    /// mutex so the on-disk record order is the LSN order.
+    /// The append mirror runs *outside* the log mutex (pipelined group
+    /// commit); the stage's contiguous-prefix drain restores LSN order
+    /// before any byte reaches the segment file.
     FileBackend,
     /// Reserved for lockdep's own tests.
     TestA,
@@ -269,6 +275,7 @@ mod imp {
         "TraversalShard",
         "WaveDeferred",
         "WaveDeque",
+        "WalStage",
         "FileBackend",
         "TestA",
         "TestB",
@@ -580,6 +587,12 @@ mod imp {
     #[derive(Default)]
     pub struct Condvar {
         inner: parking_lot::Condvar,
+    }
+
+    impl fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Condvar")
+        }
     }
 
     impl Condvar {
@@ -904,6 +917,12 @@ mod imp {
 
     #[derive(Default)]
     pub struct Condvar(parking_lot::Condvar);
+
+    impl fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Condvar")
+        }
+    }
 
     impl Condvar {
         #[inline(always)]

@@ -192,10 +192,12 @@ pub struct Wal {
     flush_leader: Mutex<bool>,
     flush_cv: Condvar,
     /// Durability mirror (DESIGN.md §14). When set, every append is also
-    /// handed to the backend under the log mutex (so the on-disk order is
-    /// the LSN order) and the group-commit leader's force becomes a real
-    /// fsync. `None` for the default in-memory simulator: the mirror costs
-    /// nothing unless a file backend is attached.
+    /// handed to the backend — *outside* the log mutex, so record
+    /// formatting overlaps an in-flight group-commit fsync; the backend
+    /// restores LSN order on disk with its staged contiguous-prefix drain
+    /// — and the leader's force becomes a real fsync. `None` for the
+    /// default in-memory simulator: the mirror costs nothing unless a
+    /// file backend is attached.
     sink: std::sync::OnceLock<std::sync::Arc<dyn crate::storage::StorageBackend>>,
     /// Logging-path counters.
     pub stats: WalStats,
@@ -260,12 +262,15 @@ impl Wal {
         let mut inner = self.inner.lock();
         let lsn = inner.next_lsn;
         inner.next_lsn += 1;
-        inner.records.push(LogRecord { lsn, tid, payload });
-        if let (Some(sink), Some(rec)) = (self.sink.get(), inner.records.last()) {
-            // Mirror under the log mutex so the on-disk record order is the
-            // LSN order (the torn-tail scan depends on it).
-            sink.wal_append(rec);
-        }
+        let rec = LogRecord { lsn, tid, payload };
+        // Clone for the mirror only when one is attached; the clone is the
+        // whole cost paid under the log mutex — frame encoding and file
+        // I/O happen after the lock drops, so appenders format frames
+        // while the group-commit leader's fsync is still in flight (the
+        // backend's staged contiguous-prefix drain restores LSN order
+        // before any byte reaches the segment file).
+        let mirror = self.sink.get().map(|s| (s, rec.clone()));
+        inner.records.push(rec);
         if !self.retain && inner.records.len() > self.truncate_watermark {
             // ordering: pairs with the Release store in recompute_pin; truncation sees pins
             let pinned = self.pinned_lsn.load(Ordering::Acquire);
@@ -276,6 +281,10 @@ impl Wal {
                 inner.base_lsn = keep_from;
                 self.stats.truncated.add(drop_count as u64);
             }
+        }
+        drop(inner);
+        if let Some((sink, rec)) = mirror {
+            sink.wal_append(&rec);
         }
         lsn
     }
@@ -319,7 +328,9 @@ impl Wal {
             if let Some(sink) = self.sink.get() {
                 // Real durability: the leader's force is an fsync of the
                 // active segment, on behalf of every absorbed follower.
-                sink.wal_sync();
+                // `wal_sync_to` first waits for every mirrored frame up to
+                // the target to drain out of the pipeline stage.
+                sink.wal_sync_to(target);
             }
             if !self.flush_latency.is_zero() {
                 // Model the device: the flush costs latency outside any latch.

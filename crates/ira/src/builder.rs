@@ -467,6 +467,15 @@ impl<'a> Reorg<'a> {
         self
     }
 
+    /// Fault injection: parallel-executor chunks containing any of these
+    /// objects are deferred to the serial tail as if their retry budget had
+    /// been exhausted, so tests can exercise the tail's queue-order
+    /// re-packing deterministically.
+    pub fn force_defer(mut self, objects: Vec<brahma::PhysAddr>) -> Self {
+        self.exec.force_defer = objects;
+        self
+    }
+
     /// Insist policy for PQR's quiesce locks (only meaningful for
     /// [`Strategy::PartitionQuiesce`]).
     pub fn insist(mut self, insist: RetryPolicy) -> Self {

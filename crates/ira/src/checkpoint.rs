@@ -389,6 +389,7 @@ pub(crate) fn run_resume(
         ext_locks: 0,
         throttle_pauses: 0,
         waves: 0,
+        parent_groups: 0,
         deferred: 0,
         phases,
         started,

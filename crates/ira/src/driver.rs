@@ -167,6 +167,12 @@ pub(crate) struct ExecOptions {
     /// [`IraError::SimulatedCrash`] with a resumable checkpoint) once this
     /// many objects have migrated.
     pub crash_after_migrations: Option<usize>,
+    /// Fault injection for the deferral path: parallel-executor chunks
+    /// containing any of these objects are pushed straight to the serial
+    /// tail instead of migrating, as if their retry budget had been
+    /// exhausted. Lets tests exercise the tail's ordering guarantees
+    /// deterministically.
+    pub force_defer: Vec<PhysAddr>,
 }
 
 impl Default for ExecOptions {
@@ -174,6 +180,7 @@ impl Default for ExecOptions {
         ExecOptions {
             settle: crate::relaxed::SETTLE_POLICY,
             crash_after_migrations: None,
+            force_defer: Vec::new(),
         }
     }
 }
@@ -254,6 +261,9 @@ pub struct IraReport {
     /// Conflict-disjoint components the wave planner produced (0 for a
     /// serial run, which needs no plan).
     pub waves: usize,
+    /// Shared-anchor scheduling groups the [`MigrationOrder::ParentGroup`]
+    /// planner coalesced (0 for other orders and serial runs).
+    pub parent_groups: usize,
     /// Migrator workers the run executed with.
     pub workers: usize,
     /// Objects that exhausted their worker's retry budget and fell back to
@@ -283,6 +293,7 @@ impl IraReport {
         snap.set("ira.trt_notes", self.trt_notes);
         snap.set("ira.trt_purged", self.trt_purged);
         snap.set("ira.waves", self.waves as u64);
+        snap.set("ira.parent_groups", self.parent_groups as u64);
         snap.set("ira.workers", self.workers as u64);
         snap.set("ira.deferred", self.deferred as u64);
         snap.set("ira.duration_us", us(self.duration));
@@ -337,6 +348,7 @@ pub(crate) fn run_incremental(
         ext_locks: 0,
         throttle_pauses: 0,
         waves: 0,
+        parent_groups: 0,
         deferred: 0,
         phases,
         started: start,
@@ -360,6 +372,7 @@ pub(crate) struct ReorgRun<'a> {
     pub ext_locks: usize,
     pub throttle_pauses: usize,
     pub waves: usize,
+    pub parent_groups: usize,
     pub deferred: usize,
     pub phases: IraPhases,
     pub started: Instant,
@@ -694,6 +707,7 @@ impl ReorgRun<'_> {
             trt_notes,
             trt_purged,
             waves: self.waves,
+            parent_groups: self.parent_groups,
             workers: self.config.workers.max(1),
             deferred: self.deferred,
             duration: self.started.elapsed(),
@@ -778,24 +792,43 @@ impl ReorgRun<'_> {
     /// N workers claim and drain them, then migrate whatever was deferred
     /// in a serial tail pass.
     fn run_parallel(&mut self) -> Result<(), IraError> {
-        let wave_plan =
-            crate::wave::plan_waves(&self.state.order[self.pos..], &self.state, self.partition);
+        let remaining = &self.state.order[self.pos..];
+        let wave_plan = if self.config.order == MigrationOrder::ParentGroup {
+            crate::wave::plan_waves_grouped(
+                remaining,
+                &self.state,
+                self.partition,
+                self.config.workers.max(1),
+            )
+        } else {
+            crate::wave::plan_waves(remaining, &self.state, self.partition)
+        };
         self.waves = wave_plan.components.len();
+        self.parent_groups = wave_plan.parent_groups;
         let nworkers = self
             .config
             .workers
             .max(1)
-            .min(wave_plan.components.len().max(1));
+            .min(wave_plan.groups.len().max(1));
         self.db.stats.reorg_workers.fetch_max(nworkers as u64, AtomicOrd::Relaxed);
-        // Per-worker component deques with back-stealing (see
+        // Queue position of every remaining object, so deferred chunks can
+        // be re-packed into queue order for the serial tail (queue order IS
+        // placement order — see [`crate::order::MigrationOrder::Priority`]).
+        let pos_of: HashMap<PhysAddr, usize> = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, i))
+            .collect();
+        // Per-worker group deques with back-stealing (see
         // [`crate::wave::StealQueue`]): the old shared atomic cursor kept
         // queue order but let one worker stuck on a huge component idle
-        // the rest of the pool.
-        let steal_queue = crate::wave::StealQueue::new(wave_plan.components.len(), nworkers);
+        // the rest of the pool. The deques hand out *scheduling groups*;
+        // for every order but ParentGroup those are exactly the components.
+        let steal_queue = crate::wave::StealQueue::new(wave_plan.groups.len(), nworkers);
         let stop = AtomicBool::new(false);
         let crash = AtomicBool::new(false);
         let fatal: Mutex<Option<StoreError>> = Mutex::new(LockClass::WaveDeferred, 0, None);
-        let deferred: Mutex<Vec<PhysAddr>> =
+        let deferred: Mutex<Vec<(usize, PhysAddr)>> =
             Mutex::new(LockClass::WaveDeferred, 1, Vec::new());
         let pauses = AtomicUsize::new(self.throttle_pauses);
 
@@ -803,6 +836,8 @@ impl ReorgRun<'_> {
         let config = self.config;
         let exec = self.exec;
         let components = &wave_plan.components;
+        let groups = &wave_plan.groups;
+        let pos_of = &pos_of;
         let mapping = &self.mapping;
 
         let worker_stats: Vec<WorkerStats> = std::thread::scope(|s| {
@@ -820,7 +855,7 @@ impl ReorgRun<'_> {
                         let mut window_batches = 0usize;
                         let mut timeouts_mark = db.locks.stats.timeouts.get();
                         'claim: while !stop.load(AtomicOrd::Relaxed) {
-                            let Some((c, stolen)) = steal_queue.claim(w) else {
+                            let Some((g, stolen)) = steal_queue.claim(w) else {
                                 break;
                             };
                             if stolen {
@@ -828,9 +863,18 @@ impl ReorgRun<'_> {
                                     .reorg_wave_steals
                                     .fetch_add(1, AtomicOrd::Relaxed);
                             }
+                            let c = groups[g][0];
                             brahma::sched::point("wave.claim", c as u64);
-                            let component = &components[c];
-                            for chunk in component.chunks(config.batch_size.max(1)) {
+                            // Batches span component boundaries within a
+                            // group: a multi-component (parent) group's
+                            // shared anchor is then locked once per batch,
+                            // by one worker, instead of once per component
+                            // by colliding workers.
+                            let objs: Vec<PhysAddr> = groups[g]
+                                .iter()
+                                .flat_map(|&ci| components[ci].iter().copied())
+                                .collect();
+                            for chunk in objs.chunks(config.batch_size.max(1)) {
                                 if stop.load(AtomicOrd::Relaxed) {
                                     break 'claim;
                                 }
@@ -839,7 +883,17 @@ impl ReorgRun<'_> {
                                     stop.store(true, AtomicOrd::Relaxed);
                                     break 'claim;
                                 }
-                                match ctx.run_batch(chunk) {
+                                let forced = !exec.force_defer.is_empty()
+                                    && chunk.iter().any(|o| exec.force_defer.contains(o));
+                                let outcome = if forced {
+                                    Err(BatchFail::Exhausted {
+                                        object: chunk[0],
+                                        attempts: 0,
+                                    })
+                                } else {
+                                    ctx.run_batch(chunk)
+                                };
+                                match outcome {
                                     Ok(_) => {}
                                     Err(BatchFail::Exhausted { .. }) => {
                                         // Residual cross-component conflict
@@ -851,7 +905,9 @@ impl ReorgRun<'_> {
                                             "wave.defer",
                                             chunk.len() as u64,
                                         );
-                                        deferred.lock().extend_from_slice(chunk);
+                                        deferred.lock().extend(chunk.iter().map(|&o| {
+                                            (pos_of.get(&o).copied().unwrap_or(usize::MAX), o)
+                                        }));
                                     }
                                     Err(BatchFail::Fatal(e)) => {
                                         *fatal.lock() = Some(e);
@@ -922,9 +978,18 @@ impl ReorgRun<'_> {
             return self.finish_loop(Some(LoopEnd::Crash));
         }
 
-        // Serial tail: whatever the workers deferred, in queue order.
-        let mut tail = deferred.into_inner();
-        tail.dedup();
+        // Serial tail: whatever the workers deferred, re-packed into queue
+        // order by original index. Workers push chunks in *completion*
+        // order, which is schedule-dependent; since queue order is
+        // placement order (a Priority plan's list IS the clustering
+        // decision), the tail must not scramble it. Re-packing also makes
+        // the tail ride any ParentGroup ordering: anchor-sharing objects
+        // are queue-adjacent, so tail batches keep covering each anchor
+        // once per batch.
+        let mut tail_pos = deferred.into_inner();
+        tail_pos.sort_unstable();
+        tail_pos.dedup_by_key(|&mut (_, o)| o);
+        let tail: Vec<PhysAddr> = tail_pos.into_iter().map(|(_, o)| o).collect();
         self.deferred = tail.len();
         if !tail.is_empty() {
             let mut ctx = self.worker_ctx(nworkers);

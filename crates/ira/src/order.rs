@@ -30,6 +30,14 @@ pub enum MigrationOrder {
     /// Group objects by a shared external parent, so batched migrations
     /// lock each external parent once (Section 7).
     GroupByExternalParent,
+    /// [`GroupByExternalParent`](MigrationOrder::GroupByExternalParent)
+    /// ordering plus parent-group-aware *wave planning*: the parallel
+    /// executor ([`crate::wave::plan_waves_grouped`]) assigns components
+    /// sharing an external anchor to one worker, which batches across
+    /// them so the anchor is locked once per batch instead of once per
+    /// colliding migrator. The serial queue order is identical to
+    /// `GroupByExternalParent`; only multi-worker planning differs.
+    ParentGroup,
     /// Migrate the listed objects first, in list order; everything else
     /// follows in traversal order. Emitted by plan policies
     /// ([`crate::policy::StatsGreedy`]): free space is withheld during a
@@ -47,7 +55,7 @@ pub fn order_queue(
 ) {
     match order {
         MigrationOrder::Traversal => {}
-        MigrationOrder::GroupByExternalParent => {
+        MigrationOrder::GroupByExternalParent | MigrationOrder::ParentGroup => {
             // Group by the (deterministic) smallest external parent; objects
             // with no external parent keep their relative order at the end.
             let mut groups: BTreeMap<PhysAddr, Vec<PhysAddr>> = BTreeMap::new();

@@ -87,7 +87,11 @@ fn build_forest(db: &Database, chains: usize, chain_len: usize) -> Forest {
 fn parallel_run_is_isomorphic_to_serial() {
     let chains = if quick() { 4 } else { 8 };
     let chain_len = if quick() { 6 } else { 12 };
-    let worker_counts: &[usize] = if quick() { &[2] } else { &[2, 4] };
+    // The quick (ci.sh smoke) cell runs at 4 workers — the pool size the
+    // MPL-60 trajectory criterion is stated at, and the heaviest exerciser
+    // of the lock fast path and parent-group planning. The full matrix
+    // covers 2 workers as well.
+    let worker_counts: &[usize] = if quick() { &[4] } else { &[2, 4] };
 
     let reference = with_repro_banner(
         &format!("SEED=none CELL=serial,chains:{chains},chain_len:{chain_len}"),
@@ -131,6 +135,65 @@ fn parallel_run_is_isomorphic_to_serial() {
             },
         );
     }
+}
+
+/// Deferral must not scramble a priority placement: a parallel run whose
+/// every chunk is forced onto the deferred tail lands each object at the
+/// same new address as the conflict-free serial run, because the tail
+/// re-packs deferrals by original queue position (not defer-discovery
+/// order, which is a race between workers).
+#[test]
+fn forced_deferral_preserves_priority_placement() {
+    let chains = 4;
+    let chain_len = 6;
+
+    // Nontrivial queue order: every chain's mid-object first (the anchors'
+    // second reference), then the traversal remainder.
+    let priority_of = |db: &Database, forest: &Forest| {
+        forest
+            .anchors
+            .iter()
+            .map(|&a| db.raw_read(a).unwrap().refs[1])
+            .collect::<Vec<_>>()
+    };
+
+    let serial_db = Database::new(StoreConfig::default());
+    let serial = build_forest(&serial_db, chains, chain_len);
+    let outcome = Reorg::on(&serial_db, serial.p1)
+        .order(ira::MigrationOrder::Priority(priority_of(&serial_db, &serial)))
+        .run()
+        .unwrap();
+    assert_eq!(outcome.migrated(), serial.live);
+    let placement = |mapping: &std::collections::HashMap<PhysAddr, PhysAddr>| {
+        let mut v: Vec<(PhysAddr, PhysAddr)> =
+            mapping.iter().map(|(&old, &new)| (new, old)).collect();
+        v.sort();
+        v
+    };
+    let reference = placement(&outcome.mapping);
+    let all_old: Vec<PhysAddr> = outcome.mapping.keys().copied().collect();
+
+    let db = Database::new(StoreConfig::default());
+    let forest = build_forest(&db, chains, chain_len);
+    let outcome = Reorg::on(&db, forest.p1)
+        .order(ira::MigrationOrder::Priority(priority_of(&db, &forest)))
+        .workers(2)
+        .batch(2)
+        .force_defer(all_old)
+        .run()
+        .unwrap();
+    assert_eq!(outcome.migrated(), forest.live);
+    let report = outcome.ira().unwrap();
+    assert_eq!(
+        report.deferred, forest.live,
+        "every chunk was forced onto the tail"
+    );
+    assert_eq!(
+        placement(&outcome.mapping),
+        reference,
+        "deferred-tail placement must match the conflict-free serial run"
+    );
+    ira::verify::assert_reorganization_clean(&db, report);
 }
 
 /// `.workers(0)` clamps to one worker and takes the serial path; the
